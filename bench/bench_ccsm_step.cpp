@@ -1,0 +1,145 @@
+// E9 — end-to-end coupled-model cost under the three wirings (paper §2.2
+// vs §2.3 vs §2.4): identical physics, identical per-component processor
+// counts, different integration modes.  Reproduces the paper's implicit
+// claim that the mode is a deployment choice with negligible runtime
+// difference (the handshake is one-shot; the coupling traffic is
+// identical).
+#include "bench/bench_util.hpp"
+#include "src/climate/scenario.hpp"
+
+using namespace mph;
+using namespace mph::bench;
+using namespace mph::climate;
+
+namespace {
+
+ClimateConfig bench_config() {
+  ClimateConfig cfg;
+  cfg.atm_nlon = 24;
+  cfg.atm_nlat = 12;
+  cfg.ocn_nlon = 36;
+  cfg.ocn_nlat = 18;
+  cfg.steps_per_interval = 2;
+  cfg.intervals = 4;
+  return cfg;
+}
+
+// 7 ranks in every wiring: atm 2, ocn 2, land 1, ice 1, coupler 1.
+
+void BM_Coupled_SCME(benchmark::State& state) {
+  const ClimateConfig cfg = bench_config();
+  const std::string registry =
+      "BEGIN\natmosphere\nocean\nland\nice\ncoupler\nEND\n";
+  auto body = [&](const std::string& name, int nprocs) {
+    return minimpi::ExecSpec{
+        name, nprocs,
+        [&, name](const minimpi::Comm& world, const minimpi::ExecEnv&) {
+          Mph h = Mph::components_setup(
+              world, RegistrySource::from_text(registry), {name});
+          benchmark::DoNotOptimize(
+              run_coupled_component(h, cfg).mean_series.size());
+        },
+        {}};
+  };
+  for (auto _ : state) {
+    const util::Timer timer;
+    const auto report = minimpi::run_mpmd(
+        {body("atmosphere", 2), body("ocean", 2), body("land", 1),
+         body("ice", 1), body("coupler", 1)},
+        bench_job_options());
+    require_ok(report, "coupled-scme");
+    state.SetIterationTime(timer.seconds());
+    state.counters["messages"] = static_cast<double>(report.stats.messages);
+    state.counters["bytes"] = static_cast<double>(report.stats.payload_bytes);
+  }
+  state.counters["intervals"] = cfg.intervals;
+}
+
+void BM_Coupled_MCSE(benchmark::State& state) {
+  const ClimateConfig cfg = bench_config();
+  const std::string registry = R"(BEGIN
+Multi_Component_Begin
+atmosphere 0 1
+ocean 2 3
+land 4 4
+ice 5 5
+coupler 6 6
+Multi_Component_End
+END
+)";
+  for (auto _ : state) {
+    const util::Timer timer;
+    const auto report = minimpi::run_mpmd(
+        {minimpi::ExecSpec{
+            "model", 7,
+            [&](const minimpi::Comm& world, const minimpi::ExecEnv&) {
+              Mph h = Mph::components_setup(
+                  world, RegistrySource::from_text(registry),
+                  {"atmosphere", "ocean", "land", "ice", "coupler"});
+              for (const char* role :
+                   {"atmosphere", "ocean", "land", "ice", "coupler"}) {
+                if (h.proc_in_component(role)) {
+                  benchmark::DoNotOptimize(
+                      run_coupled_component(h, cfg).mean_series.size());
+                }
+              }
+            },
+            {}}},
+        bench_job_options());
+    require_ok(report, "coupled-mcse");
+    state.SetIterationTime(timer.seconds());
+    state.counters["messages"] = static_cast<double>(report.stats.messages);
+    state.counters["bytes"] = static_cast<double>(report.stats.payload_bytes);
+  }
+  state.counters["intervals"] = cfg.intervals;
+}
+
+void BM_Coupled_MCME(benchmark::State& state) {
+  const ClimateConfig cfg = bench_config();
+  const std::string registry = R"(BEGIN
+Multi_Component_Begin
+atmosphere 0 1
+land 2 2
+Multi_Component_End
+Multi_Component_Begin
+ocean 0 1
+ice 2 2
+Multi_Component_End
+coupler
+END
+)";
+  auto body = [&](const std::vector<std::string>& names, int nprocs) {
+    return minimpi::ExecSpec{
+        names.front(), nprocs,
+        [&, names](const minimpi::Comm& world, const minimpi::ExecEnv&) {
+          Mph h = Mph::components_setup(
+              world, RegistrySource::from_text(registry), names);
+          benchmark::DoNotOptimize(
+              run_coupled_component(h, cfg).mean_series.size());
+        },
+        {}};
+  };
+  for (auto _ : state) {
+    const util::Timer timer;
+    const auto report = minimpi::run_mpmd(
+        {body({"atmosphere", "land"}, 3), body({"ocean", "ice"}, 3),
+         body({"coupler"}, 1)},
+        bench_job_options());
+    require_ok(report, "coupled-mcme");
+    state.SetIterationTime(timer.seconds());
+    state.counters["messages"] = static_cast<double>(report.stats.messages);
+    state.counters["bytes"] = static_cast<double>(report.stats.payload_bytes);
+  }
+  state.counters["intervals"] = cfg.intervals;
+}
+
+}  // namespace
+
+BENCHMARK(BM_Coupled_SCME)->UseManualTime()
+    ->Unit(benchmark::kMillisecond)->Iterations(5);
+BENCHMARK(BM_Coupled_MCSE)->UseManualTime()
+    ->Unit(benchmark::kMillisecond)->Iterations(5);
+BENCHMARK(BM_Coupled_MCME)->UseManualTime()
+    ->Unit(benchmark::kMillisecond)->Iterations(5);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// E8 — substrate collective baselines: barrier, broadcast, allreduce, and
+// allgather latency across rank counts and payload sizes, so the MPH-level
+// results (E1-E7) can be interpreted against the cost of the primitives
+// they are built from.
+#include "bench/bench_util.hpp"
+#include "src/minimpi/collectives.hpp"
+
+using namespace mph;
+using namespace mph::bench;
+
+namespace {
+
+constexpr int kOpsPerJob = 50;
+
+template <class Op>
+void run_collective_bench(benchmark::State& state, int ranks,
+                          std::size_t doubles, Op per_rank_op) {
+  MaxSeconds op_time;
+  for (auto _ : state) {
+    op_time.reset();
+    const auto report = minimpi::run_spmd(
+        ranks,
+        [&](const minimpi::Comm& world, const minimpi::ExecEnv&) {
+          std::vector<double> data(doubles, world.rank() + 1.0);
+          minimpi::barrier(world);  // align ranks before timing
+          const util::Timer timer;
+          for (int i = 0; i < kOpsPerJob; ++i) per_rank_op(world, data);
+          op_time.update(timer.seconds() / kOpsPerJob);
+        },
+        bench_job_options());
+    require_ok(report, "collective");
+    state.SetIterationTime(op_time.get());
+  }
+  state.counters["ranks"] = ranks;
+  state.counters["doubles"] = static_cast<double>(doubles);
+}
+
+void BM_Barrier(benchmark::State& state) {
+  run_collective_bench(state, static_cast<int>(state.range(0)), 1,
+                       [](const minimpi::Comm& world, std::vector<double>&) {
+                         minimpi::barrier(world);
+                       });
+}
+
+void BM_Bcast(benchmark::State& state) {
+  run_collective_bench(
+      state, static_cast<int>(state.range(0)),
+      static_cast<std::size_t>(state.range(1)),
+      [](const minimpi::Comm& world, std::vector<double>& data) {
+        minimpi::bcast(world, std::span<double>(data), 0);
+      });
+}
+
+void BM_Allreduce(benchmark::State& state) {
+  run_collective_bench(
+      state, static_cast<int>(state.range(0)),
+      static_cast<std::size_t>(state.range(1)),
+      [](const minimpi::Comm& world, std::vector<double>& data) {
+        benchmark::DoNotOptimize(minimpi::allreduce(
+            world, std::span<const double>(data), minimpi::op::Sum{}));
+      });
+}
+
+void BM_Allgather(benchmark::State& state) {
+  run_collective_bench(
+      state, static_cast<int>(state.range(0)),
+      static_cast<std::size_t>(state.range(1)),
+      [](const minimpi::Comm& world, std::vector<double>& data) {
+        benchmark::DoNotOptimize(
+            minimpi::allgather(world, std::span<const double>(data)));
+      });
+}
+
+void BM_AllgatherStrings(benchmark::State& state) {
+  // The handshake's key primitive: signature exchange.
+  run_collective_bench(
+      state, static_cast<int>(state.range(0)), 1,
+      [](const minimpi::Comm& world, std::vector<double>&) {
+        benchmark::DoNotOptimize(minimpi::allgather_strings(
+            world, "component_" + std::to_string(world.rank())));
+      });
+}
+
+}  // namespace
+
+BENCHMARK(BM_Barrier)->Arg(4)->Arg(16)->Arg(64)->UseManualTime()
+    ->Unit(benchmark::kMicrosecond)->Iterations(5);
+BENCHMARK(BM_Bcast)
+    ->ArgsProduct({{4, 16, 64}, {16, 4096}})
+    ->UseManualTime()->Unit(benchmark::kMicrosecond)->Iterations(5);
+BENCHMARK(BM_Allreduce)
+    ->ArgsProduct({{4, 16, 64}, {16, 4096}})
+    ->UseManualTime()->Unit(benchmark::kMicrosecond)->Iterations(5);
+BENCHMARK(BM_Allgather)
+    ->ArgsProduct({{4, 16, 64}, {16, 1024}})
+    ->UseManualTime()->Unit(benchmark::kMicrosecond)->Iterations(5);
+BENCHMARK(BM_AllgatherStrings)->Arg(4)->Arg(16)->Arg(64)->UseManualTime()
+    ->Unit(benchmark::kMicrosecond)->Iterations(5);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,161 @@
+// E6 — single-job ensembles vs K independent jobs (paper §2.5): running K
+// ocean instances inside ONE MPMD job with on-the-fly statistics, against
+// the conventional approach of K separate jobs followed by offline
+// post-processing.  The single job amortizes launch cost and is the only
+// configuration that can compute the in-flight median / apply dynamic
+// control at all.
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+
+#include "bench/bench_util.hpp"
+#include "src/climate/scenario.hpp"
+
+using namespace mph;
+using namespace mph::bench;
+using namespace mph::climate;
+
+namespace {
+
+ClimateConfig ensemble_config() {
+  ClimateConfig cfg;
+  cfg.ocn_nlon = 24;
+  cfg.ocn_nlat = 12;
+  cfg.steps_per_interval = 3;
+  cfg.intervals = 4;
+  return cfg;
+}
+
+std::string instance_registry(int k, int ranks_each) {
+  std::string text = "BEGIN\nMulti_Instance_Begin\n";
+  for (int i = 0; i < k; ++i) {
+    const int lo = i * ranks_each;
+    text += "Run" + std::to_string(i) + " " + std::to_string(lo) + " " +
+            std::to_string(lo + ranks_each - 1) + " diff=" +
+            std::to_string(0.5 + 0.25 * i) + "\n";
+  }
+  text += "Multi_Instance_End\nstatistics\nEND\n";
+  return text;
+}
+
+/// One MPMD job: K instances + statistics, stats computed in flight.
+void BM_EnsembleSingleJob(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const int ranks_each = 2;
+  const ClimateConfig cfg = ensemble_config();
+  const std::string registry = instance_registry(k, ranks_each);
+
+  for (auto _ : state) {
+    const util::Timer timer;
+    const auto report = minimpi::run_mpmd(
+        {
+            minimpi::ExecSpec{
+                "ensemble", k * ranks_each,
+                [&](const minimpi::Comm& world, const minimpi::ExecEnv&) {
+                  Mph h = Mph::multi_instance(
+                      world, RegistrySource::from_text(registry), "Run");
+                  benchmark::DoNotOptimize(
+                      run_ensemble_instance(h, cfg, "statistics").my_means);
+                },
+                {}},
+            minimpi::ExecSpec{
+                "statistics", 1,
+                [&](const minimpi::Comm& world, const minimpi::ExecEnv&) {
+                  Mph h = Mph::components_setup(
+                      world, RegistrySource::from_text(registry),
+                      {"statistics"});
+                  benchmark::DoNotOptimize(
+                      run_ensemble_statistics(h, cfg, "Run", 0.0).snapshots);
+                },
+                {}},
+        },
+        bench_job_options());
+    require_ok(report, "ensemble-single-job");
+    state.SetIterationTime(timer.seconds());
+  }
+  state.counters["instances"] = k;
+}
+
+/// The conventional alternative: K independent single-model jobs run one
+/// after another (as a scheduler would on the same processor allocation).
+/// Ensemble statistics of *instantaneous* fields then require each run to
+/// dump its field every interval and a post-processing pass to read it
+/// all back — exactly the "large data output and storage for
+/// post-processing" the paper says the single-job ensemble eliminates.
+/// (The in-flight median is additionally impossible without the dumps.)
+void BM_EnsembleKSeparateJobs(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const int ranks_each = 2;
+  const ClimateConfig cfg = ensemble_config();
+  const std::filesystem::path dump_dir =
+      std::filesystem::temp_directory_path() / "mph_bench_ensemble";
+  std::filesystem::create_directories(dump_dir);
+
+  for (auto _ : state) {
+    const util::Timer timer;
+    // Phase 1: K separate jobs, each dumping per-interval snapshots.
+    for (int i = 0; i < k; ++i) {
+      const auto report = minimpi::run_spmd(
+          ranks_each,
+          [&](const minimpi::Comm& world, const minimpi::ExecEnv&) {
+            Ocean model(cfg, world);
+            model.scale_diffusivity(0.5 + 0.25 * i);
+            for (int interval = 0; interval < cfg.intervals; ++interval) {
+              for (int s = 0; s < cfg.steps_per_interval; ++s) model.step();
+              const std::vector<double> full = model.export_sst();
+              if (world.rank() == 0) {
+                const auto path =
+                    dump_dir / ("run" + std::to_string(i) + "_i" +
+                                std::to_string(interval) + ".bin");
+                std::ofstream out(path, std::ios::binary);
+                out.write(reinterpret_cast<const char*>(full.data()),
+                          static_cast<std::streamsize>(full.size() *
+                                                       sizeof(double)));
+              }
+            }
+          },
+          bench_job_options());
+      require_ok(report, "ensemble-separate-jobs");
+    }
+    // Phase 2: post-processing pass over every dump (mean only — the
+    // instantaneous medians computed in flight are recoverable here only
+    // because we paid to store every snapshot).
+    double total = 0;
+    for (int i = 0; i < k; ++i) {
+      for (int interval = 0; interval < cfg.intervals; ++interval) {
+        const auto path = dump_dir / ("run" + std::to_string(i) + "_i" +
+                                      std::to_string(interval) + ".bin");
+        std::ifstream in(path, std::ios::binary);
+        double v = 0;
+        while (in.read(reinterpret_cast<char*>(&v), sizeof(double))) {
+          total += v;
+        }
+      }
+    }
+    benchmark::DoNotOptimize(total);
+    state.SetIterationTime(timer.seconds());
+  }
+  std::filesystem::remove_all(dump_dir);
+  state.counters["instances"] = k;
+}
+
+}  // namespace
+
+BENCHMARK(BM_EnsembleSingleJob)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+BENCHMARK(BM_EnsembleKSeparateJobs)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+BENCHMARK_MAIN();

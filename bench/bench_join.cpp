@@ -1,0 +1,76 @@
+// E3 — MPH_comm_join cost (paper §5.1): creating the merged communicator
+// over two components of sizes |A| and |B|.  The protocol is one context
+// allocation on the union leader plus one control message per member, so
+// cost should scale with |A| + |B| and be independent of the rest of the
+// job.
+#include "bench/bench_util.hpp"
+
+using namespace mph;
+using namespace mph::bench;
+
+namespace {
+
+void BM_CommJoin(benchmark::State& state) {
+  const int size_a = static_cast<int>(state.range(0));
+  const int size_b = static_cast<int>(state.range(1));
+  const int bystanders = static_cast<int>(state.range(2));
+  const std::string registry = bystanders > 0
+                                   ? "BEGIN\nA\nB\nidle\nEND\n"
+                                   : "BEGIN\nA\nB\nEND\n";
+  constexpr int kJoinsPerJob = 50;
+
+  MaxSeconds join_time;
+  auto member = [&](const std::string& name) {
+    return [&, name](const minimpi::Comm& world, const minimpi::ExecEnv&) {
+      Mph h = Mph::components_setup(
+          world, RegistrySource::from_text(registry), {name});
+      const util::Timer timer;
+      for (int i = 0; i < kJoinsPerJob; ++i) {
+        const minimpi::Comm joint = h.comm_join("A", "B");
+        benchmark::DoNotOptimize(joint.size());
+      }
+      join_time.update(timer.seconds() / kJoinsPerJob);
+    };
+  };
+
+  for (auto _ : state) {
+    join_time.reset();
+    std::vector<minimpi::ExecSpec> specs{
+        minimpi::ExecSpec{"A", size_a, member("A"), {}},
+        minimpi::ExecSpec{"B", size_b, member("B"), {}},
+    };
+    if (bystanders > 0) {
+      // The join must not involve (or disturb) the rest of the job.
+      specs.push_back(minimpi::ExecSpec{
+          "idle", bystanders,
+          [&](const minimpi::Comm& world, const minimpi::ExecEnv&) {
+            Mph h = Mph::components_setup(
+                world, RegistrySource::from_text(registry), {"idle"});
+            benchmark::DoNotOptimize(h.total_components());
+          },
+          {}});
+    }
+    const auto report = minimpi::run_mpmd(specs, bench_job_options());
+    require_ok(report, "comm-join");
+    state.SetIterationTime(join_time.get());
+  }
+  state.counters["union"] = size_a + size_b;
+  state.counters["bystanders"] = bystanders;
+}
+
+}  // namespace
+
+// |A| x |B| sweep, plus a bystander variant showing independence.
+BENCHMARK(BM_CommJoin)
+    ->Args({1, 1, 0})
+    ->Args({2, 2, 0})
+    ->Args({4, 4, 0})
+    ->Args({8, 8, 0})
+    ->Args({16, 16, 0})
+    ->Args({4, 16, 0})
+    ->Args({8, 8, 16})
+    ->UseManualTime()
+    ->Unit(benchmark::kMicrosecond)
+    ->Iterations(5);
+
+BENCHMARK_MAIN();

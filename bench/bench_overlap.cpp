@@ -1,0 +1,69 @@
+// E2 — overlapping-component cost (paper §6.2): components that overlap on
+// processors cost one MPI_Comm_split *per component*, while disjoint
+// components are built with a single split.  Setup time should therefore
+// grow roughly linearly in the component count with overlap, and stay flat
+// without it.
+#include "bench/bench_util.hpp"
+
+using namespace mph;
+using namespace mph::bench;
+
+namespace {
+
+/// One multi-component executable of `comps` components over `ranks`
+/// processes; if `overlap`, every component covers all processors (the
+/// worst case: one split per component), else they tile disjointly.
+void BM_MultiComponentSetup(benchmark::State& state) {
+  const int comps = static_cast<int>(state.range(0));
+  const bool overlap = state.range(1) != 0;
+  const int ranks = 10;  // >= max component count, so disjoint tiling works
+
+  std::string registry = "BEGIN\nMulti_Component_Begin\n";
+  std::vector<std::string> names;
+  for (int i = 0; i < comps; ++i) {
+    const std::string name = "c" + std::to_string(i);
+    names.push_back(name);
+    if (overlap) {
+      registry += name + " 0 " + std::to_string(ranks - 1) + "\n";
+    } else {
+      // Tile the 8 ranks as evenly as the component count allows.
+      const int lo = i * ranks / comps;
+      const int hi = (i + 1) * ranks / comps - 1;
+      registry += name + " " + std::to_string(lo) + " " + std::to_string(hi) +
+                  "\n";
+    }
+  }
+  registry += "Multi_Component_End\nEND\n";
+
+  MaxSeconds setup_time;
+  for (auto _ : state) {
+    setup_time.reset();
+    const auto report = minimpi::run_mpmd(
+        {minimpi::ExecSpec{
+            "exec", ranks,
+            [&](const minimpi::Comm& world, const minimpi::ExecEnv&) {
+              const util::Timer timer;
+              Mph h = Mph::components_setup(
+                  world, RegistrySource::from_text(registry), names);
+              setup_time.update(timer.seconds());
+              benchmark::DoNotOptimize(h.my_components().size());
+            },
+            {}}},
+        bench_job_options());
+    require_ok(report, "overlap-setup");
+    state.SetIterationTime(setup_time.get());
+  }
+  state.counters["components"] = comps;
+  state.counters["overlap"] = overlap ? 1 : 0;
+  state.counters["splits"] = overlap ? comps : 1;
+}
+
+}  // namespace
+
+BENCHMARK(BM_MultiComponentSetup)
+    ->ArgsProduct({{2, 4, 6, 8, 10}, {0, 1}})
+    ->UseManualTime()
+    ->Unit(benchmark::kMicrosecond)
+    ->Iterations(10);
+
+BENCHMARK_MAIN();

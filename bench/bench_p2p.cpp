@@ -1,0 +1,76 @@
+// E4 — name-addressed inter-component point-to-point (paper §5.2): the
+// MPH layer adds only a directory lookup on top of raw world-communicator
+// traffic.  Round-trip latency and bandwidth, MPH-addressed vs raw, over a
+// message-size sweep.
+#include "bench/bench_util.hpp"
+
+using namespace mph;
+using namespace mph::bench;
+
+namespace {
+
+constexpr int kRoundTripsPerJob = 200;
+
+/// Ping-pong between the roots of two single-rank components.
+void BM_PingPong(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  const bool via_mph = state.range(1) != 0;
+  const std::string registry = "BEGIN\nping\npong\nEND\n";
+  const std::size_t doubles = std::max<std::size_t>(1, bytes / sizeof(double));
+
+  MaxSeconds rt_time;
+  auto ping = [&](const minimpi::Comm& world, const minimpi::ExecEnv&) {
+    Mph h = Mph::components_setup(world, RegistrySource::from_text(registry),
+                                  {"ping"});
+    std::vector<double> buf(doubles, 1.0);
+    const minimpi::rank_t peer = h.global_rank_of("pong", 0);
+    const util::Timer timer;
+    for (int i = 0; i < kRoundTripsPerJob; ++i) {
+      if (via_mph) {
+        h.send(std::span<const double>(buf), "pong", 0, 7);
+        h.recv(std::span<double>(buf), "pong", 0, 8);
+      } else {
+        world.send(std::span<const double>(buf), peer, 7);
+        world.recv(std::span<double>(buf), peer, 8);
+      }
+    }
+    rt_time.update(timer.seconds() / kRoundTripsPerJob);
+  };
+  auto pong = [&](const minimpi::Comm& world, const minimpi::ExecEnv&) {
+    Mph h = Mph::components_setup(world, RegistrySource::from_text(registry),
+                                  {"pong"});
+    std::vector<double> buf(doubles);
+    const minimpi::rank_t peer = h.global_rank_of("ping", 0);
+    for (int i = 0; i < kRoundTripsPerJob; ++i) {
+      if (via_mph) {
+        h.recv(std::span<double>(buf), "ping", 0, 7);
+        h.send(std::span<const double>(buf), "ping", 0, 8);
+      } else {
+        world.recv(std::span<double>(buf), peer, 7);
+        world.send(std::span<const double>(buf), peer, 8);
+      }
+    }
+  };
+
+  for (auto _ : state) {
+    rt_time.reset();
+    const auto report = minimpi::run_mpmd(
+        {{"ping", 1, ping, {}}, {"pong", 1, pong, {}}}, bench_job_options());
+    require_ok(report, "pingpong");
+    state.SetIterationTime(rt_time.get());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) * 2 *
+      static_cast<std::int64_t>(doubles * sizeof(double)));
+  state.counters["via_mph"] = via_mph ? 1 : 0;
+}
+
+}  // namespace
+
+BENCHMARK(BM_PingPong)
+    ->ArgsProduct({{8, 256, 4096, 65536, 1048576, 4194304}, {0, 1}})
+    ->UseManualTime()
+    ->Unit(benchmark::kMicrosecond)
+    ->Iterations(3);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// E10 — multi-channel output redirection overhead (paper §5.4): lines per
+// second through an OutputChannel (line-atomic, mutex-shared sink) against
+// a plain unsynchronized ofstream, and the contended case of several ranks
+// sharing the combined log.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "bench/bench_util.hpp"
+#include "src/mph/redirect.hpp"
+
+using namespace mph;
+using namespace mph::bench;
+
+namespace {
+
+std::string bench_dir() {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "mph_bench_redirect";
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+void BM_ChannelSingleWriter(benchmark::State& state) {
+  const std::string dir = bench_dir();
+  OutputChannel channel =
+      OutputRouter::instance().open(dir, "bench", 0, true);
+  std::int64_t lines = 0;
+  for (auto _ : state) {
+    channel.stream() << "step diagnostics: mean=1.234 max=5.678 iter=" << lines
+                     << '\n';
+    ++lines;
+  }
+  channel.flush();
+  state.SetItemsProcessed(lines);
+}
+
+void BM_PlainOfstreamBaseline(benchmark::State& state) {
+  const std::string path = bench_dir() + "/plain.log";
+  std::ofstream out(path, std::ios::app);
+  std::int64_t lines = 0;
+  for (auto _ : state) {
+    out << "step diagnostics: mean=1.234 max=5.678 iter=" << lines << '\n';
+    ++lines;
+  }
+  state.SetItemsProcessed(lines);
+}
+
+/// Several ranks of one component hammering the shared combined log.
+void BM_CombinedLogContended(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const int lines_per_rank = 500;
+  const std::string dir = bench_dir();
+  for (auto _ : state) {
+    const mph::util::Timer timer;
+    const auto report = minimpi::run_spmd(
+        ranks,
+        [&](const minimpi::Comm& world, const minimpi::ExecEnv&) {
+          OutputChannel channel = OutputRouter::instance().open(
+              dir, "noisy", world.rank(), /*component_root=*/false);
+          for (int i = 0; i < lines_per_rank; ++i) {
+            channel.stream() << "rank " << world.rank() << " line " << i
+                             << '\n';
+          }
+          channel.flush();
+        },
+        bench_job_options());
+    require_ok(report, "combined-log");
+    state.SetIterationTime(timer.seconds());
+  }
+  state.SetItemsProcessed(state.iterations() * ranks * lines_per_rank);
+  state.counters["ranks"] = ranks;
+}
+
+}  // namespace
+
+BENCHMARK(BM_ChannelSingleWriter);
+BENCHMARK(BM_PlainOfstreamBaseline);
+BENCHMARK(BM_CombinedLogContended)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// E5 — registration-file handling cost (paper §3): parsing and
+// serializing `processors_map.in` stays trivial even for very large
+// ensembles (thousands of instance lines with arguments).  Pure
+// single-thread benchmarks; no job is launched.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "src/mph/registry.hpp"
+
+namespace {
+
+std::string make_scme_text(int comps) {
+  std::string text = "BEGIN\n";
+  for (int i = 0; i < comps; ++i) {
+    text += "component_" + std::to_string(i) + "\n";
+  }
+  text += "END\n";
+  return text;
+}
+
+std::string make_instance_text(int instances, int ranks_each) {
+  std::string text = "BEGIN\nMulti_Instance_Begin\n";
+  for (int i = 0; i < instances; ++i) {
+    const int lo = i * ranks_each;
+    const int hi = lo + ranks_each - 1;
+    text += "Run" + std::to_string(i) + " " + std::to_string(lo) + " " +
+            std::to_string(hi) + " in" + std::to_string(i) + ".nml out" +
+            std::to_string(i) + ".nc alpha=" + std::to_string(i) +
+            " debug=off\n";
+  }
+  text += "Multi_Instance_End\nstatistics\nEND\n";
+  return text;
+}
+
+void BM_ParseSCME(benchmark::State& state) {
+  const std::string text = make_scme_text(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const mph::Registry reg = mph::Registry::parse(text);
+    benchmark::DoNotOptimize(reg.total_components());
+  }
+  state.counters["components"] = static_cast<double>(state.range(0));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+
+void BM_ParseEnsembleWithArguments(benchmark::State& state) {
+  const std::string text =
+      make_instance_text(static_cast<int>(state.range(0)), 16);
+  for (auto _ : state) {
+    const mph::Registry reg = mph::Registry::parse(text);
+    benchmark::DoNotOptimize(reg.total_components());
+  }
+  state.counters["instances"] = static_cast<double>(state.range(0));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+
+void BM_RoundTripSerialize(benchmark::State& state) {
+  const mph::Registry reg = mph::Registry::parse(
+      make_instance_text(static_cast<int>(state.range(0)), 16));
+  for (auto _ : state) {
+    const std::string text = reg.to_text();
+    benchmark::DoNotOptimize(text.size());
+  }
+  state.counters["instances"] = static_cast<double>(state.range(0));
+}
+
+}  // namespace
+
+BENCHMARK(BM_ParseSCME)->Arg(4)->Arg(64)->Arg(512)->Arg(4096);
+BENCHMARK(BM_ParseEnsembleWithArguments)->Arg(4)->Arg(64)->Arg(512)->Arg(4096);
+BENCHMARK(BM_RoundTripSerialize)->Arg(64)->Arg(1024);
+
+BENCHMARK_MAIN();

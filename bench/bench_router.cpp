@@ -1,0 +1,127 @@
+// E7 — joint-communicator data redistribution (the paper's §5.1
+// motivation): moving a field between two components' decompositions over
+// the communicator from MPH_comm_join.  Throughput vs field size and rank
+// layout, plus schedule-construction cost.
+#include "bench/bench_util.hpp"
+#include "src/coupler/field.hpp"
+#include "src/coupler/router.hpp"
+
+using namespace mph;
+using namespace mph::bench;
+using mph::coupler::Decomp;
+using mph::coupler::Field;
+using mph::coupler::Router;
+using mph::coupler::Side;
+
+namespace {
+
+constexpr int kTransfersPerJob = 20;
+
+void BM_RouterTransfer(benchmark::State& state) {
+  const auto elements = static_cast<std::int64_t>(state.range(0));
+  const int n_src = static_cast<int>(state.range(1));
+  const int n_dst = static_cast<int>(state.range(2));
+  const std::string registry = "BEGIN\nsrc\ndst\nEND\n";
+  const Decomp src = Decomp::block(elements, n_src);
+  const Decomp dst = Decomp::cyclic(elements, n_dst, 8);
+
+  MaxSeconds transfer_time;
+  auto src_body = [&](const minimpi::Comm& world, const minimpi::ExecEnv&) {
+    Mph h = Mph::components_setup(world, RegistrySource::from_text(registry),
+                                  {"src"});
+    const minimpi::Comm joint = h.comm_join("src", "dst");
+    const Router router(joint, src, dst, Side::source);
+    Field field(src, h.local_proc_id());
+    field.fill([](std::int64_t g) { return static_cast<double>(g); });
+    const util::Timer timer;
+    for (int i = 0; i < kTransfersPerJob; ++i) {
+      router.transfer(field.data(), {}, 3);
+    }
+    transfer_time.update(timer.seconds() / kTransfersPerJob);
+  };
+  auto dst_body = [&](const minimpi::Comm& world, const minimpi::ExecEnv&) {
+    Mph h = Mph::components_setup(world, RegistrySource::from_text(registry),
+                                  {"dst"});
+    const minimpi::Comm joint = h.comm_join("src", "dst");
+    const Router router(joint, src, dst, Side::destination);
+    Field field(dst, h.local_proc_id());
+    const util::Timer timer;
+    for (int i = 0; i < kTransfersPerJob; ++i) {
+      router.transfer({}, field.data(), 3);
+    }
+    transfer_time.update(timer.seconds() / kTransfersPerJob);
+  };
+
+  for (auto _ : state) {
+    transfer_time.reset();
+    const auto report = minimpi::run_mpmd(
+        {{"src", n_src, src_body, {}}, {"dst", n_dst, dst_body, {}}},
+        bench_job_options());
+    require_ok(report, "router-transfer");
+    state.SetIterationTime(transfer_time.get());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          elements * static_cast<std::int64_t>(sizeof(double)));
+  state.counters["elements"] = static_cast<double>(elements);
+  state.counters["layout"] = n_src * 100 + n_dst;
+}
+
+void BM_RouterScheduleConstruction(benchmark::State& state) {
+  // Schedule construction is pure local arithmetic over decomposition
+  // metadata; the job exists only to provide the joint communicator.
+  const auto elements = static_cast<std::int64_t>(state.range(0));
+  const Decomp src = Decomp::block(elements, 4);
+  const Decomp dst = Decomp::cyclic(elements, 4, 8);
+  for (auto _ : state) {
+    MaxSeconds build_time;
+    const auto r = minimpi::run_mpmd(
+        {{"src", 4,
+          [&](const minimpi::Comm& world, const minimpi::ExecEnv&) {
+            Mph h = Mph::components_setup(
+                world, RegistrySource::from_text("BEGIN\nsrc\ndst\nEND\n"),
+                {"src"});
+            const minimpi::Comm joint = h.comm_join("src", "dst");
+            const util::Timer timer;
+            const Router router(joint, src, dst, Side::source);
+            build_time.update(timer.seconds());
+            benchmark::DoNotOptimize(router.message_count());
+          },
+          {}},
+         {"dst", 4,
+          [&](const minimpi::Comm& world, const minimpi::ExecEnv&) {
+            Mph h = Mph::components_setup(
+                world, RegistrySource::from_text("BEGIN\nsrc\ndst\nEND\n"),
+                {"dst"});
+            const minimpi::Comm joint = h.comm_join("src", "dst");
+            const Router router(joint, src, dst, Side::destination);
+            benchmark::DoNotOptimize(router.message_count());
+          },
+          {}}},
+        bench_job_options());
+    require_ok(r, "schedule-construction");
+    state.SetIterationTime(build_time.get());
+  }
+  state.counters["elements"] = static_cast<double>(elements);
+}
+
+}  // namespace
+
+BENCHMARK(BM_RouterTransfer)
+    ->Args({4096, 2, 2})
+    ->Args({65536, 2, 2})
+    ->Args({262144, 2, 2})
+    ->Args({65536, 4, 4})
+    ->Args({65536, 8, 8})
+    ->Args({65536, 8, 1})
+    ->UseManualTime()
+    ->Unit(benchmark::kMicrosecond)
+    ->Iterations(3);
+BENCHMARK(BM_RouterScheduleConstruction)
+    ->Arg(4096)
+    ->Arg(65536)
+    ->Arg(262144)
+    ->UseManualTime()
+    ->Unit(benchmark::kMicrosecond)
+    ->Iterations(3);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+#include "src/climate/fluxcoupler.hpp"
+
+namespace mph::climate {
+
+double area_mean(const Grid2D& grid, std::span<const double> full) {
+  double weighted = 0;
+  for (int j = 0; j < grid.nlat(); ++j) {
+    const double area = grid.cell_area(j);
+    for (int i = 0; i < grid.nlon(); ++i) {
+      weighted += full[static_cast<std::size_t>(grid.index(i, j))] * area;
+    }
+  }
+  return weighted / grid.total_area();
+}
+
+CouplingResult compute_coupling(const ClimateConfig& cfg,
+                                const coupler::Regrid2D& atm_to_ocn,
+                                const coupler::Regrid2D& ocn_to_atm,
+                                std::span<const double> t_atm,
+                                std::span<const double> sst,
+                                std::span<const double> icefrac) {
+  CouplingResult result;
+  std::vector<double> t_on_ocn(sst.size());
+  atm_to_ocn.apply(t_atm, t_on_ocn);
+  result.sst_on_atm.resize(t_atm.size());
+  ocn_to_atm.apply(sst, result.sst_on_atm);
+
+  // Net surface flux into the ocean: air-sea exchange suppressed where ice
+  // covers the cell (the coupler's "merge" step).
+  result.flux_ocn.resize(sst.size());
+  for (std::size_t k = 0; k < sst.size(); ++k) {
+    result.flux_ocn[k] =
+        cfg.air_sea_coupling * (t_on_ocn[k] - sst[k]) * (1.0 - icefrac[k]);
+  }
+  return result;
+}
+
+FluxCoupler::FluxCoupler(const ClimateConfig& cfg, mph::Mph& handle,
+                         Peers peers)
+    : cfg_(cfg), handle_(handle), peers_(std::move(peers)),
+      atm_grid_(cfg.atm_nlon, cfg.atm_nlat),
+      ocn_grid_(cfg.ocn_nlon, cfg.ocn_nlat),
+      atm_to_ocn_(cfg.atm_nlon, cfg.atm_nlat, cfg.ocn_nlon, cfg.ocn_nlat),
+      ocn_to_atm_(cfg.ocn_nlon, cfg.ocn_nlat, cfg.atm_nlon, cfg.atm_nlat) {}
+
+void FluxCoupler::couple_once() {
+  if (handle_.local_proc_id() != 0) return;  // hub lives on the coupler root
+
+  const auto atm_size = static_cast<std::size_t>(atm_grid_.size());
+  const auto ocn_size = static_cast<std::size_t>(ocn_grid_.size());
+
+  // --- Receive every model's export from its component root. -------------
+  std::vector<double> t_atm(atm_size);
+  handle_.recv(std::span<double>(t_atm), peers_.atmosphere, 0,
+               tags::t_atm_to_cpl);
+  std::vector<double> sst(ocn_size);
+  handle_.recv(std::span<double>(sst), peers_.ocean, 0, tags::sst_to_cpl);
+  std::vector<double> evap(atm_size);
+  handle_.recv(std::span<double>(evap), peers_.land, 0, tags::evap_to_cpl);
+  std::vector<double> icefrac(ocn_size);
+  handle_.recv(std::span<double>(icefrac), peers_.ice, 0, tags::ice_to_cpl);
+
+  // --- Regrid and merge (shared with the serial reference). ---------------
+  const CouplingResult merged =
+      compute_coupling(cfg_, atm_to_ocn_, ocn_to_atm_, t_atm, sst, icefrac);
+
+  // --- Send every model's import back to its root. --------------------------
+  handle_.send(std::span<const double>(merged.sst_on_atm), peers_.atmosphere,
+               0, tags::sst_to_atm);
+  handle_.send(std::span<const double>(merged.flux_ocn), peers_.ocean, 0,
+               tags::flux_to_ocn);
+  handle_.send(std::span<const double>(t_atm), peers_.land, 0,
+               tags::t_atm_to_land);
+  handle_.send(std::span<const double>(sst), peers_.ice, 0, tags::sst_to_ice);
+
+  // --- Diagnostics. ----------------------------------------------------------
+  diag_.mean_t_atm.push_back(area_mean(atm_grid_, t_atm));
+  diag_.mean_sst.push_back(area_mean(ocn_grid_, sst));
+  diag_.mean_evap.push_back(area_mean(atm_grid_, evap));
+  diag_.mean_icefrac.push_back(area_mean(ocn_grid_, icefrac));
+}
+
+}  // namespace mph::climate

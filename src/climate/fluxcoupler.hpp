@@ -1,0 +1,84 @@
+// fluxcoupler.hpp — the flux coupler component: receives each model's
+// boundary fields, regrids between the atmosphere and ocean grids,
+// computes air-sea fluxes, and returns imports (the hub-and-spoke CCSM
+// coupler architecture the paper's §1/§7 describe).
+//
+// Exchange is root-to-root over MPH's name-addressed interface (§5.2/§6).
+// Inside the coupler the full fields live on the component root; the
+// coupler is expected to run on few processes (1 in the examples).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/climate/models.hpp"
+#include "src/coupler/regrid.hpp"
+#include "src/mph/mph.hpp"
+
+namespace mph::climate {
+
+/// Per-interval diagnostics the coupler accumulates.
+struct CouplerDiagnostics {
+  std::vector<double> mean_t_atm;   ///< area-mean air temperature
+  std::vector<double> mean_sst;     ///< area-mean SST
+  std::vector<double> mean_evap;    ///< area-mean land evaporation
+  std::vector<double> mean_icefrac; ///< area-mean ice fraction
+};
+
+/// The imports the coupler computes from the models' exports (the "merge"
+/// step): pure arithmetic, shared by the parallel FluxCoupler and the
+/// serial reference implementation so the two agree bit-for-bit.
+struct CouplingResult {
+  std::vector<double> sst_on_atm;  ///< SST regridded to the atm grid
+  std::vector<double> flux_ocn;    ///< net surface flux, ocn grid
+};
+
+/// Compute the coupling imports: regrid T_atm to the ocean grid, regrid
+/// SST to the atmosphere grid, and merge the air-sea flux
+/// c·(T_on_ocn − SST)·(1 − icefrac).
+[[nodiscard]] CouplingResult compute_coupling(
+    const ClimateConfig& cfg, const coupler::Regrid2D& atm_to_ocn,
+    const coupler::Regrid2D& ocn_to_atm, std::span<const double> t_atm,
+    std::span<const double> sst, std::span<const double> icefrac);
+
+/// Area-weighted mean of a full (global) field on `grid`.
+[[nodiscard]] double area_mean(const Grid2D& grid,
+                               std::span<const double> full);
+
+/// Component names the coupler talks to — configurable (paper §3(a):
+/// names are never hardwired into the coupler).
+struct CouplerPeers {
+  std::string atmosphere = "atmosphere";
+  std::string ocean = "ocean";
+  std::string land = "land";
+  std::string ice = "ice";
+};
+
+class FluxCoupler {
+ public:
+  using Peers = CouplerPeers;
+
+  FluxCoupler(const ClimateConfig& cfg, mph::Mph& handle, Peers peers = {});
+
+  /// Execute one coupling interval: receive exports from every model root,
+  /// regrid, compute fluxes, send imports back.  Must be paired with the
+  /// models' exchange calls (see scenario.cpp).  Only the coupler's
+  /// component root communicates; other coupler ranks idle by design.
+  void couple_once();
+
+  [[nodiscard]] const CouplerDiagnostics& diagnostics() const noexcept {
+    return diag_;
+  }
+
+ private:
+  ClimateConfig cfg_;
+  mph::Mph& handle_;
+  Peers peers_;
+  Grid2D atm_grid_;
+  Grid2D ocn_grid_;
+  coupler::Regrid2D atm_to_ocn_;
+  coupler::Regrid2D ocn_to_atm_;
+  CouplerDiagnostics diag_;
+};
+
+}  // namespace mph::climate

@@ -1,0 +1,190 @@
+#include "src/climate/grid.hpp"
+
+#include <stdexcept>
+
+#include "src/minimpi/collectives.hpp"
+
+namespace mph::climate {
+
+Grid2D::Grid2D(int nlon, int nlat) : nlon_(nlon), nlat_(nlat) {
+  if (nlon <= 0 || nlat <= 0) {
+    throw std::invalid_argument("Grid2D: dimensions must be positive");
+  }
+  total_area_ = 0;
+  for (int j = 0; j < nlat; ++j) {
+    total_area_ += cell_area(j) * nlon;
+  }
+}
+
+double Grid2D::latitude(int j) const {
+  const double dphi = kPi / nlat_;
+  return -kPi / 2 + (j + 0.5) * dphi;
+}
+
+double Grid2D::longitude(int i) const {
+  const double dlam = 2 * kPi / nlon_;
+  return (i + 0.5) * dlam;
+}
+
+double Grid2D::cell_area(int j) const {
+  const double dphi = kPi / nlat_;
+  const double dlam = 2 * kPi / nlon_;
+  return dlam * dphi * std::cos(latitude(j));
+}
+
+RowBlockField2D::RowBlockField2D(const Grid2D& grid,
+                                 const minimpi::Comm& comm) {
+  nlon_ = grid.nlon();
+  nlat_ = grid.nlat();
+  if (comm.size() > nlat_) {
+    throw std::invalid_argument(
+        "RowBlockField2D: more processes (" + std::to_string(comm.size()) +
+        ") than latitude rows (" + std::to_string(nlat_) +
+        "); every rank needs at least one row");
+  }
+  const coupler::Decomp rows = coupler::Decomp::block(nlat_, comm.size());
+  const auto& my_segments = rows.segments(comm.rank());
+  if (my_segments.empty()) {
+    row_lo_ = 0;
+    rows_ = 0;
+  } else {
+    row_lo_ = static_cast<int>(my_segments.front().gstart);
+    rows_ = static_cast<int>(my_segments.front().length);
+  }
+  data_.assign(static_cast<std::size_t>((rows_ + 2) * nlon_), 0.0);
+}
+
+void RowBlockField2D::fill(const std::function<double(int, int)>& f) {
+  for (int r = 0; r < rows_; ++r) {
+    for (int i = 0; i < nlon_; ++i) {
+      at(r, i) = f(i, row_lo_ + r);
+    }
+  }
+}
+
+void RowBlockField2D::halo_exchange(const minimpi::Comm& comm,
+                                    minimpi::tag_t tag) {
+  const int me = comm.rank();
+  const int n = comm.size();
+  const bool has_south = me > 0 && rows_ > 0;
+  const bool has_north = me < n - 1 && rows_ > 0;
+
+  // Post receives first, then send owned boundary rows: deadlock-free for
+  // any neighbour pattern.
+  std::vector<minimpi::Request> recvs;
+  if (has_south) {
+    recvs.push_back(comm.irecv(
+        std::span<double>(data_.data(), static_cast<std::size_t>(nlon_)),
+        me - 1, tag));
+  }
+  if (has_north) {
+    recvs.push_back(comm.irecv(
+        std::span<double>(
+            data_.data() + static_cast<std::size_t>((rows_ + 1) * nlon_),
+            static_cast<std::size_t>(nlon_)),
+        me + 1, tag));
+  }
+  if (has_south) {
+    comm.send(std::span<const double>(
+                  data_.data() + static_cast<std::size_t>(nlon_),
+                  static_cast<std::size_t>(nlon_)),
+              me - 1, tag);
+  }
+  if (has_north) {
+    comm.send(std::span<const double>(
+                  data_.data() + static_cast<std::size_t>(rows_ * nlon_),
+                  static_cast<std::size_t>(nlon_)),
+              me + 1, tag);
+  }
+  for (minimpi::Request& r : recvs) r.wait();
+
+  // Physical latitude boundaries: zero-flux (copy the edge row).
+  if (me == 0 && rows_ > 0) {
+    for (int i = 0; i < nlon_; ++i) {
+      data_[static_cast<std::size_t>(i)] = at(0, i);
+    }
+  }
+  if (me == n - 1 && rows_ > 0) {
+    for (int i = 0; i < nlon_; ++i) {
+      data_[static_cast<std::size_t>((rows_ + 1) * nlon_ + i)] =
+          at(rows_ - 1, i);
+    }
+  }
+}
+
+double RowBlockField2D::laplacian(int r, int i) const noexcept {
+  const int west = i == 0 ? nlon_ - 1 : i - 1;
+  const int east = i == nlon_ - 1 ? 0 : i + 1;
+  return at(r, west) + at(r, east) + at(r - 1, i) + at(r + 1, i) -
+         4.0 * at(r, i);
+}
+
+std::vector<double> RowBlockField2D::owned_copy() const {
+  std::vector<double> mine(static_cast<std::size_t>(rows_ * nlon_));
+  for (int r = 0; r < rows_; ++r) {
+    for (int i = 0; i < nlon_; ++i) {
+      mine[static_cast<std::size_t>(r * nlon_ + i)] = at(r, i);
+    }
+  }
+  return mine;
+}
+
+std::vector<double> RowBlockField2D::gather(const minimpi::Comm& comm,
+                                            minimpi::rank_t root) const {
+  const std::vector<double> mine = owned_copy();
+  std::vector<double> full =
+      minimpi::gatherv(comm, std::span<const double>(mine), nullptr, root);
+  // Ranks are row-ordered (block decomposition), so concatenation is the
+  // global row-major field.
+  return full;
+}
+
+void RowBlockField2D::scatter(const minimpi::Comm& comm,
+                              std::span<const double> full,
+                              minimpi::rank_t root) {
+  const minimpi::tag_t tag = comm.next_collective_tag();
+  if (comm.rank() == root) {
+    const coupler::Decomp rows = coupler::Decomp::block(nlat_, comm.size());
+    for (int p = 0; p < comm.size(); ++p) {
+      const auto& segs = rows.segments(p);
+      if (segs.empty()) continue;
+      const auto lo = static_cast<std::size_t>(segs.front().gstart) *
+                      static_cast<std::size_t>(nlon_);
+      const auto count = static_cast<std::size_t>(segs.front().length) *
+                         static_cast<std::size_t>(nlon_);
+      if (p == root) {
+        for (int r = 0; r < rows_; ++r) {
+          for (int i = 0; i < nlon_; ++i) {
+            at(r, i) = full[lo + static_cast<std::size_t>(r * nlon_ + i)];
+          }
+        }
+      } else {
+        comm.send_raw(std::as_bytes(full.subspan(lo, count)), p, tag);
+      }
+    }
+  } else {
+    std::vector<double> mine(static_cast<std::size_t>(rows_ * nlon_));
+    comm.recv_raw(std::as_writable_bytes(std::span<double>(mine)), root, tag);
+    for (int r = 0; r < rows_; ++r) {
+      for (int i = 0; i < nlon_; ++i) {
+        at(r, i) = mine[static_cast<std::size_t>(r * nlon_ + i)];
+      }
+    }
+  }
+}
+
+double RowBlockField2D::global_mean(const Grid2D& grid,
+                                    const minimpi::Comm& comm) const {
+  double weighted = 0;
+  for (int r = 0; r < rows_; ++r) {
+    const double area = grid.cell_area(row_lo_ + r);
+    for (int i = 0; i < nlon_; ++i) {
+      weighted += at(r, i) * area;
+    }
+  }
+  const double total =
+      minimpi::allreduce_value(comm, weighted, minimpi::op::Sum{});
+  return total / grid.total_area();
+}
+
+}  // namespace mph::climate

@@ -1,0 +1,119 @@
+// grid.hpp — lat-lon grids and row-decomposed 2-D fields for the toy
+// climate components.
+//
+// A Grid2D is a uniform longitude x latitude cell-centered grid on the
+// sphere (areas ∝ cos φ).  A RowBlockField2D is a field on that grid
+// decomposed over a component's processes by contiguous latitude rows,
+// with one halo row on each side and an MPI-style halo exchange — the
+// communication pattern every finite-difference climate component uses.
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "src/coupler/decomp.hpp"
+#include "src/minimpi/comm.hpp"
+
+namespace mph::climate {
+
+inline constexpr double kPi = 3.14159265358979323846;
+
+/// Uniform cell-centered longitude x latitude grid.
+class Grid2D {
+ public:
+  Grid2D(int nlon, int nlat);
+
+  [[nodiscard]] int nlon() const noexcept { return nlon_; }
+  [[nodiscard]] int nlat() const noexcept { return nlat_; }
+  [[nodiscard]] std::int64_t size() const noexcept {
+    return static_cast<std::int64_t>(nlon_) * nlat_;
+  }
+
+  /// Latitude of row j's cell center, in radians (-π/2..π/2).
+  [[nodiscard]] double latitude(int j) const;
+  /// Longitude of column i's cell center, in radians (0..2π).
+  [[nodiscard]] double longitude(int i) const;
+  /// Cell area (unit sphere).
+  [[nodiscard]] double cell_area(int j) const;
+  /// Sum of all cell areas (≈ 4π).
+  [[nodiscard]] double total_area() const noexcept { return total_area_; }
+
+  /// Row-major flat index.
+  [[nodiscard]] std::int64_t index(int i, int j) const noexcept {
+    return static_cast<std::int64_t>(j) * nlon_ + i;
+  }
+
+ private:
+  int nlon_;
+  int nlat_;
+  double total_area_;
+};
+
+/// Field on a Grid2D, decomposed by latitude rows over a component
+/// communicator, stored with one halo row above and below.
+class RowBlockField2D {
+ public:
+  RowBlockField2D() = default;
+  RowBlockField2D(const Grid2D& grid, const minimpi::Comm& comm);
+
+  [[nodiscard]] int nlon() const noexcept { return nlon_; }
+  /// Rows owned by this rank.
+  [[nodiscard]] int local_rows() const noexcept { return rows_; }
+  /// First owned global row.
+  [[nodiscard]] int row_offset() const noexcept { return row_lo_; }
+
+  /// Owned cell (r = 0..local_rows-1 local row, i = column).
+  [[nodiscard]] double& at(int r, int i) noexcept {
+    return data_[static_cast<std::size_t>((r + 1) * nlon_ + i)];
+  }
+  [[nodiscard]] double at(int r, int i) const noexcept {
+    return data_[static_cast<std::size_t>((r + 1) * nlon_ + i)];
+  }
+  /// Halo cells: row -1 (south neighbour) and row local_rows (north).
+  [[nodiscard]] double halo(int r, int i) const noexcept {
+    return data_[static_cast<std::size_t>((r + 1) * nlon_ + i)];
+  }
+
+  /// Fill owned cells from f(column, global row).
+  void fill(const std::function<double(int, int)>& f);
+
+  /// Exchange halo rows with neighbouring ranks (collective over the
+  /// component communicator).  Boundary rows at the poles keep their
+  /// current halo values (callers impose the physical boundary condition).
+  void halo_exchange(const minimpi::Comm& comm, minimpi::tag_t tag);
+
+  /// 5-point Laplacian at an owned cell, with periodic longitude and
+  /// zero-flux latitude boundaries (halo rows must be current).
+  [[nodiscard]] double laplacian(int r, int i) const noexcept;
+
+  /// Copy of the owned cells (no halos), row-major — the local block of
+  /// the global field.
+  [[nodiscard]] std::vector<double> owned_copy() const;
+
+  /// Gather the full global field onto component rank `root` (collective);
+  /// non-root ranks receive an empty vector.
+  [[nodiscard]] std::vector<double> gather(const minimpi::Comm& comm,
+                                           minimpi::rank_t root = 0) const;
+
+  /// Scatter a full global field from component rank `root` into the owned
+  /// rows (collective).  `full` is read on root only.
+  void scatter(const minimpi::Comm& comm, std::span<const double> full,
+               minimpi::rank_t root = 0);
+
+  /// Area-weighted global mean (collective over the component comm).
+  [[nodiscard]] double global_mean(const Grid2D& grid,
+                                   const minimpi::Comm& comm) const;
+
+  [[nodiscard]] std::span<double> raw() noexcept { return data_; }
+
+ private:
+  int nlon_ = 0;
+  int nlat_ = 0;
+  int row_lo_ = 0;  ///< first owned global row
+  int rows_ = 0;    ///< owned row count
+  std::vector<double> data_;  ///< (rows + 2) x nlon, halos at both ends
+};
+
+}  // namespace mph::climate

@@ -1,0 +1,241 @@
+#include "src/climate/scenario.hpp"
+
+#include "src/minimpi/collectives.hpp"
+#include "src/mph/errors.hpp"
+#include "src/util/strings.hpp"
+
+namespace mph::climate {
+
+namespace {
+
+/// Root-mediated exchange helper: send my full export to the coupler root
+/// and receive my full import back (component root only; other ranks pass
+/// through with empty buffers).
+struct RootExchange {
+  mph::Mph& handle;
+  const std::string& coupler_name;
+
+  void send_export(std::span<const double> full, int tag) const {
+    if (handle.local_proc_id() == 0) {
+      handle.send(full, coupler_name, 0, tag);
+    }
+  }
+
+  std::vector<double> recv_import(std::size_t size, int tag) const {
+    std::vector<double> full;
+    if (handle.local_proc_id() == 0) {
+      full.resize(size);
+      handle.recv(std::span<double>(full), coupler_name, 0, tag);
+    }
+    return full;
+  }
+};
+
+ComponentResult run_atmosphere(mph::Mph& h, const ClimateConfig& cfg,
+                               const std::string& coupler_name) {
+  Atmosphere model(cfg, h.comp_comm());
+  const RootExchange xch{h, coupler_name};
+  ComponentResult result{"atmosphere", {}, {}};
+  for (int interval = 0; interval < cfg.intervals; ++interval) {
+    for (int s = 0; s < cfg.steps_per_interval; ++s) model.step();
+    // The coupler sees the time mean over the interval, not a sample.
+    xch.send_export(model.export_temperature_mean(), tags::t_atm_to_cpl);
+    const std::vector<double> sst = xch.recv_import(
+        static_cast<std::size_t>(model.grid().size()), tags::sst_to_atm);
+    model.import_sst(sst);
+    result.mean_series.push_back(model.global_mean());
+  }
+  return result;
+}
+
+ComponentResult run_ocean(mph::Mph& h, const ClimateConfig& cfg,
+                          const std::string& coupler_name) {
+  Ocean model(cfg, h.comp_comm());
+  const RootExchange xch{h, coupler_name};
+  ComponentResult result{"ocean", {}, {}};
+  for (int interval = 0; interval < cfg.intervals; ++interval) {
+    for (int s = 0; s < cfg.steps_per_interval; ++s) model.step();
+    xch.send_export(model.export_sst_mean(), tags::sst_to_cpl);
+    const std::vector<double> flux = xch.recv_import(
+        static_cast<std::size_t>(model.grid().size()), tags::flux_to_ocn);
+    model.import_flux(flux);
+    result.mean_series.push_back(model.global_mean());
+  }
+  return result;
+}
+
+ComponentResult run_land(mph::Mph& h, const ClimateConfig& cfg,
+                         const std::string& coupler_name) {
+  Land model(cfg, h.comp_comm());
+  const RootExchange xch{h, coupler_name};
+  const auto atm_size = static_cast<std::size_t>(
+      static_cast<std::int64_t>(cfg.atm_nlon) * cfg.atm_nlat);
+  ComponentResult result{"land", {}, {}};
+  for (int interval = 0; interval < cfg.intervals; ++interval) {
+    for (int s = 0; s < cfg.steps_per_interval; ++s) model.step();
+    xch.send_export(model.export_evaporation(), tags::evap_to_cpl);
+    const std::vector<double> t_atm =
+        xch.recv_import(atm_size, tags::t_atm_to_land);
+    model.import_temperature(t_atm);
+    result.mean_series.push_back(model.global_mean());
+  }
+  return result;
+}
+
+ComponentResult run_ice(mph::Mph& h, const ClimateConfig& cfg,
+                        const std::string& coupler_name) {
+  SeaIce model(cfg, h.comp_comm());
+  const RootExchange xch{h, coupler_name};
+  const auto ocn_size = static_cast<std::size_t>(
+      static_cast<std::int64_t>(cfg.ocn_nlon) * cfg.ocn_nlat);
+  ComponentResult result{"ice", {}, {}};
+  for (int interval = 0; interval < cfg.intervals; ++interval) {
+    for (int s = 0; s < cfg.steps_per_interval; ++s) model.step();
+    xch.send_export(model.export_fraction(), tags::ice_to_cpl);
+    const std::vector<double> sst = xch.recv_import(ocn_size, tags::sst_to_ice);
+    model.import_sst(sst);
+    result.mean_series.push_back(model.global_mean_thickness());
+  }
+  return result;
+}
+
+ComponentResult run_coupler(mph::Mph& h, const ClimateConfig& cfg,
+                            const FluxCoupler::Peers& peers) {
+  FluxCoupler coupler(cfg, h, peers);
+  for (int interval = 0; interval < cfg.intervals; ++interval) {
+    coupler.couple_once();
+  }
+  ComponentResult result{"coupler", {}, coupler.diagnostics()};
+  result.mean_series = result.coupler.mean_sst;
+  return result;
+}
+
+}  // namespace
+
+ComponentResult run_coupled_component(mph::Mph& handle,
+                                      const ClimateConfig& cfg,
+                                      const FluxCoupler::Peers& peers,
+                                      const std::string& coupler_name) {
+  const std::string& role = handle.comp_name();
+  if (role == peers.atmosphere) return run_atmosphere(handle, cfg, coupler_name);
+  if (role == peers.ocean) return run_ocean(handle, cfg, coupler_name);
+  if (role == peers.land) return run_land(handle, cfg, coupler_name);
+  if (role == peers.ice) return run_ice(handle, cfg, coupler_name);
+  if (role == coupler_name) return run_coupler(handle, cfg, peers);
+  throw MphError("run_coupled_component: component '" + role +
+                 "' has no role in the coupled system");
+}
+
+CouplerDiagnostics run_serial_reference(const minimpi::Comm& world,
+                                        const ClimateConfig& cfg) {
+  if (world.size() != 1) {
+    throw MphError("run_serial_reference requires a single-rank communicator");
+  }
+  Atmosphere atm(cfg, world);
+  Ocean ocn(cfg, world);
+  Land lnd(cfg, world);
+  SeaIce ice(cfg, world);
+  const Grid2D atm_grid(cfg.atm_nlon, cfg.atm_nlat);
+  const Grid2D ocn_grid(cfg.ocn_nlon, cfg.ocn_nlat);
+  const coupler::Regrid2D atm_to_ocn(cfg.atm_nlon, cfg.atm_nlat, cfg.ocn_nlon,
+                                     cfg.ocn_nlat);
+  const coupler::Regrid2D ocn_to_atm(cfg.ocn_nlon, cfg.ocn_nlat, cfg.atm_nlon,
+                                     cfg.atm_nlat);
+
+  CouplerDiagnostics diag;
+  for (int interval = 0; interval < cfg.intervals; ++interval) {
+    for (int s = 0; s < cfg.steps_per_interval; ++s) {
+      atm.step();
+      ocn.step();
+      lnd.step();
+      ice.step();
+    }
+    // The exchange, as direct data movement (1-rank gathers = full fields).
+    const std::vector<double> t_atm = atm.export_temperature_mean();
+    const std::vector<double> sst = ocn.export_sst_mean();
+    const std::vector<double> evap = lnd.export_evaporation();
+    const std::vector<double> icefrac = ice.export_fraction();
+
+    const CouplingResult merged =
+        compute_coupling(cfg, atm_to_ocn, ocn_to_atm, t_atm, sst, icefrac);
+
+    atm.import_sst(merged.sst_on_atm);
+    ocn.import_flux(merged.flux_ocn);
+    lnd.import_temperature(t_atm);
+    ice.import_sst(sst);
+
+    diag.mean_t_atm.push_back(area_mean(atm_grid, t_atm));
+    diag.mean_sst.push_back(area_mean(ocn_grid, sst));
+    diag.mean_evap.push_back(area_mean(atm_grid, evap));
+    diag.mean_icefrac.push_back(area_mean(ocn_grid, icefrac));
+  }
+  return diag;
+}
+
+EnsembleResult run_ensemble_instance(mph::Mph& handle,
+                                     const ClimateConfig& cfg,
+                                     const std::string& stats_name) {
+  ClimateConfig my_cfg = cfg;
+  double diff_scale = 1.0;
+  handle.get_argument("diff", diff_scale);
+
+  Ocean model(my_cfg, handle.comp_comm());
+  model.scale_diffusivity(diff_scale);
+
+  EnsembleResult result;
+  for (int interval = 0; interval < cfg.intervals; ++interval) {
+    for (int s = 0; s < cfg.steps_per_interval; ++s) model.step();
+    const double mean = model.global_mean();
+    result.my_means.push_back(mean);
+
+    // Root reports the instantaneous mean and receives the control nudge;
+    // the nudge is broadcast inside the instance and applied everywhere.
+    double nudge = 0;
+    if (handle.local_proc_id() == 0) {
+      handle.send(mean, stats_name, 0, tags::stat_up);
+      handle.recv(nudge, stats_name, 0, tags::stat_down);
+    }
+    minimpi::bcast_value(handle.comp_comm(), nudge, 0);
+    model.nudge(nudge);
+  }
+  return result;
+}
+
+EnsembleResult run_ensemble_statistics(mph::Mph& handle,
+                                       const ClimateConfig& cfg,
+                                       const std::string& prefix,
+                                       double gain) {
+  // Discover the instances from the directory: every component whose name
+  // starts with the prefix, in component-id order.
+  std::vector<std::string> instances;
+  for (const ComponentRecord& c : handle.directory().components()) {
+    if (util::starts_with(c.name, prefix) && c.name != handle.comp_name()) {
+      instances.push_back(c.name);
+    }
+  }
+  if (instances.empty()) {
+    throw MphError("run_ensemble_statistics: no components with prefix '" +
+                   prefix + "'");
+  }
+
+  EnsembleStatistics stats(static_cast<int>(instances.size()));
+  EnsembleResult result;
+  for (int interval = 0; interval < cfg.intervals; ++interval) {
+    if (handle.local_proc_id() == 0) {
+      std::vector<double> samples(instances.size());
+      for (std::size_t k = 0; k < instances.size(); ++k) {
+        handle.recv(samples[k], instances[k], 0, tags::stat_up);
+      }
+      const EnsembleSnapshot snap = stats.aggregate(samples);
+      const std::vector<double> nudges =
+          stats.control_nudges(samples, snap.mean, gain);
+      for (std::size_t k = 0; k < instances.size(); ++k) {
+        handle.send(nudges[k], instances[k], 0, tags::stat_down);
+      }
+      result.snapshots.push_back(snap);
+    }
+  }
+  return result;
+}
+
+}  // namespace mph::climate

@@ -1,0 +1,73 @@
+// scenario.hpp — reusable drivers that wire the toy models into complete
+// coupled applications through MPH.  The same component functions run
+// identically under SCME, MCME, or MCSE wiring (paper §2: the integration
+// mode is a deployment decision, not a model-code decision) — integration
+// tests, examples, and the E6/E9 benchmarks all call these.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/climate/fluxcoupler.hpp"
+#include "src/climate/models.hpp"
+#include "src/climate/statistics.hpp"
+#include "src/mph/mph.hpp"
+
+namespace mph::climate {
+
+/// What one component measured during a coupled run.
+struct ComponentResult {
+  std::string component;
+  /// Area-weighted global mean of the component's primary field after each
+  /// coupling interval (empty on non-root coupler ranks).
+  std::vector<double> mean_series;
+  /// Coupler only: the cross-component diagnostics.
+  CouplerDiagnostics coupler;
+};
+
+/// Run one component of the coupled climate system to completion.
+/// Dispatches on `handle.comp_name()`; the five roles are the peer names in
+/// `peers` plus `coupler_name`.  Collective over the component (and, at
+/// exchange points, over the coupled application).
+ComponentResult run_coupled_component(
+    mph::Mph& handle, const ClimateConfig& cfg,
+    const FluxCoupler::Peers& peers = FluxCoupler::Peers(),
+    const std::string& coupler_name = "coupler");
+
+/// Result of an ensemble participant.
+struct EnsembleResult {
+  /// Statistics component: one snapshot per interval.
+  std::vector<EnsembleSnapshot> snapshots;
+  /// Instances: my own mean SST per interval.
+  std::vector<double> my_means;
+};
+
+/// Run one ocean ensemble instance (a component created by
+/// MPH_multi_instance).  Reads the instance arguments:
+///   diff=<factor>  — ocean diffusivity scaling (default 1)
+/// Sends its instantaneous global-mean SST to `stats_name` each interval
+/// and applies the control nudge that comes back.
+EnsembleResult run_ensemble_instance(mph::Mph& handle,
+                                     const ClimateConfig& cfg,
+                                     const std::string& stats_name);
+
+/// Serial reference: the entire coupled system composed by direct function
+/// calls in ONE process (no MPH, no message passing) with the identical
+/// physics and exchange schedule.  Because every piece of the parallel
+/// system is deterministic and decomposition-independent, the coupler
+/// diagnostics of any MPH wiring must match this reference bit-for-bit —
+/// the strongest end-to-end correctness check the test suite has.
+/// `world` must be a single-rank communicator (the models still want one).
+[[nodiscard]] CouplerDiagnostics run_serial_reference(
+    const minimpi::Comm& world, const ClimateConfig& cfg);
+
+/// Run the statistics component: aggregates the instances whose names start
+/// with `prefix`, computes mean/variance/min/max/median per interval, and
+/// steers each instance toward the ensemble mean with gain `gain`
+/// (0 disables dynamic control).
+EnsembleResult run_ensemble_statistics(mph::Mph& handle,
+                                       const ClimateConfig& cfg,
+                                       const std::string& prefix,
+                                       double gain);
+
+}  // namespace mph::climate

@@ -1,0 +1,56 @@
+// statistics.hpp — ensemble statistics, the paper's §2.5 motivation for
+// multi-instance executables: "Nonlinear order statistics can be computed
+// by aggregating instantaneous fields from K runs periodically" and "the
+// future simulation direction can be dynamically adjusted at real time".
+//
+// EnsembleStatistics aggregates one scalar sample per instance per
+// interval: running mean/variance (Welford), min/max, and the *median* —
+// the nonlinear order statistic that genuinely requires all K concurrent
+// values (a mean could be post-processed; a median of instantaneous states
+// cannot be recovered from per-run time averages).  It can also steer the
+// ensemble by sending a nudge back toward the ensemble mean (dynamic
+// control).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "src/util/timer.hpp"
+
+namespace mph::climate {
+
+/// One interval's cross-instance statistics.
+struct EnsembleSnapshot {
+  double mean = 0;
+  double variance = 0;
+  double min = 0;
+  double max = 0;
+  double median = 0;
+};
+
+class EnsembleStatistics {
+ public:
+  explicit EnsembleStatistics(int instances) : instances_(instances) {}
+
+  /// Aggregate the K instantaneous samples of one interval.
+  EnsembleSnapshot aggregate(std::vector<double> samples);
+
+  /// Per-instance nudge toward the ensemble mean with gain `g`:
+  /// instance i receives g * (mean - sample_i).
+  [[nodiscard]] std::vector<double> control_nudges(
+      const std::vector<double>& samples, double mean, double gain) const;
+
+  [[nodiscard]] const std::vector<EnsembleSnapshot>& history() const noexcept {
+    return history_;
+  }
+  [[nodiscard]] int instances() const noexcept { return instances_; }
+
+  /// Exact median of a sample vector (odd: middle; even: mean of middles).
+  static double median_of(std::vector<double> values);
+
+ private:
+  int instances_;
+  std::vector<EnsembleSnapshot> history_;
+};
+
+}  // namespace mph::climate

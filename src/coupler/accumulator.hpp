@@ -1,0 +1,65 @@
+// accumulator.hpp — time accumulation of coupling fields.
+//
+// Coupled models step faster than they couple: the atmosphere takes many
+// steps between flux exchanges, and the coupler must see the *time mean*
+// of the flux over the interval, not an instantaneous sample (the CCSM
+// flux-coupler averaging rule).  A FieldAccumulator sums per-step
+// contributions and produces the interval mean on demand.
+#pragma once
+
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace mph::coupler {
+
+class FieldAccumulator {
+ public:
+  FieldAccumulator() = default;
+
+  /// Accumulator for local fields of `size` elements.
+  explicit FieldAccumulator(std::size_t size) : sum_(size, 0.0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return sum_.size(); }
+  [[nodiscard]] int samples() const noexcept { return samples_; }
+
+  /// Add one step's field.
+  void add(std::span<const double> field) {
+    if (field.size() != sum_.size()) {
+      throw std::invalid_argument(
+          "FieldAccumulator::add: field of " + std::to_string(field.size()) +
+          " elements into accumulator of " + std::to_string(sum_.size()));
+    }
+    for (std::size_t i = 0; i < sum_.size(); ++i) sum_[i] += field[i];
+    ++samples_;
+  }
+
+  /// Interval mean (throws when no samples were added).
+  [[nodiscard]] std::vector<double> mean() const {
+    if (samples_ == 0) {
+      throw std::logic_error("FieldAccumulator::mean: no samples");
+    }
+    std::vector<double> result(sum_.size());
+    const double inv = 1.0 / samples_;
+    for (std::size_t i = 0; i < sum_.size(); ++i) result[i] = sum_[i] * inv;
+    return result;
+  }
+
+  /// Mean, then reset for the next interval (the per-interval usage).
+  [[nodiscard]] std::vector<double> drain() {
+    std::vector<double> result = mean();
+    reset();
+    return result;
+  }
+
+  void reset() noexcept {
+    std::fill(sum_.begin(), sum_.end(), 0.0);
+    samples_ = 0;
+  }
+
+ private:
+  std::vector<double> sum_;
+  int samples_ = 0;
+};
+
+}  // namespace mph::coupler

@@ -1,0 +1,78 @@
+// decomp.hpp — descriptions of how a global index space is distributed
+// over a component's processes.
+//
+// This is the substrate under the paper's §5.1 motivation ("collective
+// operations such as data redistribution could easily be performed" on a
+// joint communicator): a flux coupler and a model usually decompose the
+// same global grid differently, and the Router (router.hpp) moves data
+// between the two layouts.  A Decomp is pure metadata — deterministic from
+// (global size, rank count, strategy) — so every process can compute any
+// component's layout locally, without communication (the MCT GlobalSegMap
+// idea).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mph::coupler {
+
+/// A contiguous run of global indices owned by one rank.
+struct Segment {
+  std::int64_t gstart = 0;  ///< first global index
+  std::int64_t length = 0;  ///< number of indices
+
+  [[nodiscard]] std::int64_t gend() const noexcept {
+    return gstart + length;  // exclusive
+  }
+  friend bool operator==(const Segment&, const Segment&) = default;
+};
+
+/// Distribution of [0, global_size) over nranks processes, as per-rank
+/// ordered segment lists.  Local storage order is segment order.
+class Decomp {
+ public:
+  Decomp() = default;
+
+  /// Contiguous blocks; remainder indices go one-each to the lowest ranks
+  /// (the classic MPI block distribution).
+  static Decomp block(std::int64_t global_size, int nranks);
+
+  /// Block-cyclic with the given chunk size (chunk=1 is pure cyclic).
+  static Decomp cyclic(std::int64_t global_size, int nranks,
+                       std::int64_t chunk = 1);
+
+  /// Explicit segment lists (validated: disjoint, sorted per rank, covering
+  /// [0, global_size) exactly).
+  static Decomp from_segments(std::int64_t global_size,
+                              std::vector<std::vector<Segment>> per_rank);
+
+  [[nodiscard]] std::int64_t global_size() const noexcept {
+    return global_size_;
+  }
+  [[nodiscard]] int nranks() const noexcept {
+    return static_cast<int>(per_rank_.size());
+  }
+
+  /// Segments owned by `rank`, in local storage order.
+  [[nodiscard]] const std::vector<Segment>& segments(int rank) const;
+
+  /// Number of indices owned by `rank`.
+  [[nodiscard]] std::int64_t local_size(int rank) const;
+
+  /// Owning rank of a global index.
+  [[nodiscard]] int owner_of(std::int64_t gidx) const;
+
+  /// Global index of rank's local position.
+  [[nodiscard]] std::int64_t to_global(int rank, std::int64_t lidx) const;
+
+  /// Local position of a global index on `rank`, or -1 if not owned.
+  [[nodiscard]] std::int64_t to_local(int rank, std::int64_t gidx) const;
+
+  friend bool operator==(const Decomp&, const Decomp&) = default;
+
+ private:
+  std::int64_t global_size_ = 0;
+  std::vector<std::vector<Segment>> per_rank_;
+};
+
+}  // namespace mph::coupler

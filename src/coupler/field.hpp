@@ -1,0 +1,73 @@
+// field.hpp — a distributed field: the local portion of a global array
+// under a Decomp, owned by one rank of a component.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "src/coupler/decomp.hpp"
+#include "src/minimpi/collectives.hpp"
+#include "src/minimpi/comm.hpp"
+
+namespace mph::coupler {
+
+class Field {
+ public:
+  Field() = default;
+
+  /// Local portion of `decomp` on `my_rank` (rank within the owning
+  /// component), zero-initialized.
+  Field(Decomp decomp, int my_rank)
+      : decomp_(std::move(decomp)),
+        my_rank_(my_rank),
+        data_(static_cast<std::size_t>(decomp_.local_size(my_rank)), 0.0) {}
+
+  [[nodiscard]] const Decomp& decomp() const noexcept { return decomp_; }
+  [[nodiscard]] int my_rank() const noexcept { return my_rank_; }
+  [[nodiscard]] std::size_t local_size() const noexcept { return data_.size(); }
+
+  [[nodiscard]] std::span<double> data() noexcept { return data_; }
+  [[nodiscard]] std::span<const double> data() const noexcept { return data_; }
+
+  [[nodiscard]] double& at_local(std::int64_t lidx) {
+    return data_[static_cast<std::size_t>(lidx)];
+  }
+  [[nodiscard]] double at_local(std::int64_t lidx) const {
+    return data_[static_cast<std::size_t>(lidx)];
+  }
+
+  /// Fill from a function of the global index (deterministic everywhere).
+  void fill(const std::function<double(std::int64_t)>& f) {
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+      data_[i] = f(decomp_.to_global(my_rank_, static_cast<std::int64_t>(i)));
+    }
+  }
+
+  /// Global sum over the component (collective over `comm`, which must be
+  /// the owning component's communicator).
+  [[nodiscard]] double global_sum(const minimpi::Comm& comm) const {
+    double local = 0;
+    for (double v : data_) local += v;
+    return minimpi::allreduce_value(comm, local, minimpi::op::Sum{});
+  }
+
+  /// Global min/max over the component (collective).
+  [[nodiscard]] double global_min(const minimpi::Comm& comm) const {
+    double local = data_.empty() ? 1e300 : data_.front();
+    for (double v : data_) local = std::min(local, v);
+    return minimpi::allreduce_value(comm, local, minimpi::op::Min{});
+  }
+  [[nodiscard]] double global_max(const minimpi::Comm& comm) const {
+    double local = data_.empty() ? -1e300 : data_.front();
+    for (double v : data_) local = std::max(local, v);
+    return minimpi::allreduce_value(comm, local, minimpi::op::Max{});
+  }
+
+ private:
+  Decomp decomp_;
+  int my_rank_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace mph::coupler

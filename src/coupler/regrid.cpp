@@ -1,0 +1,85 @@
+#include "src/coupler/regrid.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mph::coupler {
+
+Regrid1D::Regrid1D(std::int64_t n_src, std::int64_t n_dst)
+    : n_src_(n_src), n_dst_(n_dst) {
+  if (n_src <= 0 || n_dst <= 0) {
+    throw std::invalid_argument("Regrid1D: grid sizes must be positive");
+  }
+  // Both grids cover [0, 1); src cell j spans [j/n_src, (j+1)/n_src).
+  // Weight of src j in dst i = overlap / dst cell width
+  //                          = overlap * n_dst.
+  const double src_width = 1.0 / static_cast<double>(n_src);
+  const double dst_width = 1.0 / static_cast<double>(n_dst);
+  for (std::int64_t i = 0; i < n_dst; ++i) {
+    const double d_lo = static_cast<double>(i) * dst_width;
+    const double d_hi = d_lo + dst_width;
+    // Source cells possibly overlapping dst cell i.
+    const auto j_first = static_cast<std::int64_t>(d_lo / src_width);
+    for (std::int64_t j = j_first; j < n_src; ++j) {
+      const double s_lo = static_cast<double>(j) * src_width;
+      const double s_hi = s_lo + src_width;
+      if (s_lo >= d_hi) break;
+      const double overlap = std::min(d_hi, s_hi) - std::max(d_lo, s_lo);
+      if (overlap > 0) {
+        weights_.push_back(Weight{i, j, overlap / dst_width});
+      }
+    }
+  }
+}
+
+void Regrid1D::apply(std::span<const double> src,
+                     std::span<double> dst) const {
+  if (static_cast<std::int64_t>(src.size()) != n_src_ ||
+      static_cast<std::int64_t>(dst.size()) != n_dst_) {
+    throw std::invalid_argument("Regrid1D::apply: size mismatch");
+  }
+  std::fill(dst.begin(), dst.end(), 0.0);
+  for (const Weight& w : weights_) {
+    dst[static_cast<std::size_t>(w.dst)] +=
+        w.value * src[static_cast<std::size_t>(w.src)];
+  }
+}
+
+Regrid2D::Regrid2D(std::int64_t nx_src, std::int64_t ny_src,
+                   std::int64_t nx_dst, std::int64_t ny_dst)
+    : nx_src_(nx_src), ny_src_(ny_src), nx_dst_(nx_dst), ny_dst_(ny_dst),
+      x_map_(nx_src, nx_dst), y_map_(ny_src, ny_dst) {}
+
+void Regrid2D::apply(std::span<const double> src,
+                     std::span<double> dst) const {
+  if (static_cast<std::int64_t>(src.size()) != src_size() ||
+      static_cast<std::int64_t>(dst.size()) != dst_size()) {
+    throw std::invalid_argument("Regrid2D::apply: size mismatch");
+  }
+  // Separable: remap rows in x, then columns in y.
+  std::vector<double> mid(static_cast<std::size_t>(nx_dst_ * ny_src_), 0.0);
+  std::vector<double> row_src(static_cast<std::size_t>(nx_src_));
+  std::vector<double> row_dst(static_cast<std::size_t>(nx_dst_));
+  for (std::int64_t y = 0; y < ny_src_; ++y) {
+    std::copy_n(src.begin() + static_cast<std::ptrdiff_t>(y * nx_src_),
+                nx_src_, row_src.begin());
+    x_map_.apply(row_src, row_dst);
+    std::copy_n(row_dst.begin(), nx_dst_,
+                mid.begin() + static_cast<std::ptrdiff_t>(y * nx_dst_));
+  }
+  std::vector<double> col_src(static_cast<std::size_t>(ny_src_));
+  std::vector<double> col_dst(static_cast<std::size_t>(ny_dst_));
+  for (std::int64_t x = 0; x < nx_dst_; ++x) {
+    for (std::int64_t y = 0; y < ny_src_; ++y) {
+      col_src[static_cast<std::size_t>(y)] =
+          mid[static_cast<std::size_t>(y * nx_dst_ + x)];
+    }
+    y_map_.apply(col_src, col_dst);
+    for (std::int64_t y = 0; y < ny_dst_; ++y) {
+      dst[static_cast<std::size_t>(y * nx_dst_ + x)] =
+          col_dst[static_cast<std::size_t>(y)];
+    }
+  }
+}
+
+}  // namespace mph::coupler

@@ -1,0 +1,66 @@
+// regrid.hpp — conservative remapping between grids of different
+// resolution (the flux coupler's second job besides redistribution).
+//
+// First-order conservative scheme on uniform cell-centered grids: each
+// destination cell's value is the overlap-length-weighted average of the
+// source cells it intersects.  The scheme conserves the integral exactly:
+//   sum_dst(v_dst * w_dst) == sum_src(v_src * w_src)
+// where w are cell widths (1-D) or areas (2-D tensor product).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mph::coupler {
+
+/// Sparse weight triplet: dst accumulates weight * src.
+struct Weight {
+  std::int64_t dst = 0;
+  std::int64_t src = 0;
+  double value = 0.0;
+};
+
+/// 1-D conservative remap between uniform grids covering the same interval.
+class Regrid1D {
+ public:
+  Regrid1D(std::int64_t n_src, std::int64_t n_dst);
+
+  [[nodiscard]] std::int64_t n_src() const noexcept { return n_src_; }
+  [[nodiscard]] std::int64_t n_dst() const noexcept { return n_dst_; }
+  [[nodiscard]] const std::vector<Weight>& weights() const noexcept {
+    return weights_;
+  }
+
+  /// Apply: dst[i] = sum_j w_ij src[j].  Sizes must match the grids.
+  void apply(std::span<const double> src, std::span<double> dst) const;
+
+ private:
+  std::int64_t n_src_;
+  std::int64_t n_dst_;
+  std::vector<Weight> weights_;
+};
+
+/// 2-D conservative remap as the tensor product of two 1-D maps
+/// (longitude x latitude).  Fields are stored row-major: index = y*nx + x.
+class Regrid2D {
+ public:
+  Regrid2D(std::int64_t nx_src, std::int64_t ny_src, std::int64_t nx_dst,
+           std::int64_t ny_dst);
+
+  void apply(std::span<const double> src, std::span<double> dst) const;
+
+  [[nodiscard]] std::int64_t src_size() const noexcept {
+    return nx_src_ * ny_src_;
+  }
+  [[nodiscard]] std::int64_t dst_size() const noexcept {
+    return nx_dst_ * ny_dst_;
+  }
+
+ private:
+  std::int64_t nx_src_, ny_src_, nx_dst_, ny_dst_;
+  Regrid1D x_map_;
+  Regrid1D y_map_;
+};
+
+}  // namespace mph::coupler

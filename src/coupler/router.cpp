@@ -1,0 +1,147 @@
+#include "src/coupler/router.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace mph::coupler {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::invalid_argument("Router: " + what);
+}
+
+/// Ascending global indices common to two sorted segment lists
+/// (two-pointer sweep over segments, no per-index scan).
+std::vector<std::pair<std::int64_t, std::int64_t>> intersect(
+    const std::vector<Segment>& a, const std::vector<Segment>& b) {
+  std::vector<std::pair<std::int64_t, std::int64_t>> overlaps;  // [start,end)
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const std::int64_t lo = std::max(a[i].gstart, b[j].gstart);
+    const std::int64_t hi = std::min(a[i].gend(), b[j].gend());
+    if (lo < hi) overlaps.emplace_back(lo, hi);
+    if (a[i].gend() < b[j].gend()) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return overlaps;
+}
+
+}  // namespace
+
+Router::Router(minimpi::Comm joint, Decomp src, Decomp dst, Side side)
+    : joint_(std::move(joint)), src_(std::move(src)), dst_(std::move(dst)),
+      side_(side) {
+  if (src_.global_size() != dst_.global_size()) {
+    fail("source and destination decompose different global sizes (" +
+         std::to_string(src_.global_size()) + " vs " +
+         std::to_string(dst_.global_size()) + ")");
+  }
+  const int n_src = src_.nranks();
+  const int n_dst = dst_.nranks();
+  if (joint_.size() != n_src + n_dst) {
+    fail("joint communicator has " + std::to_string(joint_.size()) +
+         " ranks; expected |src| + |dst| = " + std::to_string(n_src + n_dst));
+  }
+  const int joint_rank = joint_.rank();
+  if (side_ == Side::source) {
+    if (joint_rank >= n_src) {
+      fail("process claims source side but its joint rank " +
+           std::to_string(joint_rank) + " lies in the destination range");
+    }
+    side_rank_ = joint_rank;
+  } else {
+    if (joint_rank < n_src) {
+      fail("process claims destination side but its joint rank " +
+           std::to_string(joint_rank) + " lies in the source range");
+    }
+    side_rank_ = joint_rank - n_src;
+  }
+
+  // Build the peer schedule: intersect my segments with every opposite
+  // rank's segments; record my local positions in ascending global order
+  // (both sides enumerate identically, so payload order agrees).
+  const Decomp& mine = side_ == Side::source ? src_ : dst_;
+  const Decomp& theirs = side_ == Side::source ? dst_ : src_;
+  const int peer_base = side_ == Side::source ? n_src : 0;
+  for (int p = 0; p < theirs.nranks(); ++p) {
+    const auto overlaps =
+        intersect(mine.segments(side_rank_), theirs.segments(p));
+    if (overlaps.empty()) continue;
+    PeerBlock block;
+    block.peer_joint_rank = peer_base + p;
+    for (const auto& [lo, hi] : overlaps) {
+      for (std::int64_t g = lo; g < hi; ++g) {
+        block.local_positions.push_back(mine.to_local(side_rank_, g));
+      }
+    }
+    peers_.push_back(std::move(block));
+  }
+}
+
+std::int64_t Router::element_count() const noexcept {
+  std::int64_t total = 0;
+  for (const PeerBlock& p : peers_) {
+    total += static_cast<std::int64_t>(p.local_positions.size());
+  }
+  return total;
+}
+
+void Router::transfer(std::span<const double> src_data,
+                      std::span<double> dst_data, minimpi::tag_t tag) const {
+  if (side_ == Side::source) {
+    for (const PeerBlock& peer : peers_) {
+      std::vector<double> payload;
+      payload.reserve(peer.local_positions.size());
+      for (const std::int64_t pos : peer.local_positions) {
+        payload.push_back(src_data[static_cast<std::size_t>(pos)]);
+      }
+      joint_.send(std::span<const double>(payload), peer.peer_joint_rank, tag);
+    }
+  } else {
+    for (const PeerBlock& peer : peers_) {
+      std::vector<double> payload(peer.local_positions.size());
+      joint_.recv(std::span<double>(payload), peer.peer_joint_rank, tag);
+      for (std::size_t i = 0; i < payload.size(); ++i) {
+        dst_data[static_cast<std::size_t>(peer.local_positions[i])] =
+            payload[i];
+      }
+    }
+  }
+}
+
+void Router::transfer_many(std::span<const std::span<const double>> srcs,
+                           std::span<const std::span<double>> dsts,
+                           minimpi::tag_t tag) const {
+  const std::size_t nfields =
+      side_ == Side::source ? srcs.size() : dsts.size();
+  if (nfields == 0) return;
+  if (side_ == Side::source) {
+    for (const PeerBlock& peer : peers_) {
+      std::vector<double> payload;
+      payload.reserve(peer.local_positions.size() * nfields);
+      for (const auto& field : srcs) {
+        for (const std::int64_t pos : peer.local_positions) {
+          payload.push_back(field[static_cast<std::size_t>(pos)]);
+        }
+      }
+      joint_.send(std::span<const double>(payload), peer.peer_joint_rank, tag);
+    }
+  } else {
+    for (const PeerBlock& peer : peers_) {
+      std::vector<double> payload(peer.local_positions.size() * nfields);
+      joint_.recv(std::span<double>(payload), peer.peer_joint_rank, tag);
+      std::size_t cursor = 0;
+      for (const auto& field : dsts) {
+        for (const std::int64_t pos : peer.local_positions) {
+          field[static_cast<std::size_t>(pos)] = payload[cursor++];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace mph::coupler

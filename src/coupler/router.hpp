@@ -1,0 +1,79 @@
+// router.hpp — data redistribution between two components over a joint
+// communicator (the canonical consumer of MPH_comm_join, paper §5.1).
+//
+// Components A (source) and B (destination) decompose the same global index
+// space differently.  A Router intersects the two Decomps — pure local
+// arithmetic, since decompositions are deterministic metadata — and derives
+// a send/receive schedule: for every (a, b) rank pair with overlapping
+// ownership, the overlapping global indices travel in one message.
+//
+// Rank numbering follows MPH_comm_join(A, B): joint ranks 0..|A|-1 are A's
+// processes in component order, |A|..|A|+|B|-1 are B's.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/coupler/decomp.hpp"
+#include "src/minimpi/comm.hpp"
+
+namespace mph::coupler {
+
+/// Which side of the transfer this process is on.
+enum class Side { source, destination };
+
+class Router {
+ public:
+  /// Build the schedule for one process.
+  ///   joint     — communicator from MPH_comm_join(source_comp, dest_comp)
+  ///   src/dst   — the two decompositions of the same global size
+  ///   side      — whether this process belongs to the source component
+  /// The process's side rank is derived from its joint rank.
+  Router(minimpi::Comm joint, Decomp src, Decomp dst, Side side);
+
+  /// Move field data from source to destination layout.  Collective over
+  /// the joint communicator.  Source processes pass their local data (size
+  /// src.local_size(side rank)); destination processes receive into theirs.
+  /// A process on the source side leaves `dst_data` untouched and vice
+  /// versa (pass an empty span).
+  void transfer(std::span<const double> src_data, std::span<double> dst_data,
+                minimpi::tag_t tag = 0) const;
+
+  /// Move several fields sharing the same decomposition in one pass; the
+  /// per-peer payloads are packed together, so the message count stays at
+  /// message_count() regardless of the field count (the multi-variable
+  /// coupling exchange pattern).  All spans must have the local size of
+  /// their side; the source passes `srcs`, the destination `dsts` (the
+  /// other vector is ignored on each side but must have equal length).
+  void transfer_many(std::span<const std::span<const double>> srcs,
+                     std::span<const std::span<double>> dsts,
+                     minimpi::tag_t tag = 0) const;
+
+  [[nodiscard]] Side side() const noexcept { return side_; }
+  [[nodiscard]] int side_rank() const noexcept { return side_rank_; }
+
+  /// Number of peer messages this process sends (source side) or receives
+  /// (destination side) per transfer — schedule statistics for benches.
+  [[nodiscard]] std::size_t message_count() const noexcept {
+    return peers_.size();
+  }
+  /// Total elements this process moves per transfer.
+  [[nodiscard]] std::int64_t element_count() const noexcept;
+
+ private:
+  /// One peer exchange: the local element positions (in this process's
+  /// local storage order) that travel to/from joint rank `peer`.
+  struct PeerBlock {
+    int peer_joint_rank = -1;
+    std::vector<std::int64_t> local_positions;  ///< ascending global order
+  };
+
+  minimpi::Comm joint_;
+  Decomp src_;
+  Decomp dst_;
+  Side side_;
+  int side_rank_ = -1;
+  std::vector<PeerBlock> peers_;  ///< ordered by peer rank
+};
+
+}  // namespace mph::coupler

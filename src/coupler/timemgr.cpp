@@ -1,0 +1,5 @@
+// timemgr.cpp — header-only TimeManager; this TU anchors the library
+// target and keeps <cmath> usage localized.
+#include "src/coupler/timemgr.hpp"
+
+#include <cmath>

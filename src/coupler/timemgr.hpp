@@ -1,0 +1,97 @@
+// timemgr.hpp — stepping and coupling-interval bookkeeping for coupled
+// runs: each component advances with its own dt, and alarms fire at the
+// coupling interval boundaries (the CCSM time-manager pattern, reduced to
+// what the toy models need).
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mph::coupler {
+
+/// A periodic alarm measured in seconds of model time.
+class Alarm {
+ public:
+  Alarm(std::string name, double interval_seconds)
+      : name_(std::move(name)), interval_(interval_seconds) {
+    if (interval_ <= 0) {
+      throw std::invalid_argument("Alarm '" + name_ +
+                                  "': interval must be positive");
+    }
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] double interval() const noexcept { return interval_; }
+
+  /// True when the alarm fires within (prev_time, current_time].
+  [[nodiscard]] bool ringing(double prev_time, double current_time) const {
+    const auto k_prev = static_cast<long long>(prev_time / interval_);
+    const auto k_cur = static_cast<long long>(current_time / interval_);
+    return k_cur > k_prev;
+  }
+
+ private:
+  std::string name_;
+  double interval_;
+};
+
+/// Model clock: fixed dt, step counter, named periodic alarms.
+class TimeManager {
+ public:
+  TimeManager(double dt_seconds, double stop_seconds)
+      : dt_(dt_seconds), stop_(stop_seconds) {
+    if (dt_ <= 0) throw std::invalid_argument("TimeManager: dt must be > 0");
+    if (stop_ < 0) {
+      throw std::invalid_argument("TimeManager: stop time must be >= 0");
+    }
+  }
+
+  /// Register a periodic alarm; the interval must be a multiple of dt so
+  /// components agree on coupling boundaries.
+  void add_alarm(const std::string& name, double interval_seconds) {
+    const double ratio = interval_seconds / dt_;
+    if (std::abs(ratio - static_cast<long long>(ratio + 0.5)) > 1e-9) {
+      throw std::invalid_argument("alarm '" + name +
+                                  "' interval is not a multiple of dt");
+    }
+    alarms_.emplace_back(name, interval_seconds);
+  }
+
+  [[nodiscard]] double dt() const noexcept { return dt_; }
+  [[nodiscard]] double time() const noexcept {
+    return static_cast<double>(step_) * dt_;
+  }
+  [[nodiscard]] long long step() const noexcept { return step_; }
+  [[nodiscard]] bool done() const noexcept { return time() >= stop_; }
+
+  /// Advance one step; returns the names of alarms that fired.
+  std::vector<std::string> advance() {
+    const double prev = time();
+    ++step_;
+    const double now = time();
+    std::vector<std::string> fired;
+    for (const Alarm& alarm : alarms_) {
+      if (alarm.ringing(prev, now)) fired.push_back(alarm.name());
+    }
+    return fired;
+  }
+
+  /// True when `name` fires at the current step boundary.
+  [[nodiscard]] bool alarm_rang(const std::string& name,
+                                const std::vector<std::string>& fired) const {
+    for (const std::string& f : fired) {
+      if (f == name) return true;
+    }
+    return false;
+  }
+
+ private:
+  double dt_;
+  double stop_;
+  long long step_ = 0;
+  std::vector<Alarm> alarms_;
+};
+
+}  // namespace mph::coupler

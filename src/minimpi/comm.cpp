@@ -1,0 +1,476 @@
+#include "src/minimpi/comm.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+
+namespace minimpi {
+
+// ---------------------------------------------------------------------------
+// Request
+// ---------------------------------------------------------------------------
+
+Status Request::wait() {
+  if (immediate_done_) {
+    immediate_done_ = false;
+    return immediate_;
+  }
+  if (ticket_ == nullptr || state_ == nullptr) {
+    throw Error(Errc::invalid_argument, "wait on an invalid/consumed request");
+  }
+  Mailbox& box = state_->job->mailbox(state_->to_global[static_cast<std::size_t>(
+      state_->my_rank)]);
+  Status status = box.wait(ticket_, state_->job->deadline());
+  // Translate the envelope's world source into the communicator's ranks.
+  if (status.source >= 0 &&
+      status.source < static_cast<rank_t>(state_->to_local.size())) {
+    status.source = state_->to_local[static_cast<std::size_t>(status.source)];
+  }
+  ticket_.reset();
+  return status;
+}
+
+bool Request::test(Status* out) {
+  if (immediate_done_) {
+    if (out != nullptr) *out = immediate_;
+    return true;
+  }
+  if (ticket_ == nullptr || state_ == nullptr) {
+    throw Error(Errc::invalid_argument, "test on an invalid/consumed request");
+  }
+  Mailbox& box = state_->job->mailbox(state_->to_global[static_cast<std::size_t>(
+      state_->my_rank)]);
+  Status status;
+  if (!box.test(ticket_, &status)) return false;
+  if (status.source >= 0 &&
+      status.source < static_cast<rank_t>(state_->to_local.size())) {
+    status.source = state_->to_local[static_cast<std::size_t>(status.source)];
+  }
+  if (out != nullptr) *out = status;
+  return true;
+}
+
+std::vector<Status> Request::wait_all(std::span<Request> requests) {
+  std::vector<Status> statuses;
+  statuses.reserve(requests.size());
+  for (Request& r : requests) statuses.push_back(r.wait());
+  return statuses;
+}
+
+std::size_t Request::wait_any(std::span<Request> requests, Status* out) {
+  // Poll-with-yield: the mailbox condition variable belongs to single
+  // tickets, and any completed request satisfies us.  Completion latency
+  // here is bounded by the scheduler quantum, which is acceptable for the
+  // waitany use cases (progress loops).
+  Deadline deadline = Deadline::max();
+  for (;;) {
+    bool any_valid = false;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      if (!requests[i].valid()) continue;
+      any_valid = true;
+      if (requests[i].state_ != nullptr) {
+        Job& job = *requests[i].state_->job;
+        if (job.aborted()) throw AbortedError(job.abort_reason());
+        if (deadline == Deadline::max()) deadline = job.deadline();
+      }
+      Status status;
+      if (requests[i].test(&status)) {
+        requests[i].wait();  // consume (immediate: already complete)
+        if (out != nullptr) *out = status;
+        return i;
+      }
+    }
+    if (!any_valid) {
+      throw Error(Errc::invalid_argument,
+                  "wait_any: no valid (unconsumed) request in the set");
+    }
+    if (std::chrono::steady_clock::now() > deadline) {
+      throw Error(Errc::timeout, "wait_any exceeded the job receive timeout");
+    }
+    std::this_thread::yield();
+  }
+}
+
+bool Request::test_all(std::span<Request> requests) {
+  for (Request& r : requests) {
+    if (r.valid() && !r.test(nullptr)) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Comm: construction and accessors
+// ---------------------------------------------------------------------------
+
+Comm Comm::world(std::shared_ptr<Job> job, rank_t my_world_rank) {
+  if (job == nullptr) {
+    throw Error(Errc::invalid_argument, "world() requires a job");
+  }
+  const int n = job->world_size();
+  if (my_world_rank < 0 || my_world_rank >= n) {
+    throw Error(Errc::invalid_rank,
+                "world rank " + std::to_string(my_world_rank) +
+                    " outside job of size " + std::to_string(n));
+  }
+  std::vector<rank_t> identity(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) identity[static_cast<std::size_t>(i)] = i;
+  return from_group(std::move(job), kWorldContext, std::move(identity),
+                    my_world_rank);
+}
+
+Comm Comm::from_group(std::shared_ptr<Job> job, context_t context,
+                      std::vector<rank_t> to_global, rank_t my_world_rank) {
+  auto state = std::make_shared<detail::CommState>();
+  state->job = std::move(job);
+  state->context = context;
+  state->to_global = std::move(to_global);
+  state->to_local.assign(static_cast<std::size_t>(state->job->world_size()),
+                         -1);
+  rank_t my_local = -1;
+  for (std::size_t i = 0; i < state->to_global.size(); ++i) {
+    const rank_t g = state->to_global[i];
+    if (g < 0 || g >= state->job->world_size()) {
+      throw Error(Errc::internal, "communicator group contains world rank " +
+                                      std::to_string(g));
+    }
+    if (state->to_local[static_cast<std::size_t>(g)] != -1) {
+      throw Error(Errc::internal,
+                  "communicator group repeats world rank " + std::to_string(g));
+    }
+    state->to_local[static_cast<std::size_t>(g)] = static_cast<rank_t>(i);
+    if (g == my_world_rank) my_local = static_cast<rank_t>(i);
+  }
+  if (my_local < 0) {
+    throw Error(Errc::internal,
+                "constructing a communicator that does not contain the "
+                "calling rank");
+  }
+  state->my_rank = my_local;
+  return Comm(std::move(state));
+}
+
+detail::CommState& Comm::state() const {
+  if (s_ == nullptr) {
+    throw Error(Errc::invalid_comm, "operation on a null communicator");
+  }
+  return *s_;
+}
+
+rank_t Comm::rank() const { return state().my_rank; }
+
+int Comm::size() const {
+  return static_cast<int>(state().to_global.size());
+}
+
+context_t Comm::context() const { return state().context; }
+
+Job& Comm::job() const { return *state().job; }
+
+std::shared_ptr<Job> Comm::job_ptr() const { return state().job; }
+
+rank_t Comm::global_of(rank_t local) const {
+  return require_member_global(local, "rank");
+}
+
+rank_t Comm::local_of(rank_t world_rank) const noexcept {
+  if (s_ == nullptr) return -1;
+  if (world_rank < 0 ||
+      world_rank >= static_cast<rank_t>(s_->to_local.size())) {
+    return -1;
+  }
+  return s_->to_local[static_cast<std::size_t>(world_rank)];
+}
+
+const std::vector<rank_t>& Comm::group() const { return state().to_global; }
+
+rank_t Comm::require_member_global(rank_t local, const char* what) const {
+  detail::CommState& st = state();
+  if (local < 0 || local >= static_cast<rank_t>(st.to_global.size())) {
+    throw Error(Errc::invalid_rank,
+                std::string(what) + " " + std::to_string(local) +
+                    " outside communicator of size " +
+                    std::to_string(st.to_global.size()));
+  }
+  return st.to_global[static_cast<std::size_t>(local)];
+}
+
+void Comm::check_user_tag(tag_t tag) {
+  if (tag < 0 || tag > kMaxUserTag) {
+    throw Error(Errc::invalid_tag,
+                "user tag " + std::to_string(tag) + " outside [0, " +
+                    std::to_string(kMaxUserTag) + "]");
+  }
+}
+
+void Comm::check_user_tag_or_any(tag_t tag) {
+  if (tag == any_tag) return;
+  check_user_tag(tag);
+}
+
+tag_t Comm::next_collective_tag() const {
+  detail::CommState& st = state();
+  const std::uint32_t seq = st.collective_seq++;
+  return kCollectiveTagBase + static_cast<tag_t>(seq % (1u << 23));
+}
+
+// ---------------------------------------------------------------------------
+// Point-to-point
+// ---------------------------------------------------------------------------
+
+void Comm::send_raw(std::span<const std::byte> bytes, rank_t dest,
+                    tag_t tag) const {
+  detail::CommState& st = state();
+  const rank_t dest_global = require_member_global(dest, "destination");
+  Envelope env;
+  env.context = st.context;
+  env.src = st.to_global[static_cast<std::size_t>(st.my_rank)];
+  env.tag = tag;
+  env.payload.assign(bytes.begin(), bytes.end());
+  st.job->count_message(env.payload.size());
+  st.job->mailbox(dest_global).deliver(std::move(env));
+}
+
+Status Comm::recv_raw(std::span<std::byte> buffer, rank_t source,
+                      tag_t tag) const {
+  detail::CommState& st = state();
+  const rank_t src_global =
+      source == any_source ? any_source
+                           : require_member_global(source, "source");
+  Mailbox& box =
+      st.job->mailbox(st.to_global[static_cast<std::size_t>(st.my_rank)]);
+  Status status =
+      box.recv(st.context, src_global, tag, buffer, st.job->deadline());
+  status.source = st.to_local[static_cast<std::size_t>(status.source)];
+  return status;
+}
+
+std::pair<Status, std::vector<std::byte>> Comm::recv_take_raw(
+    rank_t source, tag_t tag) const {
+  detail::CommState& st = state();
+  const rank_t src_global =
+      source == any_source ? any_source
+                           : require_member_global(source, "source");
+  Mailbox& box =
+      st.job->mailbox(st.to_global[static_cast<std::size_t>(st.my_rank)]);
+  auto [status, payload] =
+      box.recv_take(st.context, src_global, tag, st.job->deadline());
+  status.source = st.to_local[static_cast<std::size_t>(status.source)];
+  return {status, std::move(payload)};
+}
+
+Request Comm::isend_raw(std::span<const std::byte> bytes, rank_t dest,
+                        tag_t tag) const {
+  // Eager protocol: the payload is buffered at initiation, so the send is
+  // already complete from the sender's perspective (cf. MPI_Ibsend).
+  send_raw(bytes, dest, tag);
+  Request r;
+  r.immediate_done_ = true;
+  r.immediate_ = Status{dest, tag, bytes.size()};
+  return r;
+}
+
+Request Comm::irecv_raw(std::span<std::byte> buffer, rank_t source,
+                        tag_t tag) const {
+  detail::CommState& st = state();
+  const rank_t src_global =
+      source == any_source ? any_source
+                           : require_member_global(source, "source");
+  Mailbox& box =
+      st.job->mailbox(st.to_global[static_cast<std::size_t>(st.my_rank)]);
+  Request r;
+  r.state_ = s_;
+  r.ticket_ = box.post_recv(st.context, src_global, tag, buffer);
+  return r;
+}
+
+Status Comm::sendrecv_raw(std::span<const std::byte> send_bytes, rank_t dest,
+                          tag_t send_tag, std::span<std::byte> recv_buffer,
+                          rank_t source, tag_t recv_tag) const {
+  Request rx = irecv_raw(recv_buffer, source, recv_tag);
+  send_raw(send_bytes, dest, send_tag);
+  return rx.wait();
+}
+
+Status Comm::probe(rank_t source, tag_t tag) const {
+  detail::CommState& st = state();
+  const rank_t src_global =
+      source == any_source ? any_source
+                           : require_member_global(source, "source");
+  Mailbox& box =
+      st.job->mailbox(st.to_global[static_cast<std::size_t>(st.my_rank)]);
+  Status status = box.probe(st.context, src_global, tag, st.job->deadline());
+  status.source = st.to_local[static_cast<std::size_t>(status.source)];
+  return status;
+}
+
+std::optional<Status> Comm::iprobe(rank_t source, tag_t tag) const {
+  detail::CommState& st = state();
+  const rank_t src_global =
+      source == any_source ? any_source
+                           : require_member_global(source, "source");
+  Mailbox& box =
+      st.job->mailbox(st.to_global[static_cast<std::size_t>(st.my_rank)]);
+  std::optional<Status> status = box.iprobe(st.context, src_global, tag);
+  if (status.has_value()) {
+    status->source = st.to_local[static_cast<std::size_t>(status->source)];
+  }
+  return status;
+}
+
+// ---------------------------------------------------------------------------
+// Communicator creation
+// ---------------------------------------------------------------------------
+
+namespace {
+/// (color, key, world rank) triple exchanged during split.
+struct SplitEntry {
+  int color;
+  int key;
+  rank_t world_rank;
+};
+}  // namespace
+
+Comm Comm::split(int color, int key) const {
+  detail::CommState& st = state();
+  const tag_t tag = next_collective_tag();
+  const int n = static_cast<int>(st.to_global.size());
+  const rank_t my_world = st.to_global[static_cast<std::size_t>(st.my_rank)];
+
+  // Phase 1: local rank 0 gathers every member's (color, key).
+  // Phase 2: rank 0 allocates one fresh context (children are disjoint, so
+  //          they can share it) and sends each member its ordered group.
+  // Linear algorithms are deliberate: split runs once at startup and the
+  // simple code is robust; see bench_handshake for measured cost.
+  if (st.my_rank == 0) {
+    std::vector<SplitEntry> entries(static_cast<std::size_t>(n));
+    entries[0] = SplitEntry{color, key, my_world};
+    for (int r = 1; r < n; ++r) {
+      SplitEntry e{};
+      recv_raw(std::as_writable_bytes(std::span<SplitEntry>(&e, 1)), r, tag);
+      entries[static_cast<std::size_t>(r)] = e;
+    }
+    const context_t child_context = st.job->allocate_context();
+
+    // Build each member's reply: [context, group size, ordered world ranks].
+    // A child group contains the members sharing that color, ordered by
+    // (key, parent rank); stable_sort over parent order gives the tiebreak.
+    auto build_reply = [&](int member) {
+      const SplitEntry& who = entries[static_cast<std::size_t>(member)];
+      std::vector<std::int32_t> reply;
+      if (who.color == undefined) {
+        reply = {static_cast<std::int32_t>(child_context), 0};
+        return reply;
+      }
+      std::vector<int> members;
+      for (int i = 0; i < n; ++i) {
+        if (entries[static_cast<std::size_t>(i)].color == who.color) {
+          members.push_back(i);
+        }
+      }
+      std::stable_sort(members.begin(), members.end(), [&](int a, int b) {
+        return entries[static_cast<std::size_t>(a)].key <
+               entries[static_cast<std::size_t>(b)].key;
+      });
+      reply.reserve(members.size() + 2);
+      reply.push_back(static_cast<std::int32_t>(child_context));
+      reply.push_back(static_cast<std::int32_t>(members.size()));
+      for (int m : members) {
+        reply.push_back(static_cast<std::int32_t>(
+            entries[static_cast<std::size_t>(m)].world_rank));
+      }
+      return reply;
+    };
+
+    for (int r = 1; r < n; ++r) {
+      const std::vector<std::int32_t> reply = build_reply(r);
+      send_raw(std::as_bytes(std::span<const std::int32_t>(reply)), r, tag);
+    }
+    const std::vector<std::int32_t> mine = build_reply(0);
+    if (mine[1] == 0) return Comm{};
+    std::vector<rank_t> group(mine.begin() + 2, mine.end());
+    return from_group(st.job, child_context, std::move(group), my_world);
+  }
+
+  // Non-root members.
+  const SplitEntry e{color, key, my_world};
+  send_raw(std::as_bytes(std::span<const SplitEntry>(&e, 1)), 0, tag);
+  auto [status, bytes] = recv_take_raw(0, tag);
+  (void)status;
+  const auto* data = reinterpret_cast<const std::int32_t*>(bytes.data());
+  const std::size_t count = bytes.size() / sizeof(std::int32_t);
+  if (count < 2) {
+    throw Error(Errc::internal, "malformed split reply");
+  }
+  const context_t ctx = static_cast<context_t>(data[0]);
+  const int group_size = data[1];
+  if (group_size == 0) return Comm{};
+  std::vector<rank_t> group(data + 2, data + 2 + group_size);
+  return from_group(st.job, ctx, std::move(group), my_world);
+}
+
+Comm Comm::dup() const {
+  detail::CommState& st = state();
+  const tag_t tag = next_collective_tag();
+  const int n = static_cast<int>(st.to_global.size());
+  const rank_t my_world = st.to_global[static_cast<std::size_t>(st.my_rank)];
+  context_t ctx = 0;
+  if (st.my_rank == 0) {
+    ctx = st.job->allocate_context();
+    for (int r = 1; r < n; ++r) {
+      send_raw(std::as_bytes(std::span<const context_t>(&ctx, 1)), r, tag);
+    }
+  } else {
+    recv_raw(std::as_writable_bytes(std::span<context_t>(&ctx, 1)), 0, tag);
+  }
+  return from_group(st.job, ctx, st.to_global, my_world);
+}
+
+Comm Comm::create(std::span<const rank_t> local_ranks) const {
+  detail::CommState& st = state();
+  const int n = static_cast<int>(st.to_global.size());
+  int key = undefined;
+  for (std::size_t i = 0; i < local_ranks.size(); ++i) {
+    const rank_t r = local_ranks[i];
+    if (r < 0 || r >= n) {
+      throw Error(Errc::invalid_rank,
+                  "create(): rank " + std::to_string(r) +
+                      " outside communicator of size " + std::to_string(n));
+    }
+    if (r == st.my_rank) key = static_cast<int>(i);
+  }
+  return split(key == undefined ? undefined : 0, key == undefined ? 0 : key);
+}
+
+Comm Comm::create_ordered_world(std::span<const rank_t> world_ranks) const {
+  detail::CommState& st = state();
+  if (st.context != kWorldContext) {
+    throw Error(Errc::invalid_comm,
+                "create_ordered_world requires a COMM_WORLD handle");
+  }
+  if (world_ranks.empty()) {
+    throw Error(Errc::invalid_argument, "create_ordered_world: empty group");
+  }
+  const rank_t my_world = st.to_global[static_cast<std::size_t>(st.my_rank)];
+  const rank_t leader = world_ranks.front();
+  const tag_t ctx_tag = kControlTagBase + 1;
+
+  context_t ctx = 0;
+  if (my_world == leader) {
+    ctx = st.job->allocate_context();
+    for (rank_t member : world_ranks.subspan(1)) {
+      st.job->control_send(
+          my_world, member, ctx_tag,
+          std::as_bytes(std::span<const context_t>(&ctx, 1)));
+    }
+  } else {
+    Mailbox& box = st.job->mailbox(my_world);
+    box.recv(kWorldContext, leader, ctx_tag,
+             std::as_writable_bytes(std::span<context_t>(&ctx, 1)),
+             st.job->deadline());
+  }
+  return from_group(st.job, ctx,
+                    std::vector<rank_t>(world_ranks.begin(), world_ranks.end()),
+                    my_world);
+}
+
+}  // namespace minimpi

@@ -1,0 +1,260 @@
+// comm.hpp — communicators, typed point-to-point, and nonblocking requests.
+//
+// A Comm is a per-rank handle onto a communication context: (job, context
+// id, my local rank, local↔global rank maps).  Handles are cheap to copy
+// (shared state).  Contexts isolate traffic exactly like MPI communicator
+// contexts: a message sent on one communicator can only be matched by a
+// receive on a communicator with the same context id.
+//
+// Creation calls (split/dup/create) are collective over the parent; they
+// are implemented with the substrate's own collectives (see
+// collectives.hpp), matching how real MPI implementations bootstrap
+// MPI_Comm_split from point-to-point.
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/minimpi/error.hpp"
+#include "src/minimpi/job.hpp"
+#include "src/minimpi/types.hpp"
+
+namespace minimpi {
+
+class Comm;
+
+namespace detail {
+/// Shared, immutable-after-construction communicator state (one instance
+/// per rank per communicator; the collective sequence number is the only
+/// mutable member and is only touched by the owning rank's thread).
+struct CommState {
+  std::shared_ptr<Job> job;
+  context_t context = kWorldContext;
+  rank_t my_rank = 0;                 ///< local rank in this communicator
+  std::vector<rank_t> to_global;      ///< local rank -> world rank
+  std::vector<rank_t> to_local;       ///< world rank -> local rank, -1 absent
+  std::uint32_t collective_seq = 0;   ///< advanced once per collective call
+};
+}  // namespace detail
+
+/// Handle to an outstanding nonblocking operation.  Eagerly-buffered sends
+/// complete at initiation; receives complete when a matching message is
+/// delivered.  Status sources are reported in the initiating communicator's
+/// local ranks.
+class Request {
+ public:
+  Request() = default;
+
+  [[nodiscard]] bool valid() const noexcept {
+    return immediate_done_ || ticket_ != nullptr;
+  }
+
+  /// Block until complete; returns the receive status (sends report their
+  /// own destination/tag).  A Request may be waited at most once.
+  Status wait();
+
+  /// Nonblocking completion check; fills `out` when complete.
+  bool test(Status* out = nullptr);
+
+  /// Wait for every request; statuses returned in argument order.
+  static std::vector<Status> wait_all(std::span<Request> requests);
+
+  /// Block until at least one request completes; returns its index (the
+  /// lowest-indexed completed one) and fills `out`.  Mirrors MPI_Waitany.
+  /// Throws when every request is invalid/consumed.
+  static std::size_t wait_any(std::span<Request> requests,
+                              Status* out = nullptr);
+
+  /// True when every request is complete (consuming none).
+  static bool test_all(std::span<Request> requests);
+
+ private:
+  friend class Comm;
+  std::shared_ptr<detail::CommState> state_;  ///< for deadline + translation
+  std::shared_ptr<RecvTicket> ticket_;        ///< null for immediate ops
+  Status immediate_{};
+  bool immediate_done_ = false;
+};
+
+class Comm {
+ public:
+  /// Null communicator (mirrors MPI_COMM_NULL); most operations throw.
+  Comm() = default;
+
+  /// COMM_WORLD handle for `my_world_rank` of `job` (called by the
+  /// launcher once per rank-thread).
+  static Comm world(std::shared_ptr<Job> job, rank_t my_world_rank);
+
+  [[nodiscard]] bool valid() const noexcept { return s_ != nullptr; }
+  [[nodiscard]] rank_t rank() const;
+  [[nodiscard]] int size() const;
+  [[nodiscard]] context_t context() const;
+  [[nodiscard]] Job& job() const;
+  [[nodiscard]] std::shared_ptr<Job> job_ptr() const;
+
+  /// World rank of a local rank.
+  [[nodiscard]] rank_t global_of(rank_t local) const;
+  /// Local rank of a world rank, or -1 when not a member.
+  [[nodiscard]] rank_t local_of(rank_t world_rank) const noexcept;
+  /// Full local→world map (the communicator's group).
+  [[nodiscard]] const std::vector<rank_t>& group() const;
+
+  // --- typed blocking point-to-point -------------------------------------
+
+  template <Transferable T>
+  void send(const T& value, rank_t dest, tag_t tag) const {
+    send(std::span<const T>(&value, 1), dest, tag);
+  }
+
+  template <Transferable T>
+  void send(std::span<const T> values, rank_t dest, tag_t tag) const {
+    check_user_tag(tag);
+    send_raw(std::as_bytes(values), dest, tag);
+  }
+
+  template <Transferable T>
+  Status recv(T& value, rank_t source, tag_t tag) const {
+    return recv(std::span<T>(&value, 1), source, tag);
+  }
+
+  template <Transferable T>
+  Status recv(std::span<T> values, rank_t source, tag_t tag) const {
+    check_user_tag_or_any(tag);
+    return recv_raw(std::as_writable_bytes(values), source, tag);
+  }
+
+  /// Receive a message of unknown length; element count comes from the
+  /// returned status.
+  template <Transferable T>
+  std::vector<T> recv_vector(rank_t source, tag_t tag,
+                             Status* out = nullptr) const {
+    check_user_tag_or_any(tag);
+    auto [status, bytes] = recv_take_raw(source, tag);
+    if (bytes.size() % sizeof(T) != 0) {
+      throw Error(Errc::truncation,
+                  "message of " + std::to_string(bytes.size()) +
+                      " bytes is not a whole number of elements of size " +
+                      std::to_string(sizeof(T)));
+    }
+    std::vector<T> values(bytes.size() / sizeof(T));
+    if (!values.empty()) std::memcpy(values.data(), bytes.data(), bytes.size());
+    if (out != nullptr) *out = status;
+    return values;
+  }
+
+  /// Combined send+receive that cannot deadlock (receive is posted first).
+  template <Transferable T>
+  Status sendrecv(std::span<const T> send_values, rank_t dest, tag_t send_tag,
+                  std::span<T> recv_values, rank_t source,
+                  tag_t recv_tag) const {
+    check_user_tag(send_tag);
+    check_user_tag_or_any(recv_tag);
+    return sendrecv_raw(std::as_bytes(send_values), dest, send_tag,
+                        std::as_writable_bytes(recv_values), source, recv_tag);
+  }
+
+  /// In-place exchange (mirrors MPI_Sendrecv_replace): the buffer is sent
+  /// to `dest` and overwritten with the message from `source`.
+  template <Transferable T>
+  Status sendrecv_replace(std::span<T> values, rank_t dest, tag_t send_tag,
+                          rank_t source, tag_t recv_tag) const {
+    // The eager send buffers the payload at initiation, so sending first
+    // and receiving into the same storage is safe.
+    check_user_tag(send_tag);
+    check_user_tag_or_any(recv_tag);
+    send_raw(std::as_bytes(values), dest, send_tag);
+    return recv_raw(std::as_writable_bytes(values), source, recv_tag);
+  }
+
+  // --- nonblocking --------------------------------------------------------
+
+  template <Transferable T>
+  Request isend(std::span<const T> values, rank_t dest, tag_t tag) const {
+    check_user_tag(tag);
+    return isend_raw(std::as_bytes(values), dest, tag);
+  }
+
+  template <Transferable T>
+  Request irecv(std::span<T> values, rank_t source, tag_t tag) const {
+    check_user_tag_or_any(tag);
+    return irecv_raw(std::as_writable_bytes(values), source, tag);
+  }
+
+  // --- probing -------------------------------------------------------------
+
+  /// Block until a matching message is available (without receiving it).
+  [[nodiscard]] Status probe(rank_t source, tag_t tag) const;
+  /// Nonblocking probe.
+  [[nodiscard]] std::optional<Status> iprobe(rank_t source, tag_t tag) const;
+
+  // --- communicator creation (collective) ----------------------------------
+
+  /// MPI_Comm_split: ranks with equal `color` form a new communicator,
+  /// ordered by (key, parent rank).  `color == undefined` yields a null
+  /// communicator for that rank.  Collective over this communicator.
+  [[nodiscard]] Comm split(int color, int key) const;
+
+  /// MPI_Comm_dup: same group, fresh context.  Collective.
+  [[nodiscard]] Comm dup() const;
+
+  /// MPI_Comm_create over an explicit local-rank list (order defines the
+  /// new ranks).  Collective over this communicator; non-members receive a
+  /// null communicator.
+  [[nodiscard]] Comm create(std::span<const rank_t> local_ranks) const;
+
+  /// Build a communicator over an explicit, ordered list of *world* ranks
+  /// without a parent-wide collective: only the listed ranks participate
+  /// (each passing an identical list).  This is how MPH_comm_join merges
+  /// two components without involving the rest of the job.  `this` must be
+  /// a world handle of the member rank.
+  [[nodiscard]] Comm create_ordered_world(
+      std::span<const rank_t> world_ranks) const;
+
+  // --- raw byte interface (full tag range; collectives/control use this) ---
+
+  void send_raw(std::span<const std::byte> bytes, rank_t dest, tag_t tag) const;
+  Status recv_raw(std::span<std::byte> buffer, rank_t source, tag_t tag) const;
+  std::pair<Status, std::vector<std::byte>> recv_take_raw(rank_t source,
+                                                          tag_t tag) const;
+  Request isend_raw(std::span<const std::byte> bytes, rank_t dest,
+                    tag_t tag) const;
+  Request irecv_raw(std::span<std::byte> buffer, rank_t source,
+                    tag_t tag) const;
+  Status sendrecv_raw(std::span<const std::byte> send_bytes, rank_t dest,
+                      tag_t send_tag, std::span<std::byte> recv_buffer,
+                      rank_t source, tag_t recv_tag) const;
+
+  /// Fresh tag for one collective invocation; every member calls this the
+  /// same number of times in the same order, so tags agree job-wide.
+  [[nodiscard]] tag_t next_collective_tag() const;
+
+  /// Equality = same underlying state object (same rank's same handle).
+  [[nodiscard]] bool same_state(const Comm& other) const noexcept {
+    return s_ == other.s_;
+  }
+
+ private:
+  explicit Comm(std::shared_ptr<detail::CommState> state)
+      : s_(std::move(state)) {}
+
+  [[nodiscard]] detail::CommState& state() const;
+  [[nodiscard]] rank_t require_member_global(rank_t local,
+                                             const char* what) const;
+  static void check_user_tag(tag_t tag);
+  static void check_user_tag_or_any(tag_t tag);
+
+  /// Build the state for a child communicator given its ordered world-rank
+  /// group and agreed context.
+  [[nodiscard]] static Comm from_group(std::shared_ptr<Job> job,
+                                       context_t context,
+                                       std::vector<rank_t> to_global,
+                                       rank_t my_world_rank);
+
+  std::shared_ptr<detail::CommState> s_;
+};
+
+}  // namespace minimpi

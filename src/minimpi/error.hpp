@@ -1,0 +1,60 @@
+// error.hpp — error model of the minimpi substrate.
+//
+// minimpi follows the "errors are exceptions" C++ idiom rather than MPI's
+// error-code returns: misuse (bad rank, bad tag, truncation) throws Error
+// with a specific code; a job-wide abort (another rank failed) surfaces as
+// AbortedError so blocked ranks unwind instead of deadlocking.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace minimpi {
+
+enum class Errc {
+  invalid_rank,      ///< destination/source outside the communicator
+  invalid_tag,       ///< tag outside [0, kMaxUserTag] (or wildcard misuse)
+  truncation,        ///< receive buffer smaller than the matched message
+  invalid_comm,      ///< operation on a null/incompatible communicator
+  invalid_argument,  ///< other precondition failure
+  timeout,           ///< blocking operation exceeded the job's receive timeout
+  aborted,           ///< job aborted (another rank raised)
+  internal,          ///< substrate invariant violation (a bug in minimpi)
+};
+
+[[nodiscard]] constexpr const char* errc_name(Errc code) noexcept {
+  switch (code) {
+    case Errc::invalid_rank: return "invalid_rank";
+    case Errc::invalid_tag: return "invalid_tag";
+    case Errc::truncation: return "truncation";
+    case Errc::invalid_comm: return "invalid_comm";
+    case Errc::invalid_argument: return "invalid_argument";
+    case Errc::timeout: return "timeout";
+    case Errc::aborted: return "aborted";
+    case Errc::internal: return "internal";
+  }
+  return "unknown";
+}
+
+/// Base exception of the substrate.
+class Error : public std::runtime_error {
+ public:
+  Error(Errc code, const std::string& what)
+      : std::runtime_error(std::string("minimpi [") + errc_name(code) +
+                           "]: " + what),
+        code_(code) {}
+
+  [[nodiscard]] Errc code() const noexcept { return code_; }
+
+ private:
+  Errc code_;
+};
+
+/// Thrown out of any blocking operation once the job has been aborted.
+class AbortedError : public Error {
+ public:
+  explicit AbortedError(const std::string& reason)
+      : Error(Errc::aborted, reason) {}
+};
+
+}  // namespace minimpi

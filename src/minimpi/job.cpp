@@ -1,0 +1,56 @@
+#include "src/minimpi/job.hpp"
+
+#include "src/minimpi/error.hpp"
+#include "src/util/diagnostics.hpp"
+
+namespace minimpi {
+
+Job::Job(int world_size, JobOptions options)
+    : world_size_(world_size), options_(options) {
+  if (world_size <= 0) {
+    throw Error(Errc::invalid_argument,
+                "job world size must be positive, got " +
+                    std::to_string(world_size));
+  }
+  mailboxes_.reserve(static_cast<std::size_t>(world_size));
+  for (int i = 0; i < world_size; ++i) {
+    mailboxes_.push_back(
+        std::make_unique<Mailbox>(abort_flag_, abort_reason_));
+  }
+}
+
+Mailbox& Job::mailbox(rank_t world_rank) {
+  if (world_rank < 0 || world_rank >= world_size_) {
+    throw Error(Errc::invalid_rank,
+                "world rank " + std::to_string(world_rank) +
+                    " outside job of size " + std::to_string(world_size_));
+  }
+  return *mailboxes_[static_cast<std::size_t>(world_rank)];
+}
+
+void Job::abort(const std::string& reason) {
+  {
+    const std::lock_guard<std::mutex> lock(abort_mutex_);
+    if (abort_flag_.load(std::memory_order_acquire)) return;
+    abort_reason_ = "job aborted: " + reason;
+    abort_flag_.store(true, std::memory_order_release);
+  }
+  MPH_DIAG_LOG(error) << "job abort: " << reason;
+  for (auto& box : mailboxes_) box->wake_all();
+}
+
+void Job::control_send(rank_t src_world, rank_t dest_world, tag_t control_tag,
+                       std::span<const std::byte> bytes) {
+  if (control_tag < kControlTagBase) {
+    throw Error(Errc::internal, "control_send requires a control-range tag");
+  }
+  Envelope env;
+  env.context = kWorldContext;
+  env.src = src_world;
+  env.tag = control_tag;
+  env.payload.assign(bytes.begin(), bytes.end());
+  count_message(env.payload.size());
+  mailbox(dest_world).deliver(std::move(env));
+}
+
+}  // namespace minimpi

@@ -1,0 +1,112 @@
+// job.hpp — shared state of one minimpi job.
+//
+// A Job is the in-process analogue of one MPMD batch job: `world_size`
+// ranks (threads) sharing one COMM_WORLD.  The Job owns every rank's
+// mailbox, hands out fresh communicator context ids, and implements the
+// job-wide abort protocol: when any rank fails, all blocked ranks are woken
+// and unwind with AbortedError instead of deadlocking — the behaviour of
+// `mpirun` killing a job when one process dies.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/minimpi/mailbox.hpp"
+#include "src/minimpi/types.hpp"
+
+namespace minimpi {
+
+struct JobOptions {
+  /// Upper bound for any single blocking receive/probe/wait.  Deadlocked
+  /// applications fail with Errc::timeout instead of hanging the test
+  /// suite.  time_point::max() semantics (wait forever) via zero.
+  std::chrono::milliseconds recv_timeout{std::chrono::seconds(120)};
+};
+
+/// Aggregate communication counters of one job (monotone; snapshot with
+/// Job::stats()).  Useful for asserting communication complexity in tests
+/// and reporting message volume from benchmarks.
+struct CommStats {
+  std::uint64_t messages = 0;            ///< envelopes delivered
+  std::uint64_t payload_bytes = 0;       ///< payload volume delivered
+  std::uint64_t contexts_allocated = 0;  ///< communicators created job-wide
+};
+
+class Job {
+ public:
+  explicit Job(int world_size, JobOptions options = {});
+
+  Job(const Job&) = delete;
+  Job& operator=(const Job&) = delete;
+
+  [[nodiscard]] int world_size() const noexcept { return world_size_; }
+  [[nodiscard]] const JobOptions& options() const noexcept { return options_; }
+
+  /// Mailbox of a world rank.
+  [[nodiscard]] Mailbox& mailbox(rank_t world_rank);
+
+  /// Allocate a fresh communicator context id (thread safe).  Exactly one
+  /// rank of a communicator allocates; the id is then distributed to the
+  /// other members collectively.
+  [[nodiscard]] context_t allocate_context() noexcept {
+    return next_context_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Abort the job: record `reason` (first caller wins) and wake every
+  /// blocked rank.  Idempotent.
+  void abort(const std::string& reason);
+
+  [[nodiscard]] bool aborted() const noexcept { return abort_flag_; }
+  [[nodiscard]] const std::string& abort_reason() const noexcept {
+    return abort_reason_;
+  }
+
+  /// Deadline for a blocking operation starting now.
+  [[nodiscard]] Deadline deadline() const {
+    if (options_.recv_timeout.count() == 0) return Deadline::max();
+    return std::chrono::steady_clock::now() + options_.recv_timeout;
+  }
+
+  /// Raw world-context send used by control protocols (e.g. distributing a
+  /// fresh context id during MPH_comm_join) that run outside any
+  /// user-visible communicator collective.
+  void control_send(rank_t src_world, rank_t dest_world, tag_t control_tag,
+                    std::span<const std::byte> bytes);
+
+  /// Record one delivered message (called by every send path).
+  void count_message(std::size_t payload_bytes) noexcept {
+    messages_.fetch_add(1, std::memory_order_relaxed);
+    payload_bytes_.fetch_add(payload_bytes, std::memory_order_relaxed);
+  }
+
+  /// Snapshot of the job's communication counters.
+  [[nodiscard]] CommStats stats() const noexcept {
+    CommStats s;
+    s.messages = messages_.load(std::memory_order_relaxed);
+    s.payload_bytes = payload_bytes_.load(std::memory_order_relaxed);
+    s.contexts_allocated =
+        next_context_.load(std::memory_order_relaxed) - (kWorldContext + 1);
+    return s;
+  }
+
+ private:
+  int world_size_;
+  JobOptions options_;
+  std::atomic<context_t> next_context_{kWorldContext + 1};
+  std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> payload_bytes_{0};
+
+  // The abort flag/reason are referenced by every Mailbox.  The reason
+  // string is written exactly once, before the flag flips to true, and
+  // only read after observing the flag.
+  std::atomic<bool> abort_flag_{false};
+  std::string abort_reason_;
+  std::mutex abort_mutex_;
+
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+};
+
+}  // namespace minimpi

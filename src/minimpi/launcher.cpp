@@ -1,0 +1,94 @@
+#include "src/minimpi/launcher.hpp"
+
+#include <mutex>
+#include <thread>
+
+#include "src/minimpi/error.hpp"
+#include "src/util/diagnostics.hpp"
+
+namespace minimpi {
+
+JobReport run_mpmd(const std::vector<ExecSpec>& specs, JobOptions options) {
+  if (specs.empty()) {
+    throw Error(Errc::invalid_argument, "run_mpmd: empty command file");
+  }
+  int total = 0;
+  for (const ExecSpec& spec : specs) {
+    if (spec.nprocs <= 0) {
+      throw Error(Errc::invalid_argument,
+                  "run_mpmd: executable '" + spec.name +
+                      "' requests nprocs=" + std::to_string(spec.nprocs));
+    }
+    if (!spec.entry) {
+      throw Error(Errc::invalid_argument,
+                  "run_mpmd: executable '" + spec.name + "' has no entry point");
+    }
+    total += spec.nprocs;
+  }
+
+  auto job = std::make_shared<Job>(total, options);
+
+  JobReport report;
+  std::mutex report_mutex;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(total));
+
+  rank_t base = 0;
+  for (std::size_t e = 0; e < specs.size(); ++e) {
+    const ExecSpec& spec = specs[e];
+    for (int p = 0; p < spec.nprocs; ++p) {
+      const rank_t world_rank = base + p;
+      threads.emplace_back([&, e, world_rank] {
+        const ExecSpec& my_spec = specs[e];
+        mph::util::set_thread_label("rank " + std::to_string(world_rank) +
+                                    " (" + my_spec.name + ")");
+        ExecEnv env;
+        env.exec_index = static_cast<int>(e);
+        env.exec_name = my_spec.name;
+        env.args = my_spec.args;
+        env.world_rank = world_rank;
+        try {
+          const Comm world = Comm::world(job, world_rank);
+          my_spec.entry(world, env);
+        } catch (const AbortedError& ex) {
+          // Collateral: some other rank failed first; record quietly.
+          const std::lock_guard<std::mutex> lock(report_mutex);
+          report.failures.push_back(
+              RankFailure{world_rank, static_cast<int>(e), ex.what()});
+        } catch (const std::exception& ex) {
+          MPH_DIAG_LOG(error) << "rank " << world_rank << " failed: "
+                              << ex.what();
+          job->abort(std::string("rank ") + std::to_string(world_rank) +
+                     " (" + my_spec.name + "): " + ex.what());
+          const std::lock_guard<std::mutex> lock(report_mutex);
+          report.failures.push_back(
+              RankFailure{world_rank, static_cast<int>(e), ex.what()});
+        }
+      });
+    }
+    base += spec.nprocs;
+  }
+
+  for (std::thread& t : threads) t.join();
+
+  report.ok = report.failures.empty() && !job->aborted();
+  report.stats = job->stats();
+  if (job->aborted()) report.abort_reason = job->abort_reason();
+  // Put the root-cause failure first: AbortedError entries ("... job
+  // aborted: ...") are collateral unwinding of other ranks.
+  std::stable_partition(report.failures.begin(), report.failures.end(),
+                        [](const RankFailure& f) {
+                          return f.what.find("job aborted:") ==
+                                 std::string::npos;
+                        });
+  return report;
+}
+
+JobReport run_spmd(
+    int nprocs, std::function<void(const Comm& world, const ExecEnv& env)> entry,
+    JobOptions options) {
+  return run_mpmd({ExecSpec{"spmd", nprocs, std::move(entry), {}}}, options);
+}
+
+}  // namespace minimpi

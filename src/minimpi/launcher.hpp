@@ -1,0 +1,76 @@
+// launcher.hpp — MPMD job launching, the in-process analogue of
+// `poe -pgmmodel mpmd -cmdfile` (IBM SP), `mpprun` (Compaq), or
+// `mpirun -np a prog1 : -np b prog2` (clusters): the environments the
+// paper targets (§6).
+//
+// A job is a list of ExecSpec entries (one per "executable binary").  Ranks
+// are assigned contiguously in command-file order — executable i occupies
+// world ranks [base_i, base_i + nprocs_i) — and never overlap, matching the
+// resource-allocation policy the paper describes ("each processor or MPI
+// process is exclusively owned by an executable").  Each rank runs on its
+// own thread; all ranks share one COMM_WORLD.
+//
+// Crucially, an entry point receives only its world communicator and its
+// own executable's environment (name, argv).  It does NOT learn the layout
+// of other executables — discovering that is exactly MPH's job.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/minimpi/comm.hpp"
+#include "src/minimpi/job.hpp"
+
+namespace minimpi {
+
+/// Per-rank execution environment handed to an entry point.
+struct ExecEnv {
+  int exec_index = 0;             ///< position in the command file
+  std::string exec_name;          ///< label of the executable entry
+  std::vector<std::string> args;  ///< argv-style arguments of the executable
+  rank_t world_rank = 0;          ///< this rank's id in COMM_WORLD
+};
+
+/// One command-file line: an "executable" and the processes it gets.
+struct ExecSpec {
+  std::string name;
+  int nprocs = 1;
+  /// Entry point, run once per process of this executable.
+  std::function<void(const Comm& world, const ExecEnv& env)> entry;
+  std::vector<std::string> args;
+};
+
+/// Failure of a single rank (entry point threw).
+struct RankFailure {
+  rank_t world_rank = -1;
+  int exec_index = -1;
+  std::string what;
+};
+
+/// Result of a completed job.
+struct JobReport {
+  bool ok = false;
+  std::vector<RankFailure> failures;
+  std::string abort_reason;  ///< empty when ok
+  CommStats stats;           ///< job-wide communication counters
+
+  /// Convenience for tests: message of the first failure ("" when ok).
+  [[nodiscard]] std::string first_error() const {
+    return failures.empty() ? std::string{} : failures.front().what;
+  }
+};
+
+/// Run an MPMD job to completion.  Spawns sum(nprocs) rank-threads, waits
+/// for all of them, and reports failures.  When any rank throws, the job
+/// aborts: blocked ranks unwind with AbortedError (recorded separately from
+/// the root-cause failure).
+JobReport run_mpmd(const std::vector<ExecSpec>& specs, JobOptions options = {});
+
+/// SPMD convenience: n ranks all running the same entry.
+JobReport run_spmd(int nprocs,
+                   std::function<void(const Comm& world, const ExecEnv& env)> entry,
+                   JobOptions options = {});
+
+}  // namespace minimpi

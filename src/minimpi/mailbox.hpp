@@ -1,0 +1,141 @@
+// mailbox.hpp — per-rank message store with MPI matching semantics.
+//
+// Every rank of a job owns one Mailbox.  Senders call deliver() on the
+// destination's mailbox; the owning rank blocks in recv()/probe() or posts
+// asynchronous receives (post_recv) that a later deliver() completes in the
+// sender's thread.  Matching follows MPI: a receive (source, tag) matches an
+// envelope when context ids are equal and each of source/tag either equals
+// the envelope's or is a wildcard; envelopes from the same (source, tag) are
+// matched in arrival order (the MPI non-overtaking rule).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/minimpi/error.hpp"
+#include "src/minimpi/types.hpp"
+
+namespace minimpi {
+
+/// A message in flight: routing key plus owned payload bytes.
+/// `src` is always the *global* (world) rank of the sender; communicators
+/// translate to local ranks at the API boundary.
+struct Envelope {
+  context_t context = kWorldContext;
+  rank_t src = any_source;
+  tag_t tag = any_tag;
+  std::vector<std::byte> payload;
+};
+
+/// Completion state of a posted (nonblocking) receive.  Shared between the
+/// poster (who waits) and the delivering sender (who completes it).
+/// All fields are protected by the owning Mailbox's mutex.
+struct RecvTicket {
+  bool done = false;
+  Status status;                    ///< valid once done (source is global)
+  std::exception_ptr error;         ///< set instead of status on failure
+};
+
+/// Deadline for blocking operations; Mailbox treats time_point::max() as
+/// "wait forever".
+using Deadline = std::chrono::steady_clock::time_point;
+
+class Mailbox {
+ public:
+  /// `abort_flag` / `abort_reason` belong to the owning Job; every blocking
+  /// wait observes them so a failed rank unblocks the whole job.
+  Mailbox(const std::atomic<bool>& abort_flag, const std::string& abort_reason)
+      : abort_flag_(abort_flag), abort_reason_(abort_reason) {}
+
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Sender-side entry point: complete a matching posted receive or queue.
+  void deliver(Envelope&& env);
+
+  /// Blocking receive into a caller-owned buffer.  Throws Errc::truncation
+  /// if the matched payload exceeds `buffer.size()`.
+  Status recv(context_t ctx, rank_t source, tag_t tag,
+              std::span<std::byte> buffer, Deadline deadline);
+
+  /// Blocking receive that takes ownership of the payload (used when the
+  /// receiver does not know the size in advance).
+  std::pair<Status, std::vector<std::byte>> recv_take(context_t ctx,
+                                                      rank_t source, tag_t tag,
+                                                      Deadline deadline);
+
+  /// Post an asynchronous receive.  The buffer must stay valid until the
+  /// ticket completes.  May complete immediately if a message is queued.
+  std::shared_ptr<RecvTicket> post_recv(context_t ctx, rank_t source,
+                                        tag_t tag, std::span<std::byte> buffer);
+
+  /// Block until `ticket` completes; rethrows any delivery error.
+  Status wait(const std::shared_ptr<RecvTicket>& ticket, Deadline deadline);
+
+  /// Nonblocking completion check; fills `out` when done.
+  bool test(const std::shared_ptr<RecvTicket>& ticket, Status* out);
+
+  /// Cancel a not-yet-matched posted receive (used on error unwind).
+  void cancel(const std::shared_ptr<RecvTicket>& ticket);
+
+  /// Blocking probe: wait for a matching message without consuming it.
+  Status probe(context_t ctx, rank_t source, tag_t tag, Deadline deadline);
+
+  /// Nonblocking probe.
+  std::optional<Status> iprobe(context_t ctx, rank_t source, tag_t tag);
+
+  /// Wake every waiter (called by Job::abort from any thread).
+  void wake_all();
+
+  /// Number of queued (unmatched) envelopes — for tests/diagnostics.
+  [[nodiscard]] std::size_t queued() const;
+
+ private:
+  struct PostedRecv {
+    context_t context;
+    rank_t source;
+    tag_t tag;
+    std::span<std::byte> buffer;
+    std::shared_ptr<RecvTicket> ticket;
+  };
+
+  /// True when the (ctx,source,tag) pattern matches envelope `e`.
+  static bool matches(context_t ctx, rank_t source, tag_t tag,
+                      const Envelope& e) noexcept {
+    return e.context == ctx && (source == any_source || source == e.src) &&
+           (tag == any_tag || tag == e.tag);
+  }
+
+  /// Throws if the job has aborted.  Caller must hold `mutex_`.
+  void check_abort_locked() const;
+
+  /// Waits on the condition variable until `pred` or deadline/abort.
+  /// Caller must hold `lock`.  Throws on timeout or abort.
+  template <class Pred>
+  void wait_locked(std::unique_lock<std::mutex>& lock, Deadline deadline,
+                   Pred pred);
+
+  /// Find the first queued envelope matching the pattern. Caller holds lock.
+  [[nodiscard]] std::deque<Envelope>::iterator find_locked(context_t ctx,
+                                                           rank_t source,
+                                                           tag_t tag);
+
+  const std::atomic<bool>& abort_flag_;
+  const std::string& abort_reason_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Envelope> queue_;          ///< unmatched arrivals, in order
+  std::vector<PostedRecv> posted_;      ///< outstanding posted receives
+};
+
+}  // namespace minimpi

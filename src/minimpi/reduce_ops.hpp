@@ -1,0 +1,96 @@
+// reduce_ops.hpp — combination operators for reductions and scans.
+//
+// Mirrors the MPI predefined operator set (SUM, PROD, MIN, MAX, LAND, LOR,
+// BAND, BOR, MINLOC, MAXLOC) as plain function objects; any callable with
+// signature T(T, T) that is associative works with the collectives.
+#pragma once
+
+#include <algorithm>
+#include <utility>
+
+namespace minimpi::op {
+
+struct Sum {
+  template <class T>
+  T operator()(const T& a, const T& b) const {
+    return a + b;
+  }
+};
+
+struct Prod {
+  template <class T>
+  T operator()(const T& a, const T& b) const {
+    return a * b;
+  }
+};
+
+struct Min {
+  template <class T>
+  T operator()(const T& a, const T& b) const {
+    return b < a ? b : a;
+  }
+};
+
+struct Max {
+  template <class T>
+  T operator()(const T& a, const T& b) const {
+    return a < b ? b : a;
+  }
+};
+
+struct LogicalAnd {
+  template <class T>
+  T operator()(const T& a, const T& b) const {
+    return static_cast<T>(a && b);
+  }
+};
+
+struct LogicalOr {
+  template <class T>
+  T operator()(const T& a, const T& b) const {
+    return static_cast<T>(a || b);
+  }
+};
+
+struct BitAnd {
+  template <class T>
+  T operator()(const T& a, const T& b) const {
+    return a & b;
+  }
+};
+
+struct BitOr {
+  template <class T>
+  T operator()(const T& a, const T& b) const {
+    return a | b;
+  }
+};
+
+/// Value+location pair for MinLoc/MaxLoc reductions (mirrors MPI_MINLOC).
+template <class T>
+struct ValueLoc {
+  T value;
+  int location;
+
+  friend bool operator==(const ValueLoc&, const ValueLoc&) = default;
+};
+
+struct MinLoc {
+  template <class T>
+  ValueLoc<T> operator()(const ValueLoc<T>& a, const ValueLoc<T>& b) const {
+    if (b.value < a.value) return b;
+    if (a.value < b.value) return a;
+    return a.location <= b.location ? a : b;
+  }
+};
+
+struct MaxLoc {
+  template <class T>
+  ValueLoc<T> operator()(const ValueLoc<T>& a, const ValueLoc<T>& b) const {
+    if (a.value < b.value) return b;
+    if (b.value < a.value) return a;
+    return a.location <= b.location ? a : b;
+  }
+};
+
+}  // namespace minimpi::op

@@ -1,0 +1,107 @@
+#include "src/mph/arguments.hpp"
+
+#include <climits>
+
+#include "src/mph/errors.hpp"
+#include "src/util/strings.hpp"
+
+namespace mph {
+
+namespace u = util;
+
+ArgumentSet ArgumentSet::from_tokens(const std::vector<std::string>& tokens) {
+  ArgumentSet args;
+  for (const std::string& token : tokens) {
+    if (const auto kv = u::split_key_value(token)) {
+      const auto [key, value] = *kv;
+      auto [it, inserted] =
+          args.named_.emplace(std::string(key), std::string(value));
+      if (!inserted) {
+        throw ArgumentError("duplicate key '" + std::string(key) +
+                            "' on one registry line");
+      }
+    } else {
+      args.fields_.emplace_back(token);
+    }
+  }
+  return args;
+}
+
+const std::string* ArgumentSet::find(std::string_view key) const noexcept {
+  const auto it = named_.find(key);
+  return it == named_.end() ? nullptr : &it->second;
+}
+
+bool ArgumentSet::get(std::string_view key, int& out) const {
+  long long wide = 0;
+  if (!get(key, wide)) return false;
+  if (wide < INT_MIN || wide > INT_MAX) {
+    throw ArgumentError("value of '" + std::string(key) +
+                        "' does not fit in int: " + std::to_string(wide));
+  }
+  out = static_cast<int>(wide);
+  return true;
+}
+
+bool ArgumentSet::get(std::string_view key, long long& out) const {
+  const std::string* raw = find(key);
+  if (raw == nullptr) return false;
+  const auto value = u::parse_int(*raw);
+  if (!value.has_value()) {
+    throw ArgumentError("value of '" + std::string(key) +
+                        "' is not an integer: '" + *raw + "'");
+  }
+  out = *value;
+  return true;
+}
+
+bool ArgumentSet::get(std::string_view key, double& out) const {
+  const std::string* raw = find(key);
+  if (raw == nullptr) return false;
+  const auto value = u::parse_double(*raw);
+  if (!value.has_value()) {
+    throw ArgumentError("value of '" + std::string(key) +
+                        "' is not a number: '" + *raw + "'");
+  }
+  out = *value;
+  return true;
+}
+
+bool ArgumentSet::get(std::string_view key, bool& out) const {
+  const std::string* raw = find(key);
+  if (raw == nullptr) return false;
+  const auto value = u::parse_bool(*raw);
+  if (!value.has_value()) {
+    throw ArgumentError("value of '" + std::string(key) +
+                        "' is not a boolean (on/off/true/false/yes/no): '" +
+                        *raw + "'");
+  }
+  out = *value;
+  return true;
+}
+
+bool ArgumentSet::get(std::string_view key, std::string& out) const {
+  const std::string* raw = find(key);
+  if (raw == nullptr) return false;
+  out = *raw;
+  return true;
+}
+
+bool ArgumentSet::field(std::size_t field_num, std::string& out) const {
+  if (field_num == 0) {
+    throw ArgumentError("field numbers are 1-based");
+  }
+  if (field_num > fields_.size()) return false;
+  out = fields_[field_num - 1];
+  return true;
+}
+
+std::vector<std::string> ArgumentSet::to_tokens() const {
+  std::vector<std::string> tokens = fields_;
+  for (const auto& [key, value] : named_) {
+    tokens.push_back(key + "=" + value);
+  }
+  return tokens;
+}
+
+}  // namespace mph

@@ -1,0 +1,81 @@
+// arguments.hpp — per-component runtime arguments (paper §4.4).
+//
+// A registration-file line may carry up to five trailing tokens:
+//
+//   Ocean1  0 15  inf1 outf1 logf alpha=3 debug=on
+//
+// Tokens of the form `key=value` become named arguments; the rest are
+// positional "fields" (1-based, matching `MPH_get_argument(field_num=...)`).
+// The paper implements typed retrieval with Fortran 90 overloading; here the
+// same contract is expressed with C++ overloads: `get("alpha", alpha)` fills
+// an int with 3, `get("beta", beta)` fills a double with 4.5, and
+// `field(1, fname)` yields the first positional string.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mph {
+
+class ArgumentSet {
+ public:
+  ArgumentSet() = default;
+
+  /// Build from the raw trailing tokens of a registry line.
+  /// Throws ArgumentError when a duplicate key appears.
+  static ArgumentSet from_tokens(const std::vector<std::string>& tokens);
+
+  /// Number of positional fields.
+  [[nodiscard]] std::size_t field_count() const noexcept {
+    return fields_.size();
+  }
+
+  /// Number of named (key=value) arguments.
+  [[nodiscard]] std::size_t named_count() const noexcept {
+    return named_.size();
+  }
+
+  [[nodiscard]] bool empty() const noexcept {
+    return fields_.empty() && named_.empty();
+  }
+
+  [[nodiscard]] bool has(std::string_view key) const noexcept {
+    return named_.contains(key);
+  }
+
+  /// Typed retrieval; returns false when the key is absent, throws
+  /// ArgumentError when present but not convertible.
+  bool get(std::string_view key, int& out) const;
+  bool get(std::string_view key, long long& out) const;
+  bool get(std::string_view key, double& out) const;
+  bool get(std::string_view key, bool& out) const;
+  bool get(std::string_view key, std::string& out) const;
+
+  /// Positional field retrieval, 1-based per the paper's
+  /// `MPH_get_argument(field_num=1, field_val=fname)`.  Returns false when
+  /// fewer fields exist.
+  bool field(std::size_t field_num, std::string& out) const;
+
+  [[nodiscard]] const std::vector<std::string>& fields() const noexcept {
+    return fields_;
+  }
+  [[nodiscard]] const std::map<std::string, std::string, std::less<>>& named()
+      const noexcept {
+    return named_;
+  }
+
+  /// Re-serialize as registry-line tokens (round-trip support).
+  [[nodiscard]] std::vector<std::string> to_tokens() const;
+
+  friend bool operator==(const ArgumentSet&, const ArgumentSet&) = default;
+
+ private:
+  [[nodiscard]] const std::string* find(std::string_view key) const noexcept;
+
+  std::vector<std::string> fields_;
+  std::map<std::string, std::string, std::less<>> named_;
+};
+
+}  // namespace mph

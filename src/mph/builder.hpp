@@ -1,0 +1,76 @@
+// builder.hpp — programmatic construction of registration files.
+//
+// Deployment scripts and tests often generate `processors_map.in` rather
+// than writing it by hand (ensemble sweeps in particular: K instance
+// lines with per-instance arguments).  RegistryBuilder assembles a
+// Registry with the same validation as the parser, and serializes via
+// Registry::to_text() — so generated files round-trip exactly.
+//
+//   RegistryBuilder b;
+//   b.add_single("coupler");
+//   b.multi_component()
+//       .component("atmosphere", 0, 15)
+//       .component("land", 0, 15)          // overlap allowed
+//       .component("chemistry", 16, 19)
+//       .done();
+//   b.multi_instance("Ocean", /*instances=*/4, /*ranks_each=*/16,
+//                    [](int i) { return "diff=" + std::to_string(1 + i); });
+//   Registry reg = b.build();
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/mph/registry.hpp"
+
+namespace mph {
+
+class RegistryBuilder {
+ public:
+  /// Fluent sub-builder for one Multi_Component block.
+  class MultiComponent {
+   public:
+    /// Add a component with an inclusive executable-relative range and
+    /// optional argument tokens ("key=value" or positional).
+    MultiComponent& component(std::string name, int low, int high,
+                              std::vector<std::string> args = {});
+    /// Finish the block (returns the parent for further chaining).
+    RegistryBuilder& done();
+
+   private:
+    friend class RegistryBuilder;
+    explicit MultiComponent(RegistryBuilder& parent) : parent_(parent) {}
+    RegistryBuilder& parent_;
+    ExecutableBlock block_;
+  };
+
+  /// Add a single-component executable; `size` (if given) becomes the
+  /// "name 0 size-1" size assertion.
+  RegistryBuilder& add_single(std::string name,
+                              std::optional<int> size = std::nullopt,
+                              std::vector<std::string> args = {});
+
+  /// Start a Multi_Component block.
+  [[nodiscard]] MultiComponent multi_component();
+
+  /// Add a Multi_Instance block of `instances` equal slices of
+  /// `ranks_each` ranks, named `<prefix>1..<prefix>K`; `args_for(i)`
+  /// (0-based) supplies each instance's argument tokens (may be null).
+  RegistryBuilder& multi_instance(
+      const std::string& prefix, int instances, int ranks_each,
+      const std::function<std::vector<std::string>(int)>& args_for = nullptr);
+
+  /// Validate and produce the Registry (parses the serialized text, so
+  /// builder output is exactly as strict as hand-written files).
+  [[nodiscard]] Registry build() const;
+
+  /// The registration-file text.
+  [[nodiscard]] std::string to_text() const;
+
+ private:
+  std::vector<ExecutableBlock> blocks_;
+};
+
+}  // namespace mph

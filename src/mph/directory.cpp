@@ -1,0 +1,109 @@
+#include "src/mph/directory.hpp"
+
+#include "src/mph/errors.hpp"
+#include "src/util/strings.hpp"
+
+namespace mph {
+
+Directory::Directory(std::vector<ComponentRecord> components,
+                     std::vector<ExecRecord> execs)
+    : components_(std::move(components)), execs_(std::move(execs)) {
+  for (const ComponentRecord& c : components_) {
+    by_name_.emplace(c.name, c.component_id);
+  }
+}
+
+const ComponentRecord& Directory::component(int component_id) const {
+  if (component_id < 0 ||
+      component_id >= static_cast<int>(components_.size())) {
+    throw LookupError("component id " + std::to_string(component_id) +
+                      " outside [0, " + std::to_string(components_.size()) +
+                      ")");
+  }
+  return components_[static_cast<std::size_t>(component_id)];
+}
+
+const ComponentRecord& Directory::component(std::string_view name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    std::vector<std::string> names = component_names();
+    throw LookupError("unknown component '" + std::string(name) +
+                      "'; registered components: " +
+                      util::join(names, ", "));
+  }
+  return components_[static_cast<std::size_t>(it->second)];
+}
+
+minimpi::rank_t Directory::global_rank(std::string_view name,
+                                       minimpi::rank_t local_rank) const {
+  const ComponentRecord& record = component(name);
+  if (local_rank < 0 || local_rank >= record.size()) {
+    throw LookupError("local rank " + std::to_string(local_rank) +
+                      " outside component '" + record.name + "' of size " +
+                      std::to_string(record.size()));
+  }
+  return record.global_low + local_rank;
+}
+
+minimpi::rank_t Directory::local_rank(std::string_view name,
+                                      minimpi::rank_t world_rank) const {
+  const ComponentRecord& record = component(name);
+  if (!record.covers_world_rank(world_rank)) return -1;
+  return world_rank - record.global_low;
+}
+
+std::vector<int> Directory::components_covering(
+    minimpi::rank_t world_rank) const {
+  std::vector<int> covering;
+  for (const ComponentRecord& c : components_) {
+    if (c.covers_world_rank(world_rank)) covering.push_back(c.component_id);
+  }
+  return covering;
+}
+
+const ExecRecord& Directory::exec_of_world_rank(
+    minimpi::rank_t world_rank) const {
+  for (const ExecRecord& e : execs_) {
+    if (world_rank >= e.base && world_rank <= e.up_limit()) return e;
+  }
+  throw LookupError("world rank " + std::to_string(world_rank) +
+                    " is not covered by any executable");
+}
+
+std::vector<std::string> Directory::component_names() const {
+  std::vector<std::string> names;
+  names.reserve(components_.size());
+  for (const ComponentRecord& c : components_) names.push_back(c.name);
+  return names;
+}
+
+std::string Directory::describe() const {
+  std::string out = "MPH configuration: " +
+                    std::to_string(num_executables()) + " executable(s), " +
+                    std::to_string(total_components()) + " component(s)\n";
+  for (const ExecRecord& e : execs_) {
+    out += "  executable " + std::to_string(e.exec_index) + " [" +
+           block_kind_name(e.kind) + "]: world ranks " +
+           std::to_string(e.base) + ".." + std::to_string(e.up_limit()) +
+           "\n";
+    for (const int id : e.component_ids) {
+      const ComponentRecord& c = components_[static_cast<std::size_t>(id)];
+      out += "    component " + std::to_string(c.component_id) + " '" +
+             c.name + "': world ranks " + std::to_string(c.global_low) +
+             ".." + std::to_string(c.global_high);
+      const std::vector<std::string> tokens = c.args.to_tokens();
+      if (!tokens.empty()) {
+        out += "  (";
+        for (std::size_t i = 0; i < tokens.size(); ++i) {
+          if (i > 0) out += ' ';
+          out += tokens[i];
+        }
+        out += ')';
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace mph

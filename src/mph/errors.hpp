@@ -1,0 +1,57 @@
+// errors.hpp — typed error hierarchy of the MPH library.
+//
+// All misconfiguration surfaces as an exception carrying enough context
+// (file line, component name, candidates) for the user to fix the
+// registration file or setup call — the failure modes the paper's §3
+// flexibility goals make common during model development.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mph {
+
+/// Base class for every MPH error.
+class MphError : public std::runtime_error {
+ public:
+  explicit MphError(const std::string& what)
+      : std::runtime_error("MPH: " + what) {}
+};
+
+/// Malformed registration file ("processors_map.in").
+class RegistryError : public MphError {
+ public:
+  RegistryError(int line, const std::string& what)
+      : MphError("registration file line " + std::to_string(line) + ": " +
+                 what),
+        line_(line) {}
+
+  [[nodiscard]] int line() const noexcept { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Handshake failure: the executables present in the job and the entries in
+/// the registration file do not agree.
+class SetupError : public MphError {
+ public:
+  explicit SetupError(const std::string& what)
+      : MphError("setup: " + what) {}
+};
+
+/// Lookup of an unknown component name (or out-of-range local rank).
+class LookupError : public MphError {
+ public:
+  explicit LookupError(const std::string& what)
+      : MphError("lookup: " + what) {}
+};
+
+/// An instance argument exists but cannot be converted to the requested type.
+class ArgumentError : public MphError {
+ public:
+  explicit ArgumentError(const std::string& what)
+      : MphError("argument: " + what) {}
+};
+
+}  // namespace mph

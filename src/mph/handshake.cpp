@@ -1,0 +1,188 @@
+#include "src/mph/handshake.hpp"
+
+#include <set>
+
+#include "src/minimpi/collectives.hpp"
+#include "src/mph/errors.hpp"
+#include "src/mph/layout.hpp"
+#include "src/util/diagnostics.hpp"
+#include "src/util/strings.hpp"
+#include "src/util/timer.hpp"
+
+namespace mph {
+
+namespace u = util;
+using minimpi::Comm;
+using minimpi::rank_t;
+
+namespace {
+
+void validate_declaration(const LocalDeclaration& decl) {
+  if (decl.names.empty()) {
+    throw SetupError("setup call declares no component names");
+  }
+  if (decl.is_instance && decl.names.size() != 1) {
+    throw SetupError("multi_instance takes exactly one name prefix");
+  }
+  if (!decl.is_instance &&
+      static_cast<int>(decl.names.size()) >
+          Registry::kMaxComponentsPerExecutable) {
+    throw SetupError("setup call declares " +
+                     std::to_string(decl.names.size()) +
+                     " components; each executable could contain up to " +
+                     std::to_string(Registry::kMaxComponentsPerExecutable));
+  }
+  std::set<std::string, std::less<>> seen;
+  for (const std::string& name : decl.names) {
+    if (!u::valid_component_name(name)) {
+      throw SetupError("invalid component name '" + name + "' in setup call");
+    }
+    if (!seen.insert(name).second) {
+      throw SetupError("component name '" + name +
+                       "' repeated in one setup call");
+    }
+  }
+}
+
+/// True when no two components of the block share a processor.
+bool block_is_disjoint(const ExecutableBlock& block) {
+  for (std::size_t i = 0; i < block.components.size(); ++i) {
+    for (std::size_t j = i + 1; j < block.components.size(); ++j) {
+      const ComponentEntry& a = block.components[i];
+      const ComponentEntry& b = block.components[j];
+      if (a.low <= b.high && b.low <= a.high) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+HandshakeResult handshake(const Comm& world, const Registry& registry,
+                          const LocalDeclaration& declaration,
+                          const HandshakeOptions& options) {
+  const u::Timer timer;
+  validate_declaration(declaration);
+
+  // --- Steps 1-2 (§6): allgather signatures, derive executable runs. ------
+  const std::string my_signature = declaration_signature(declaration);
+  const std::vector<std::string> signatures =
+      minimpi::allgather_strings(world, my_signature);
+  const std::vector<ExecutableRun> runs = find_runs(signatures);
+
+  // --- Step 3: match runs against the registry, build the directory. ------
+  // Deterministic from identical inputs, so every rank throws (or not)
+  // identically — errors never strand a subset of ranks in a collective.
+  LayoutResolution resolution = resolve_layout(registry, runs);
+
+  HandshakeResult result;
+  result.directory = std::move(resolution.directory);
+  result.world = world;
+  result.declaration = declaration;
+
+  // Locate my run.
+  const rank_t my_world = world.rank();
+  int my_run = -1;
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    if (my_world >= runs[r].base && my_world < runs[r].base + runs[r].size) {
+      my_run = static_cast<int>(r);
+      break;
+    }
+  }
+  result.exec_index = my_run;
+  const ExecutableRun& run = runs[static_cast<std::size_t>(my_run)];
+  const ExecutableBlock& my_block =
+      registry.blocks()[static_cast<std::size_t>(
+          resolution.block_of_run[static_cast<std::size_t>(my_run)])];
+  const rank_t rel = my_world - run.base;  // executable-relative rank
+
+  // --- Step 4 (§6.1/§6.2): create communicators. ---------------------------
+  if (options.single_split_fast_path && registry.all_single_component()) {
+    // §6.1: one split of world with color = component id.
+    const int my_component =
+        result.directory.execs()[static_cast<std::size_t>(my_run)]
+            .component_ids.front();
+    Comm comp = world.split(my_component, my_world);
+    result.exec_comm = comp;
+    result.my_component_ids.push_back(my_component);
+    result.my_component_comms.push_back(std::move(comp));
+    MPH_DIAG_LOG(info) << "MPH handshake (fast path) done in "
+                       << timer.micros() << " us";
+    return result;
+  }
+
+  // General path: split world into executables first.
+  result.exec_comm = world.split(my_run, my_world);
+
+  const std::vector<int>& block_component_ids =
+      result.directory.execs()[static_cast<std::size_t>(my_run)].component_ids;
+
+  switch (my_block.kind) {
+    case BlockKind::single: {
+      result.my_component_ids.push_back(block_component_ids.front());
+      result.my_component_comms.push_back(result.exec_comm);
+      break;
+    }
+    case BlockKind::multi_instance: {
+      // Instances tile the executable; exactly one covers `rel`.
+      int my_instance = -1;
+      for (std::size_t i = 0; i < my_block.components.size(); ++i) {
+        const ComponentEntry& c = my_block.components[i];
+        if (rel >= c.low && rel <= c.high) {
+          my_instance = static_cast<int>(i);
+          break;
+        }
+      }
+      if (my_instance < 0) {
+        throw SetupError("rank " + std::to_string(rel) +
+                         " of a multi-instance executable is not covered by "
+                         "any instance range");
+      }
+      Comm comp = result.exec_comm.split(my_instance, rel);
+      result.my_component_ids.push_back(
+          block_component_ids[static_cast<std::size_t>(my_instance)]);
+      result.my_component_comms.push_back(std::move(comp));
+      break;
+    }
+    case BlockKind::multi_component: {
+      if (block_is_disjoint(my_block)) {
+        // §6.2 disjoint case: a single split builds every component
+        // communicator at once.
+        int my_component = -1;  // index within the block
+        for (std::size_t i = 0; i < my_block.components.size(); ++i) {
+          const ComponentEntry& c = my_block.components[i];
+          if (rel >= c.low && rel <= c.high) {
+            my_component = static_cast<int>(i);
+            break;
+          }
+        }
+        Comm comp = result.exec_comm.split(
+            my_component < 0 ? minimpi::undefined : my_component, rel);
+        if (my_component >= 0) {
+          result.my_component_ids.push_back(
+              block_component_ids[static_cast<std::size_t>(my_component)]);
+          result.my_component_comms.push_back(std::move(comp));
+        }
+      } else {
+        // §6.2 overlap case: one split per component, every exec rank
+        // participating in each (color = member / undefined).
+        for (std::size_t i = 0; i < my_block.components.size(); ++i) {
+          const ComponentEntry& c = my_block.components[i];
+          const bool covers = rel >= c.low && rel <= c.high;
+          Comm comp =
+              result.exec_comm.split(covers ? 1 : minimpi::undefined, rel);
+          if (covers) {
+            result.my_component_ids.push_back(block_component_ids[i]);
+            result.my_component_comms.push_back(std::move(comp));
+          }
+        }
+      }
+      break;
+    }
+  }
+
+  MPH_DIAG_LOG(info) << "MPH handshake done in " << timer.micros() << " us";
+  return result;
+}
+
+}  // namespace mph

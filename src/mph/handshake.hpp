@@ -1,0 +1,78 @@
+// handshake.hpp — the component registration / handshaking algorithm
+// (paper §6 "Algorithms and Implementation for MPH").
+//
+// Input: each rank's world communicator plus the *local declaration* its
+// executable made (the names passed to MPH_components_setup, or the prefix
+// passed to MPH_multi_instance) and the registration file.  No rank knows
+// which executables occupy other processors — discovering that is the
+// point.
+//
+// Steps, following the paper:
+//   1. every rank broadcasts/receives the registration file (done by the
+//      caller; see Mph::components_setup) and allgathers its executable's
+//      declaration signature;
+//   2. maximal runs of consecutive ranks with the same signature are the
+//      executables (launchers assign contiguous, non-overlapping ranks);
+//   3. each run is matched to exactly one registry block by component
+//      names (or instance-name prefix), and sizes are cross-validated;
+//   4. component communicators are created:
+//        §6.1 — if every executable is single-component, ONE
+//               MPI_Comm_split of world with color = component id;
+//        §6.2 — otherwise split world by executable, then inside each
+//               multi-component executable either one split (components
+//               disjoint on processors) or one split per component
+//               (components overlap).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/minimpi/comm.hpp"
+#include "src/mph/directory.hpp"
+#include "src/mph/registry.hpp"
+
+namespace mph {
+
+/// What this executable told MPH about itself.
+struct LocalDeclaration {
+  /// True for MPH_multi_instance (names holds exactly the prefix);
+  /// false for MPH_components_setup (names holds the ordered component
+  /// name-tags of this executable).
+  bool is_instance = false;
+  std::vector<std::string> names;
+};
+
+struct HandshakeOptions {
+  /// Use the paper's §6.1 one-split fast path when every executable is
+  /// single-component.  Disabling forces the general §6.2 path (used by the
+  /// bench_handshake ablation).
+  bool single_split_fast_path = true;
+};
+
+/// Everything a rank learns from the handshake.
+struct HandshakeResult {
+  Directory directory;
+  minimpi::Comm world;      ///< MPH_Global_World
+  minimpi::Comm exec_comm;  ///< communicator of this rank's executable
+  int exec_index = -1;      ///< index into directory.execs()
+  LocalDeclaration declaration;  ///< what this executable declared (for remap)
+
+  /// Components covering this rank, in block order (usually one; several
+  /// under §4.2 processor overlap).  `my_component_comms[i]` is the
+  /// communicator of `my_component_ids[i]`.
+  std::vector<int> my_component_ids;
+  std::vector<minimpi::Comm> my_component_comms;
+};
+
+/// Run the handshake.  Collective over `world`; throws SetupError when the
+/// declarations and the registration file disagree.
+[[nodiscard]] HandshakeResult handshake(const minimpi::Comm& world,
+                                        const Registry& registry,
+                                        const LocalDeclaration& declaration,
+                                        const HandshakeOptions& options = {});
+
+/// Signature string identifying a declaration during the allgather
+/// (exposed for tests).
+[[nodiscard]] std::string declaration_signature(const LocalDeclaration& decl);
+
+}  // namespace mph

@@ -1,0 +1,212 @@
+#include "src/mph/layout.hpp"
+
+#include <algorithm>
+
+#include "src/mph/errors.hpp"
+#include "src/mph/handshake.hpp"
+#include "src/util/strings.hpp"
+
+namespace mph {
+
+namespace u = util;
+
+std::string declaration_signature(const LocalDeclaration& decl) {
+  std::string sig = decl.is_instance ? "I:" : "C:";
+  sig += u::join(decl.names, ",");
+  return sig;
+}
+
+std::vector<ExecutableRun> find_runs(
+    const std::vector<std::string>& signatures) {
+  std::vector<ExecutableRun> runs;
+  for (minimpi::rank_t r = 0;
+       r < static_cast<minimpi::rank_t>(signatures.size()); ++r) {
+    const std::string& sig = signatures[static_cast<std::size_t>(r)];
+    if (runs.empty() || runs.back().signature != sig) {
+      runs.push_back(ExecutableRun{sig, r, 1});
+    } else {
+      ++runs.back().size;
+    }
+  }
+  return runs;
+}
+
+namespace {
+
+/// Parse "C:a,b,c" / "I:prefix" back into a declaration.
+LocalDeclaration parse_signature(const std::string& sig) {
+  LocalDeclaration decl;
+  decl.is_instance = u::starts_with(sig, "I:");
+  const std::string_view body = std::string_view(sig).substr(2);
+  for (std::string_view name : u::split(body, ',')) {
+    decl.names.emplace_back(name);
+  }
+  return decl;
+}
+
+/// Match one declaration against the registry; returns the block index.
+int match_block(const Registry& registry, const LocalDeclaration& decl) {
+  const auto& blocks = registry.blocks();
+  if (decl.is_instance) {
+    const std::string& prefix = decl.names.front();
+    int found = -1;
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+      if (blocks[b].kind != BlockKind::multi_instance) continue;
+      const bool all_match = std::all_of(
+          blocks[b].components.begin(), blocks[b].components.end(),
+          [&](const ComponentEntry& c) {
+            return u::starts_with(c.name, prefix);
+          });
+      if (!all_match) continue;
+      if (found != -1) {
+        throw SetupError(
+            "instance prefix '" + prefix +
+            "' matches more than one Multi_Instance block in the "
+            "registration file");
+      }
+      found = static_cast<int>(b);
+    }
+    if (found == -1) {
+      throw SetupError("no Multi_Instance block whose instance names start "
+                       "with prefix '" +
+                       prefix + "' exists in the registration file");
+    }
+    return found;
+  }
+
+  // Component declaration: exact ordered name-list match against single
+  // lines and Multi_Component blocks.
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    if (blocks[b].kind == BlockKind::multi_instance) continue;
+    if (blocks[b].names() == decl.names) return static_cast<int>(b);
+  }
+  std::string available;
+  for (const ExecutableBlock& block : blocks) {
+    if (!available.empty()) available += "; ";
+    available += u::join(block.names(), ",");
+  }
+  throw SetupError("executable declared components [" +
+                   u::join(decl.names, ",") +
+                   "] but no matching entry exists in the registration file "
+                   "(entries: " +
+                   available + ")");
+}
+
+void validate_run_size(const ExecutableBlock& block, const ExecutableRun& run) {
+  const int required = block.required_size();
+  if (required == 0) return;  // unranged single-component executable
+  if (required != run.size) {
+    throw SetupError(
+        "executable [" + u::join(block.names(), ",") + "] runs on " +
+        std::to_string(run.size) +
+        " processors but the registration file allocates processors 0.." +
+        std::to_string(required - 1) + " (" + std::to_string(required) +
+        " processors); counts must agree");
+  }
+  for (const ComponentEntry& c : block.components) {
+    if (c.has_range() && c.high >= run.size) {
+      throw SetupError("component '" + c.name + "' range " +
+                       std::to_string(c.low) + ".." + std::to_string(c.high) +
+                       " exceeds its executable's " +
+                       std::to_string(run.size) + " processors");
+    }
+  }
+}
+
+}  // namespace
+
+LayoutResolution resolve_layout(const Registry& registry,
+                                const std::vector<ExecutableRun>& runs) {
+  // Match runs to registry blocks; every block claimed exactly once.
+  std::vector<int> block_claimed_by(registry.blocks().size(), -1);
+  std::vector<int> block_of_run(runs.size(), -1);
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    const LocalDeclaration decl = parse_signature(runs[r].signature);
+    const int b = match_block(registry, decl);
+    if (block_claimed_by[static_cast<std::size_t>(b)] != -1) {
+      throw SetupError(
+          "two distinct executables both declared components [" +
+          u::join(decl.names, ",") +
+          "]; component names must be unique across the application "
+          "(use a Multi_Instance block for replicated executables)");
+    }
+    block_claimed_by[static_cast<std::size_t>(b)] = static_cast<int>(r);
+    block_of_run[r] = b;
+    validate_run_size(registry.blocks()[static_cast<std::size_t>(b)], runs[r]);
+  }
+  for (std::size_t b = 0; b < block_claimed_by.size(); ++b) {
+    if (block_claimed_by[b] == -1) {
+      throw SetupError(
+          "registration file entry [" +
+          u::join(registry.blocks()[b].names(), ",") +
+          "] was not provided by any executable in this job");
+    }
+  }
+
+  // Build the directory: component ids in registration-file order.
+  std::vector<int> run_of_block(registry.blocks().size());
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    run_of_block[static_cast<std::size_t>(block_of_run[r])] =
+        static_cast<int>(r);
+  }
+  std::vector<ComponentRecord> records;
+  std::vector<ExecRecord> execs(runs.size());
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    execs[r].exec_index = static_cast<int>(r);
+    execs[r].base = runs[r].base;
+    execs[r].size = runs[r].size;
+    execs[r].kind =
+        registry.blocks()[static_cast<std::size_t>(block_of_run[r])].kind;
+  }
+  int next_id = 0;
+  for (std::size_t b = 0; b < registry.blocks().size(); ++b) {
+    const ExecutableBlock& block = registry.blocks()[b];
+    const ExecutableRun& run =
+        runs[static_cast<std::size_t>(run_of_block[b])];
+    for (const ComponentEntry& entry : block.components) {
+      ComponentRecord record;
+      record.name = entry.name;
+      record.component_id = next_id++;
+      record.exec_index = run_of_block[b];
+      record.kind = block.kind;
+      if (entry.has_range()) {
+        record.global_low = run.base + entry.low;
+        record.global_high = run.base + entry.high;
+      } else {
+        record.global_low = run.base;
+        record.global_high = run.base + run.size - 1;
+      }
+      record.args = entry.args;
+      execs[static_cast<std::size_t>(run_of_block[b])].component_ids.push_back(
+          record.component_id);
+      records.push_back(std::move(record));
+    }
+  }
+
+  LayoutResolution resolution;
+  resolution.directory = Directory(std::move(records), std::move(execs));
+  resolution.block_of_run = std::move(block_of_run);
+  return resolution;
+}
+
+Directory plan_layout(const Registry& registry,
+                      const std::vector<PlannedExecutable>& job) {
+  if (job.empty()) {
+    throw SetupError("plan_layout: empty job description");
+  }
+  std::vector<std::string> signatures;
+  for (const PlannedExecutable& exec : job) {
+    if (exec.nprocs <= 0) {
+      throw SetupError("plan_layout: executable with nprocs " +
+                       std::to_string(exec.nprocs));
+    }
+    LocalDeclaration decl;
+    decl.is_instance = exec.is_instance;
+    decl.names = exec.names;
+    const std::string sig = declaration_signature(decl);
+    for (int p = 0; p < exec.nprocs; ++p) signatures.push_back(sig);
+  }
+  return resolve_layout(registry, find_runs(signatures)).directory;
+}
+
+}  // namespace mph

@@ -1,0 +1,206 @@
+#include "src/mph/mph.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/minimpi/collectives.hpp"
+
+namespace mph {
+
+// ---------------------------------------------------------------------------
+// RegistrySource
+// ---------------------------------------------------------------------------
+
+RegistrySource RegistrySource::from_path(std::string path) {
+  RegistrySource source;
+  source.kind_ = Kind::path;
+  source.payload_ = std::move(path);
+  return source;
+}
+
+RegistrySource RegistrySource::from_text(std::string text) {
+  RegistrySource source;
+  source.kind_ = Kind::text;
+  source.payload_ = std::move(text);
+  return source;
+}
+
+RegistrySource RegistrySource::from_registry(Registry registry) {
+  RegistrySource source;
+  source.kind_ = Kind::registry;
+  source.registry_ = std::move(registry);
+  return source;
+}
+
+Registry RegistrySource::resolve(const minimpi::Comm& world) const {
+  if (kind_ == Kind::registry) {
+    // Pre-parsed model: assumed identical on every rank (programmatic use).
+    return *registry_;
+  }
+  // Paper §6: "the information in the registration file is read by the root
+  // processor (global Processor ID = 0) and broadcast to all processors."
+  std::string text;
+  if (world.rank() == 0) {
+    if (kind_ == Kind::path) {
+      std::ifstream in(payload_);
+      if (!in) {
+        throw RegistryError(0, "cannot open registration file '" + payload_ +
+                                   "' on world rank 0");
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      text = buffer.str();
+    } else {
+      text = payload_;
+    }
+  }
+  minimpi::bcast_string(world, text, 0);
+  return Registry::parse(text);
+}
+
+// ---------------------------------------------------------------------------
+// Mph
+// ---------------------------------------------------------------------------
+
+Mph Mph::components_setup(const minimpi::Comm& world,
+                          const RegistrySource& source,
+                          std::vector<std::string> names,
+                          HandshakeOptions options) {
+  const Registry registry = source.resolve(world);
+  LocalDeclaration decl;
+  decl.is_instance = false;
+  decl.names = std::move(names);
+  return Mph(handshake(world, registry, decl, options));
+}
+
+Mph Mph::multi_instance(const minimpi::Comm& world,
+                        const RegistrySource& source, std::string prefix,
+                        HandshakeOptions options) {
+  const Registry registry = source.resolve(world);
+  LocalDeclaration decl;
+  decl.is_instance = true;
+  decl.names = {std::move(prefix)};
+  return Mph(handshake(world, registry, decl, options));
+}
+
+const minimpi::Comm& Mph::comp_comm() const {
+  if (result_.my_component_comms.empty()) {
+    throw LookupError("this rank belongs to no component");
+  }
+  return result_.my_component_comms.front();
+}
+
+const minimpi::Comm& Mph::comp_comm(std::string_view name) const {
+  const ComponentRecord& record = result_.directory.component(name);
+  for (std::size_t i = 0; i < result_.my_component_ids.size(); ++i) {
+    if (result_.my_component_ids[i] == record.component_id) {
+      return result_.my_component_comms[i];
+    }
+  }
+  throw LookupError("rank " + std::to_string(world().rank()) +
+                    " is not part of component '" + std::string(name) + "'");
+}
+
+bool Mph::proc_in_component(std::string_view name, minimpi::Comm* out) const {
+  const ComponentRecord& record = result_.directory.component(name);
+  for (std::size_t i = 0; i < result_.my_component_ids.size(); ++i) {
+    if (result_.my_component_ids[i] == record.component_id) {
+      if (out != nullptr) *out = result_.my_component_comms[i];
+      return true;
+    }
+  }
+  return false;
+}
+
+minimpi::Comm Mph::comm_join(std::string_view first,
+                             std::string_view second) const {
+  const ComponentRecord& a = result_.directory.component(first);
+  const ComponentRecord& b = result_.directory.component(second);
+  if (a.component_id == b.component_id) {
+    throw SetupError("comm_join of component '" + a.name + "' with itself");
+  }
+  // Overlapping components share processors; a merged communicator would
+  // need a rank to appear twice.  Executables never overlap (paper §2), so
+  // this only arises for overlapping components of one executable.
+  if (a.global_low <= b.global_high && b.global_low <= a.global_high) {
+    throw SetupError("comm_join('" + a.name + "', '" + b.name +
+                     "'): components overlap on processors " +
+                     std::to_string(std::max(a.global_low, b.global_low)) +
+                     ".." +
+                     std::to_string(std::min(a.global_high, b.global_high)));
+  }
+  // Paper §5.1 ordering: first's processes rank 0..|A|-1, then second's.
+  std::vector<minimpi::rank_t> members;
+  members.reserve(static_cast<std::size_t>(a.size() + b.size()));
+  for (minimpi::rank_t r = a.global_low; r <= a.global_high; ++r) {
+    members.push_back(r);
+  }
+  for (minimpi::rank_t r = b.global_low; r <= b.global_high; ++r) {
+    members.push_back(r);
+  }
+  const minimpi::rank_t me = world().rank();
+  if (!a.covers_world_rank(me) && !b.covers_world_rank(me)) {
+    throw SetupError("comm_join('" + a.name + "', '" + b.name +
+                     "') called from rank " + std::to_string(me) +
+                     ", which belongs to neither component");
+  }
+  return world().create_ordered_world(std::span<const minimpi::rank_t>(members));
+}
+
+const std::string& Mph::comp_name() const {
+  return result_.directory.component(comp_id()).name;
+}
+
+int Mph::comp_id() const {
+  if (result_.my_component_ids.empty()) {
+    throw LookupError("this rank belongs to no component");
+  }
+  return result_.my_component_ids.front();
+}
+
+minimpi::rank_t Mph::exe_low_proc_limit() const {
+  return result_.directory.execs()[static_cast<std::size_t>(result_.exec_index)]
+      .base;
+}
+
+minimpi::rank_t Mph::exe_up_proc_limit() const {
+  return result_.directory.execs()[static_cast<std::size_t>(result_.exec_index)]
+      .up_limit();
+}
+
+std::vector<std::string> Mph::my_components() const {
+  std::vector<std::string> names;
+  names.reserve(result_.my_component_ids.size());
+  for (const int id : result_.my_component_ids) {
+    names.push_back(result_.directory.component(id).name);
+  }
+  return names;
+}
+
+const ArgumentSet& Mph::arguments() const {
+  return result_.directory.component(comp_id()).args;
+}
+
+Mph Mph::remap(const RegistrySource& new_source,
+               HandshakeOptions options) const {
+  const Registry registry = new_source.resolve(world());
+  return Mph(handshake(world(), registry, result_.declaration, options));
+}
+
+void Mph::redirect_output(const std::string& dir) {
+  const bool component_root = local_proc_id() == 0;
+  channel_ = OutputRouter::instance().open(dir, comp_name(), local_proc_id(),
+                                           component_root);
+  redirected_ = true;
+}
+
+std::ostream& Mph::out() {
+  if (!redirected_) {
+    throw MphError("out(): call redirect_output() first");
+  }
+  return channel_.stream();
+}
+
+void Mph::flush_output() { channel_.flush(); }
+
+}  // namespace mph

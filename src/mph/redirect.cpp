@@ -1,0 +1,134 @@
+#include "src/mph/redirect.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/mph/errors.hpp"
+
+namespace mph {
+
+namespace detail {
+
+class Sink {
+ public:
+  explicit Sink(const std::string& path) : out_(path, std::ios::app) {
+    if (!out_) {
+      throw MphError("redirect: cannot open log file '" + path + "'");
+    }
+  }
+
+  /// Append `line` (must include its trailing newline) atomically.
+  void commit(const std::string& line) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out_ << line;
+    out_.flush();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::ofstream out_;
+};
+
+class LineBuf : public std::streambuf {
+ public:
+  LineBuf(std::shared_ptr<Sink> sink, std::string prefix)
+      : sink_(std::move(sink)), prefix_(std::move(prefix)) {}
+
+  ~LineBuf() override { flush_partial(); }
+
+  void flush_partial() {
+    if (!pending_.empty()) {
+      sink_->commit(prefix_ + pending_ + "\n");
+      pending_.clear();
+    }
+  }
+
+ protected:
+  int overflow(int ch) override {
+    if (ch == traits_type::eof()) return 0;
+    if (ch == '\n') {
+      sink_->commit(prefix_ + pending_ + "\n");
+      pending_.clear();
+    } else {
+      pending_.push_back(static_cast<char>(ch));
+    }
+    return ch;
+  }
+
+  int sync() override {
+    flush_partial();
+    return 0;
+  }
+
+ private:
+  std::shared_ptr<Sink> sink_;
+  std::string prefix_;
+  std::string pending_;
+};
+
+}  // namespace detail
+
+OutputChannel::OutputChannel() = default;
+OutputChannel::~OutputChannel() = default;
+OutputChannel::OutputChannel(OutputChannel&&) noexcept = default;
+OutputChannel& OutputChannel::operator=(OutputChannel&&) noexcept = default;
+
+OutputChannel::OutputChannel(std::shared_ptr<detail::Sink> sink,
+                             std::string path, std::string prefix)
+    : path_(std::move(path)),
+      buf_(std::make_unique<detail::LineBuf>(std::move(sink),
+                                             std::move(prefix))),
+      stream_(std::make_unique<std::ostream>(buf_.get())) {}
+
+std::ostream& OutputChannel::stream() {
+  if (stream_ == nullptr) {
+    throw MphError("redirect: writing to an unopened output channel "
+                   "(call Mph::redirect_output first)");
+  }
+  return *stream_;
+}
+
+void OutputChannel::flush() {
+  if (buf_ != nullptr) buf_->flush_partial();
+}
+
+OutputRouter& OutputRouter::instance() {
+  static OutputRouter router;
+  return router;
+}
+
+OutputChannel OutputRouter::open(const std::string& dir,
+                                 const std::string& component, int local_rank,
+                                 bool component_root, bool prefix_lines) {
+  const std::string path =
+      dir + "/" + (component_root ? component + ".log"
+                                  : std::string(kCombinedLogName));
+  std::shared_ptr<detail::Sink> sink;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (auto cached = sinks_[path].lock()) {
+      sink = std::move(cached);
+    } else {
+      sink = std::make_shared<detail::Sink>(path);
+      sinks_[path] = sink;
+    }
+  }
+  std::string prefix;
+  if (prefix_lines) {
+    prefix = "[" + component + ":" + std::to_string(local_rank) + "] ";
+  }
+  return OutputChannel(std::move(sink), path, std::move(prefix));
+}
+
+void OutputRouter::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = sinks_.begin(); it != sinks_.end();) {
+    if (it->second.expired()) {
+      it = sinks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace mph

@@ -1,0 +1,91 @@
+// redirect.hpp — multi-channel standard-output redirection (paper §5.4).
+//
+// Five components writing to one terminal interleave into an undecipherable
+// mess; MPH routes each component's output to its own log file.  The rule,
+// exactly as the paper: local processor 0 of a component writes to
+// `<component_name>.log`; "all other occasional writes from all other
+// processors are stored in one combined standard output file".
+//
+// In a thread-per-rank process, POSIX stdout cannot be redirected per rank,
+// so the observable contract is preserved through an explicit stream: after
+// `Mph::redirect_output(dir)`, `Mph::out()` returns the rank's channel.
+// Writes are line-atomic (complete lines are committed on '\n'/flush), and
+// several ranks — even across components — may share one sink file safely.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+namespace mph {
+
+namespace detail {
+/// A shared, mutex-protected output file.  One Sink exists per path
+/// process-wide, so every rank appending to "mph_combined.log" serializes
+/// through the same lock.
+class Sink;
+
+/// streambuf that accumulates until end-of-line, then commits whole lines
+/// to the Sink atomically.
+class LineBuf;
+}  // namespace detail
+
+/// A rank's redirected output channel.  Movable; flushes on destruction.
+class OutputChannel {
+ public:
+  OutputChannel();
+  ~OutputChannel();
+  OutputChannel(OutputChannel&&) noexcept;
+  OutputChannel& operator=(OutputChannel&&) noexcept;
+  OutputChannel(const OutputChannel&) = delete;
+  OutputChannel& operator=(const OutputChannel&) = delete;
+
+  /// The stream to write component output to.
+  [[nodiscard]] std::ostream& stream();
+
+  /// Path of the file this channel appends to.
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// Flush any buffered partial line.
+  void flush();
+
+ private:
+  friend class OutputRouter;
+  OutputChannel(std::shared_ptr<detail::Sink> sink, std::string path,
+                std::string prefix);
+
+  std::string path_;
+  std::unique_ptr<detail::LineBuf> buf_;
+  std::unique_ptr<std::ostream> stream_;
+};
+
+/// Process-wide router from (component, role) to channels.
+class OutputRouter {
+ public:
+  /// The process-wide router instance.
+  static OutputRouter& instance();
+
+  /// Open the channel for a rank of `component`:
+  /// `<dir>/<component>.log` when `component_root` (local proc 0),
+  /// `<dir>/mph_combined.log` otherwise.  When `prefix_lines` is set, each
+  /// committed line is prefixed with "[component:local_rank] " — essential
+  /// in the combined file.
+  OutputChannel open(const std::string& dir, const std::string& component,
+                     int local_rank, bool component_root,
+                     bool prefix_lines = true);
+
+  /// Drop cached sinks whose files are closed (between jobs / in tests).
+  void reset();
+
+  /// Name of the combined (non-root ranks) output file.
+  static constexpr const char* kCombinedLogName = "mph_combined.log";
+
+ private:
+  OutputRouter() = default;
+  std::mutex mutex_;
+  std::map<std::string, std::weak_ptr<detail::Sink>> sinks_;
+};
+
+}  // namespace mph

@@ -1,0 +1,16 @@
+// version.hpp — library version.
+//
+// The paper describes MPH versions 1-4 (§7): v1 = SCME, v2 = MCSE,
+// v3 = MCME unified interface, v4 = multi-instance ensembles + argument
+// passing.  This C++ implementation provides the full v4 feature set (the
+// "C/C++ version of MPH" listed as further work in §9), hence 4.0.0.
+#pragma once
+
+namespace mph {
+
+inline constexpr int kVersionMajor = 4;
+inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionPatch = 0;
+inline constexpr const char* kVersionString = "4.0.0";
+
+}  // namespace mph

@@ -1,0 +1,68 @@
+#include "src/util/diagnostics.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "src/util/strings.hpp"
+
+namespace mph::util {
+
+namespace {
+
+std::atomic<int> g_level{-1};  // -1 = uninitialized, read env lazily
+std::mutex g_emit_mutex;
+
+thread_local std::string t_label = "-";
+
+[[nodiscard]] DiagLevel level_from_env() noexcept {
+  const char* env = std::getenv("MPH_DIAG");
+  if (env == nullptr) return DiagLevel::warn;
+  const std::string_view v(env);
+  if (iequals(v, "off")) return DiagLevel::off;
+  if (iequals(v, "error")) return DiagLevel::error;
+  if (iequals(v, "warn")) return DiagLevel::warn;
+  if (iequals(v, "info")) return DiagLevel::info;
+  if (iequals(v, "trace")) return DiagLevel::trace;
+  return DiagLevel::warn;
+}
+
+[[nodiscard]] const char* level_name(DiagLevel level) noexcept {
+  switch (level) {
+    case DiagLevel::error: return "ERROR";
+    case DiagLevel::warn: return "WARN ";
+    case DiagLevel::info: return "INFO ";
+    case DiagLevel::trace: return "TRACE";
+    case DiagLevel::off: break;
+  }
+  return "?    ";
+}
+
+}  // namespace
+
+void set_diag_level(DiagLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+DiagLevel diag_level() noexcept {
+  int v = g_level.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = static_cast<int>(level_from_env());
+    g_level.store(v, std::memory_order_relaxed);
+  }
+  return static_cast<DiagLevel>(v);
+}
+
+void set_thread_label(std::string label) { t_label = std::move(label); }
+
+std::string_view thread_label() noexcept { return t_label; }
+
+void diag_emit(DiagLevel level, std::string_view message) {
+  if (diag_level() < level || level == DiagLevel::off) return;
+  const std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[mph %s %s] %.*s\n", level_name(level), t_label.c_str(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace mph::util

@@ -1,0 +1,2 @@
+// rng.cpp — header-only Rng; this TU anchors the library target.
+#include "src/util/rng.hpp"

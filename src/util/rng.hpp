@@ -1,0 +1,80 @@
+// rng.hpp — deterministic, splittable pseudo-random numbers for workload
+// generators and property tests.  We use xoshiro256** (public-domain
+// algorithm by Blackman & Vigna): fast, high quality, and — unlike
+// std::mt19937 — cheap to seed reproducibly per (test, rank, instance).
+#pragma once
+
+#include <cstdint>
+
+namespace mph::util {
+
+/// xoshiro256** generator.  Satisfies UniformRandomBitGenerator so it can
+/// drive <random> distributions, but also offers convenience helpers.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seed via SplitMix64 so that nearby seeds give uncorrelated streams.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept {
+    std::uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift reduction.
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    const unsigned __int128 product =
+        static_cast<unsigned __int128>((*this)()) * bound;
+    return static_cast<std::uint64_t>(product >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Derive an independent child stream, e.g. one per rank.
+  [[nodiscard]] Rng split(std::uint64_t stream_id) noexcept {
+    return Rng((*this)() ^ (stream_id * 0xd1342543de82ef95ULL + 1));
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace mph::util

@@ -1,0 +1,3 @@
+// timer.cpp — intentionally empty: Timer and StatAccumulator are
+// header-only, this TU anchors the library target.
+#include "src/util/timer.hpp"

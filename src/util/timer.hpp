@@ -1,0 +1,65 @@
+// timer.hpp — monotonic wall-clock timing used by benchmarks and the
+// diagnostics layer.  A Timer measures elapsed seconds; a StatAccumulator
+// aggregates repeated measurements (min/mean/max/stddev) so benchmark
+// harnesses can report stable numbers on a time-shared machine.
+#pragma once
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace mph::util {
+
+/// Monotonic stopwatch.  Construction starts it; `reset()` restarts it.
+class Timer {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  Timer() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Elapsed time in seconds since construction or last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed time in microseconds.
+  [[nodiscard]] double micros() const noexcept { return seconds() * 1e6; }
+
+ private:
+  clock::time_point start_;
+};
+
+/// Streaming accumulator for repeated scalar measurements (Welford update,
+/// numerically stable for long benchmark runs).
+class StatAccumulator {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace mph::util

@@ -1,0 +1,282 @@
+// End-to-end integration: the full coupled climate system runs under SCME,
+// MCSE, and MCME wiring and produces bit-identical diagnostics — the
+// paper's central promise that the integration mode is a deployment choice
+// (§2), not a code change.  Plus the MIME ensemble with on-the-fly
+// statistics and dynamic control (§2.5).
+#include <gtest/gtest.h>
+
+#include <mutex>
+
+#include "src/climate/scenario.hpp"
+#include "tests/mph/mph_test_util.hpp"
+
+using namespace mph;
+using namespace mph::climate;
+using namespace mph::testing;
+using minimpi::Comm;
+
+namespace {
+
+ClimateConfig test_config() {
+  ClimateConfig cfg;
+  cfg.atm_nlon = 8;
+  cfg.atm_nlat = 6;
+  cfg.ocn_nlon = 12;
+  cfg.ocn_nlat = 8;
+  cfg.steps_per_interval = 2;
+  cfg.intervals = 4;
+  return cfg;
+}
+
+/// Runs one wiring of the coupled system and returns the coupler's
+/// mean-SST series (the cross-component diagnostic).
+struct CoupledOutcome {
+  std::vector<double> mean_sst;
+  std::vector<double> mean_t_atm;
+  std::vector<double> mean_icefrac;
+};
+
+CoupledOutcome run_scme(const ClimateConfig& cfg) {
+  CoupledOutcome outcome;
+  std::mutex mutex;
+  auto body = [&](Mph& h, const Comm&) {
+    const ComponentResult r = run_coupled_component(h, cfg);
+    if (r.component == "coupler" && h.local_proc_id() == 0) {
+      const std::lock_guard<std::mutex> lock(mutex);
+      outcome.mean_sst = r.coupler.mean_sst;
+      outcome.mean_t_atm = r.coupler.mean_t_atm;
+      outcome.mean_icefrac = r.coupler.mean_icefrac;
+    }
+  };
+  run_mph_ok("BEGIN\natmosphere\nocean\nland\nice\ncoupler\nEND\n",
+             {TestExec{{"atmosphere"}, "", 2, body},
+              TestExec{{"ocean"}, "", 2, body},
+              TestExec{{"land"}, "", 1, body},
+              TestExec{{"ice"}, "", 1, body},
+              TestExec{{"coupler"}, "", 1, body}});
+  return outcome;
+}
+
+CoupledOutcome run_mcse(const ClimateConfig& cfg) {
+  // Single executable, 7 ranks, master-program dispatch (paper §4.2).
+  const std::string registry = R"(BEGIN
+Multi_Component_Begin
+atmosphere 0 1
+ocean 2 3
+land 4 4
+ice 5 5
+coupler 6 6
+Multi_Component_End
+END
+)";
+  CoupledOutcome outcome;
+  std::mutex mutex;
+  auto master = [&](Mph& h, const Comm&) {
+    // The paper's master pattern: exactly one branch fires per rank.
+    for (const char* role :
+         {"atmosphere", "ocean", "land", "ice", "coupler"}) {
+      if (h.proc_in_component(role)) {
+        const ComponentResult r = run_coupled_component(h, cfg);
+        if (r.component == "coupler" && h.local_proc_id() == 0) {
+          const std::lock_guard<std::mutex> lock(mutex);
+          outcome.mean_sst = r.coupler.mean_sst;
+          outcome.mean_t_atm = r.coupler.mean_t_atm;
+          outcome.mean_icefrac = r.coupler.mean_icefrac;
+        }
+      }
+    }
+  };
+  run_mph_ok(registry,
+             {TestExec{{"atmosphere", "ocean", "land", "ice", "coupler"},
+                       "", 7, master}});
+  return outcome;
+}
+
+CoupledOutcome run_mcme(const ClimateConfig& cfg) {
+  // Three executables: [atmosphere+land], [ocean+ice], [coupler].
+  const std::string registry = R"(BEGIN
+Multi_Component_Begin
+atmosphere 0 1
+land 2 2
+Multi_Component_End
+Multi_Component_Begin
+ocean 0 1
+ice 2 2
+Multi_Component_End
+coupler
+END
+)";
+  CoupledOutcome outcome;
+  std::mutex mutex;
+  auto body = [&](Mph& h, const Comm&) {
+    const ComponentResult r = run_coupled_component(h, cfg);
+    if (r.component == "coupler" && h.local_proc_id() == 0) {
+      const std::lock_guard<std::mutex> lock(mutex);
+      outcome.mean_sst = r.coupler.mean_sst;
+      outcome.mean_t_atm = r.coupler.mean_t_atm;
+      outcome.mean_icefrac = r.coupler.mean_icefrac;
+    }
+  };
+  run_mph_ok(registry,
+             {TestExec{{"atmosphere", "land"}, "", 3, body},
+              TestExec{{"ocean", "ice"}, "", 3, body},
+              TestExec{{"coupler"}, "", 1, body}});
+  return outcome;
+}
+
+}  // namespace
+
+TEST(CoupledIntegration, SCMEProducesPhysicalDiagnostics) {
+  const CoupledOutcome out = run_scme(test_config());
+  ASSERT_EQ(out.mean_sst.size(), 4u);
+  // The coupled system stays bounded and the atmosphere is warmer than the
+  // initially cold ocean.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_LT(std::abs(out.mean_sst[i]), 60.0);
+    EXPECT_LT(std::abs(out.mean_t_atm[i]), 60.0);
+    EXPECT_GE(out.mean_icefrac[i], 0.0);
+    EXPECT_LT(out.mean_icefrac[i], 1.0);
+  }
+  EXPECT_GT(out.mean_t_atm.back(), out.mean_sst.back());
+}
+
+TEST(CoupledIntegration, AirSeaCouplingWarmsOcean) {
+  // With coupling the initially cold ocean must warm toward the atmosphere
+  // over the run.
+  ClimateConfig cfg = test_config();
+  cfg.intervals = 8;
+  const CoupledOutcome out = run_scme(cfg);
+  ASSERT_EQ(out.mean_sst.size(), 8u);
+  EXPECT_GT(out.mean_sst.back(), out.mean_sst.front());
+}
+
+TEST(CoupledIntegration, AllThreeWiringsProduceIdenticalPhysics) {
+  // SCME vs MCSE vs MCME: identical processor counts per component,
+  // identical physics, different integration modes -> identical numbers.
+  const ClimateConfig cfg = test_config();
+  const CoupledOutcome scme = run_scme(cfg);
+  const CoupledOutcome mcse = run_mcse(cfg);
+  const CoupledOutcome mcme = run_mcme(cfg);
+  ASSERT_EQ(scme.mean_sst.size(), mcse.mean_sst.size());
+  ASSERT_EQ(scme.mean_sst.size(), mcme.mean_sst.size());
+  for (std::size_t i = 0; i < scme.mean_sst.size(); ++i) {
+    EXPECT_DOUBLE_EQ(scme.mean_sst[i], mcse.mean_sst[i]) << "interval " << i;
+    EXPECT_DOUBLE_EQ(scme.mean_sst[i], mcme.mean_sst[i]) << "interval " << i;
+    EXPECT_DOUBLE_EQ(scme.mean_t_atm[i], mcse.mean_t_atm[i]);
+    EXPECT_DOUBLE_EQ(scme.mean_t_atm[i], mcme.mean_t_atm[i]);
+  }
+}
+
+TEST(CoupledIntegration, ParallelMatchesSerialReferenceExactly) {
+  // The decisive correctness check: the distributed 5-component MPMD run
+  // must reproduce the single-process, direct-function-call composition of
+  // the same physics bit-for-bit (stencils, regrids, and diagnostics are
+  // all decomposition-independent).
+  const ClimateConfig cfg = test_config();
+  CouplerDiagnostics serial;
+  const minimpi::JobReport report = minimpi::run_spmd(
+      1,
+      [&](const Comm& world, const minimpi::ExecEnv&) {
+        serial = run_serial_reference(world, cfg);
+      },
+      test_job_options());
+  ASSERT_TRUE(report.ok) << report.abort_reason;
+
+  const CoupledOutcome parallel = run_scme(cfg);
+  ASSERT_EQ(serial.mean_sst.size(), parallel.mean_sst.size());
+  for (std::size_t i = 0; i < serial.mean_sst.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial.mean_sst[i], parallel.mean_sst[i])
+        << "interval " << i;
+    EXPECT_DOUBLE_EQ(serial.mean_t_atm[i], parallel.mean_t_atm[i]);
+    EXPECT_DOUBLE_EQ(serial.mean_icefrac[i], parallel.mean_icefrac[i]);
+  }
+}
+
+TEST(CoupledIntegration, ArbitraryComponentNamesWork) {
+  // §3(a): component names evolve (CCM -> CAM); nothing is hardwired.
+  ClimateConfig cfg = test_config();
+  cfg.intervals = 2;
+  FluxCoupler::Peers peers;
+  peers.atmosphere = "CAM";
+  peers.ocean = "POP";
+  peers.land = "CLM";
+  peers.ice = "CSIM";
+  auto body = [&](Mph& h, const Comm&) {
+    (void)run_coupled_component(h, cfg, peers, "cpl7");
+  };
+  run_mph_ok("BEGIN\nCAM\nPOP\nCLM\nCSIM\ncpl7\nEND\n",
+             {TestExec{{"CAM"}, "", 2, body}, TestExec{{"POP"}, "", 2, body},
+              TestExec{{"CLM"}, "", 1, body},
+              TestExec{{"CSIM"}, "", 1, body},
+              TestExec{{"cpl7"}, "", 1, body}});
+}
+
+// ---------------------------------------------------------------------------
+// MIME ensemble integration (§2.5).
+// ---------------------------------------------------------------------------
+
+namespace {
+/// Run a 3-instance ocean ensemble with the given control gain; returns
+/// the statistics history.
+std::vector<EnsembleSnapshot> run_ensemble(double gain, int intervals) {
+  ClimateConfig cfg = test_config();
+  cfg.intervals = intervals;
+  const std::string registry = R"(BEGIN
+Multi_Instance_Begin
+Ocean1 0 1 diff=0.5
+Ocean2 2 3 diff=1.0
+Ocean3 4 5 diff=2.0
+Multi_Instance_End
+statistics
+END
+)";
+  std::vector<EnsembleSnapshot> history;
+  std::mutex mutex;
+  run_mph_ok(
+      registry,
+      {TestExec{{}, "Ocean", 6,
+                [&cfg](Mph& h, const Comm&) {
+                  const EnsembleResult r =
+                      run_ensemble_instance(h, cfg, "statistics");
+                  EXPECT_EQ(r.my_means.size(),
+                            static_cast<std::size_t>(cfg.intervals));
+                }},
+       TestExec{{"statistics"}, "", 1,
+                [&, gain](Mph& h, const Comm&) {
+                  const EnsembleResult r =
+                      run_ensemble_statistics(h, cfg, "Ocean", gain);
+                  if (h.local_proc_id() == 0) {
+                    const std::lock_guard<std::mutex> lock(mutex);
+                    history = r.snapshots;
+                  }
+                }}});
+  return history;
+}
+}  // namespace
+
+TEST(EnsembleIntegration, StatisticsAggregateEveryInterval) {
+  const auto history = run_ensemble(/*gain=*/0.0, /*intervals=*/5);
+  ASSERT_EQ(history.size(), 5u);
+  for (const EnsembleSnapshot& s : history) {
+    EXPECT_LE(s.min, s.median);
+    EXPECT_LE(s.median, s.max);
+    EXPECT_GE(s.variance, 0.0);
+  }
+}
+
+TEST(EnsembleIntegration, PerturbedDiffusivitiesCreateSpread) {
+  const auto history = run_ensemble(0.0, 6);
+  // Instances start identical but diverge: spread grows from interval 1.
+  EXPECT_GT(history.back().variance, 0.0);
+  EXPECT_GT(history.back().max, history.back().min);
+}
+
+TEST(EnsembleIntegration, DynamicControlShrinksSpread) {
+  // §2.5(b): "the future simulation direction can be dynamically adjusted
+  // at real time" — with a strong nudge toward the ensemble mean, the final
+  // spread must be smaller than without control.
+  const auto free_run = run_ensemble(0.0, 6);
+  const auto steered = run_ensemble(0.9, 6);
+  ASSERT_EQ(free_run.size(), steered.size());
+  EXPECT_LT(steered.back().variance, free_run.back().variance);
+}

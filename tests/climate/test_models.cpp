@@ -1,0 +1,267 @@
+// Physics sanity of the four component models, run standalone on small
+// communicators (each model must work in stand-alone mode — paper §2.3:
+// "flags to detect if the executable is running in a stand-alone mode").
+#include "src/climate/models.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/minimpi/launcher.hpp"
+#include "tests/mph/mph_test_util.hpp"
+
+using namespace mph::climate;
+using minimpi::Comm;
+
+namespace {
+ClimateConfig small_config() {
+  ClimateConfig cfg;
+  cfg.atm_nlon = 8;
+  cfg.atm_nlat = 6;
+  cfg.ocn_nlon = 12;
+  cfg.ocn_nlat = 8;
+  return cfg;
+}
+
+void run_ok(int nprocs, std::function<void(const Comm&)> entry) {
+  const minimpi::JobReport report = minimpi::run_spmd(
+      nprocs,
+      [&](const Comm& world, const minimpi::ExecEnv&) { entry(world); },
+      mph::testing::test_job_options());
+  ASSERT_TRUE(report.ok) << report.abort_reason << " / "
+                         << report.first_error();
+}
+}  // namespace
+
+TEST(Atmosphere, StandaloneConvergesTowardRadiativeEquilibrium) {
+  run_ok(2, [](const Comm& world) {
+    const ClimateConfig cfg = small_config();
+    Atmosphere model(cfg, world);
+    const double initial = model.global_mean();
+    for (int s = 0; s < 200; ++s) model.step();
+    const double final_mean = model.global_mean();
+    // Radiative equilibrium mean is dominated by the warm low latitudes.
+    EXPECT_GT(final_mean, 0.0);
+    EXPECT_LT(std::abs(final_mean), 50.0);  // bounded, no blow-up
+    (void)initial;
+    // Repeating steps changes nothing much once relaxed (steady state).
+    const double before = model.global_mean();
+    for (int s = 0; s < 50; ++s) model.step();
+    EXPECT_NEAR(model.global_mean(), before, 0.5);
+  });
+}
+
+TEST(Atmosphere, SstImportWarmsTheBoundary) {
+  run_ok(2, [](const Comm& world) {
+    const ClimateConfig cfg = small_config();
+    Atmosphere cold(cfg, world);
+    Atmosphere warm(cfg, world);
+    const auto n = static_cast<std::size_t>(
+        static_cast<std::int64_t>(cfg.atm_nlon) * cfg.atm_nlat);
+    std::vector<double> hot_sst, cold_sst;
+    if (world.rank() == 0) {
+      hot_sst.assign(n, 40.0);
+      cold_sst.assign(n, -40.0);
+    }
+    warm.import_sst(hot_sst);
+    cold.import_sst(cold_sst);
+    for (int s = 0; s < 100; ++s) {
+      warm.step();
+      cold.step();
+    }
+    EXPECT_GT(warm.global_mean(), cold.global_mean() + 10.0);
+  });
+}
+
+TEST(Atmosphere, DeterministicAcrossRankCounts) {
+  // The same physics on 1 vs 3 ranks must agree to roundoff: the model is
+  // a pure data-parallel stencil.
+  const ClimateConfig cfg = small_config();
+  double mean1 = 0, mean3 = 0;
+  run_ok(1, [&](const Comm& world) {
+    Atmosphere model(cfg, world);
+    for (int s = 0; s < 30; ++s) model.step();
+    mean1 = model.global_mean();
+  });
+  run_ok(3, [&](const Comm& world) {
+    Atmosphere model(cfg, world);
+    for (int s = 0; s < 30; ++s) model.step();
+    if (world.rank() == 0) mean3 = model.global_mean();
+    else model.global_mean();  // collective: every rank participates
+  });
+  EXPECT_NEAR(mean1, mean3, 1e-9);
+}
+
+TEST(Atmosphere, MeanExportAveragesOverInterval) {
+  run_ok(1, [](const Comm& world) {
+    const ClimateConfig cfg = small_config();
+    Atmosphere model(cfg, world);
+    // Manual reference: average the instantaneous exports over 3 steps.
+    Atmosphere reference(cfg, world);
+    std::vector<double> sum;
+    for (int s = 0; s < 3; ++s) {
+      reference.step();
+      const std::vector<double> inst = reference.export_temperature();
+      if (sum.empty()) sum.assign(inst.size(), 0.0);
+      for (std::size_t i = 0; i < inst.size(); ++i) sum[i] += inst[i];
+    }
+    for (int s = 0; s < 3; ++s) model.step();
+    const std::vector<double> mean = model.export_temperature_mean();
+    ASSERT_EQ(mean.size(), sum.size());
+    for (std::size_t i = 0; i < mean.size(); ++i) {
+      EXPECT_NEAR(mean[i], sum[i] / 3.0, 1e-12);
+    }
+    // The accumulator reset: exporting again without stepping falls back
+    // to the instantaneous field.
+    const std::vector<double> inst_now = model.export_temperature();
+    const std::vector<double> mean_again = model.export_temperature_mean();
+    for (std::size_t i = 0; i < inst_now.size(); ++i) {
+      EXPECT_DOUBLE_EQ(mean_again[i], inst_now[i]);
+    }
+  });
+}
+
+TEST(Ocean, MeanExportDiffersFromInstantaneousWhileEvolving) {
+  run_ok(2, [](const Comm& world) {
+    const ClimateConfig cfg = small_config();
+    Ocean model(cfg, world);
+    const auto n = static_cast<std::size_t>(
+        static_cast<std::int64_t>(cfg.ocn_nlon) * cfg.ocn_nlat);
+    std::vector<double> flux;
+    if (world.rank() == 0) flux.assign(n, 20.0);  // strong steady heating
+    model.import_flux(flux);
+    for (int s = 0; s < 5; ++s) model.step();
+    const std::vector<double> inst = model.export_sst();
+    const std::vector<double> mean = model.export_sst_mean();
+    if (world.rank() == 0) {
+      // Monotone warming: the interval mean lags the final state.
+      double mean_sum = 0, inst_sum = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        mean_sum += mean[i];
+        inst_sum += inst[i];
+      }
+      EXPECT_LT(mean_sum, inst_sum);
+    }
+  });
+}
+
+TEST(Ocean, FluxForcingWarmsSlab) {
+  run_ok(2, [](const Comm& world) {
+    const ClimateConfig cfg = small_config();
+    Ocean model(cfg, world);
+    const double before = model.global_mean();
+    const auto n = static_cast<std::size_t>(
+        static_cast<std::int64_t>(cfg.ocn_nlon) * cfg.ocn_nlat);
+    std::vector<double> flux;
+    if (world.rank() == 0) flux.assign(n, 10.0);  // uniform heating
+    model.import_flux(flux);
+    for (int s = 0; s < 50; ++s) model.step();
+    EXPECT_GT(model.global_mean(), before + 1.0);
+  });
+}
+
+TEST(Ocean, DiffusionSmoothsWithoutChangingMean) {
+  run_ok(2, [](const Comm& world) {
+    const ClimateConfig cfg = small_config();
+    Ocean model(cfg, world);
+    const double before = model.global_mean();
+    for (int s = 0; s < 100; ++s) model.step();  // no flux: pure diffusion
+    // Zero-flux boundaries: the (unweighted) content is conserved; the
+    // area-weighted mean drifts only slightly as gradients relax.
+    EXPECT_NEAR(model.global_mean(), before, 1.0);
+  });
+}
+
+TEST(Ocean, NudgeShiftsState) {
+  run_ok(1, [](const Comm& world) {
+    const ClimateConfig cfg = small_config();
+    Ocean model(cfg, world);
+    const double before = model.global_mean();
+    model.nudge(2.5);
+    EXPECT_NEAR(model.global_mean(), before + 2.5, 1e-9);
+  });
+}
+
+TEST(Ocean, DiffusivityScalingChangesEvolution) {
+  run_ok(1, [](const Comm& world) {
+    const ClimateConfig cfg = small_config();
+    Ocean slow(cfg, world);
+    Ocean fast(cfg, world);
+    fast.scale_diffusivity(4.0);
+    for (int s = 0; s < 40; ++s) {
+      slow.step();
+      fast.step();
+    }
+    // Different diffusivities must produce measurably different states —
+    // the spread the ensemble experiments rely on.
+    EXPECT_NE(slow.global_mean(), fast.global_mean());
+  });
+}
+
+TEST(Land, BucketApproachesPrecipEvapBalance) {
+  run_ok(2, [](const Comm& world) {
+    const ClimateConfig cfg = small_config();
+    Land model(cfg, world);
+    const auto n = static_cast<std::size_t>(
+        static_cast<std::int64_t>(cfg.atm_nlon) * cfg.atm_nlat);
+    std::vector<double> t_atm;
+    if (world.rank() == 0) t_atm.assign(n, 15.0);  // warm: steady precip
+    model.import_temperature(t_atm);
+    for (int s = 0; s < 400; ++s) model.step();
+    // Equilibrium: W* = precip_rate * T / beta = 0.1*15/0.3 = 5.
+    EXPECT_NEAR(model.global_mean(), 5.0, 0.2);
+  });
+}
+
+TEST(Land, ColdClimateDriesTheBucket) {
+  run_ok(1, [](const Comm& world) {
+    const ClimateConfig cfg = small_config();
+    Land model(cfg, world);
+    const auto n = static_cast<std::size_t>(
+        static_cast<std::int64_t>(cfg.atm_nlon) * cfg.atm_nlat);
+    std::vector<double> t_atm(n, -20.0);  // no precipitation below zero
+    model.import_temperature(t_atm);
+    for (int s = 0; s < 400; ++s) model.step();
+    // W decays as (1 - dt*beta)^steps ≈ 2.4e-3 of the initial bucket.
+    EXPECT_NEAR(model.global_mean(), 0.0, 0.01);
+  });
+}
+
+TEST(SeaIce, GrowsWhenColdMeltsWhenWarm) {
+  run_ok(2, [](const Comm& world) {
+    const ClimateConfig cfg = small_config();
+    const auto n = static_cast<std::size_t>(
+        static_cast<std::int64_t>(cfg.ocn_nlon) * cfg.ocn_nlat);
+
+    SeaIce frozen(cfg, world);
+    std::vector<double> cold;
+    if (world.rank() == 0) cold.assign(n, -10.0);
+    frozen.import_sst(cold);
+    const double h0 = frozen.global_mean_thickness();
+    for (int s = 0; s < 50; ++s) frozen.step();
+    EXPECT_GT(frozen.global_mean_thickness(), h0);
+
+    SeaIce melting(cfg, world);
+    std::vector<double> warm;
+    if (world.rank() == 0) warm.assign(n, 10.0);
+    melting.import_sst(warm);
+    for (int s = 0; s < 500; ++s) melting.step();
+    EXPECT_NEAR(melting.global_mean_thickness(), 0.0, 1e-6);
+  });
+}
+
+TEST(SeaIce, ThicknessNeverNegativeAndFractionBounded) {
+  run_ok(1, [](const Comm& world) {
+    const ClimateConfig cfg = small_config();
+    SeaIce model(cfg, world);
+    const auto n = static_cast<std::size_t>(
+        static_cast<std::int64_t>(cfg.ocn_nlon) * cfg.ocn_nlat);
+    std::vector<double> hot(n, 30.0);
+    model.import_sst(hot);
+    for (int s = 0; s < 100; ++s) model.step();
+    EXPECT_GE(model.global_mean_thickness(), 0.0);
+    const std::vector<double> frac = model.export_fraction();
+    for (double f : frac) {
+      EXPECT_GE(f, 0.0);
+      EXPECT_LT(f, 1.0);
+    }
+  });
+}

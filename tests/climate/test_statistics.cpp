@@ -1,0 +1,77 @@
+// EnsembleStatistics: the §2.5 aggregation and dynamic-control machinery.
+#include "src/climate/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace mph::climate;
+
+TEST(Median, OddCount) {
+  EXPECT_DOUBLE_EQ(EnsembleStatistics::median_of({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(EnsembleStatistics::median_of({5}), 5.0);
+}
+
+TEST(Median, EvenCount) {
+  EXPECT_DOUBLE_EQ(EnsembleStatistics::median_of({4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(EnsembleStatistics::median_of({10, 20}), 15.0);
+}
+
+TEST(Median, Duplicates) {
+  EXPECT_DOUBLE_EQ(EnsembleStatistics::median_of({2, 2, 2, 9}), 2.0);
+}
+
+TEST(Median, EmptyThrows) {
+  EXPECT_THROW((void)EnsembleStatistics::median_of({}), std::invalid_argument);
+}
+
+TEST(Aggregate, KnownStatistics) {
+  EnsembleStatistics stats(4);
+  const EnsembleSnapshot snap = stats.aggregate({1.0, 3.0, 5.0, 7.0});
+  EXPECT_DOUBLE_EQ(snap.mean, 4.0);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 7.0);
+  EXPECT_DOUBLE_EQ(snap.median, 4.0);
+  EXPECT_NEAR(snap.variance, 20.0 / 3.0, 1e-12);
+  EXPECT_EQ(stats.history().size(), 1u);
+}
+
+TEST(Aggregate, MedianDiffersFromMeanOnSkewedSamples) {
+  // The nonlinear statistic the paper says cannot be post-processed from
+  // independent runs: an outlier pulls the mean but not the median.
+  EnsembleStatistics stats(5);
+  const EnsembleSnapshot snap = stats.aggregate({1, 1, 1, 1, 100});
+  EXPECT_DOUBLE_EQ(snap.median, 1.0);
+  EXPECT_NEAR(snap.mean, 20.8, 1e-12);
+  EXPECT_GT(snap.mean, snap.median);
+}
+
+TEST(Aggregate, WrongSampleCountThrows) {
+  EnsembleStatistics stats(3);
+  EXPECT_THROW((void)stats.aggregate({1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Aggregate, HistoryAccumulates) {
+  EnsembleStatistics stats(2);
+  stats.aggregate({0.0, 2.0});
+  stats.aggregate({10.0, 20.0});
+  ASSERT_EQ(stats.history().size(), 2u);
+  EXPECT_DOUBLE_EQ(stats.history()[0].mean, 1.0);
+  EXPECT_DOUBLE_EQ(stats.history()[1].mean, 15.0);
+}
+
+TEST(ControlNudges, PullTowardMean) {
+  EnsembleStatistics stats(3);
+  const std::vector<double> samples{1.0, 4.0, 7.0};
+  const std::vector<double> nudges = stats.control_nudges(samples, 4.0, 0.5);
+  ASSERT_EQ(nudges.size(), 3u);
+  EXPECT_DOUBLE_EQ(nudges[0], 1.5);   // below mean: pushed up
+  EXPECT_DOUBLE_EQ(nudges[1], 0.0);   // at the mean: untouched
+  EXPECT_DOUBLE_EQ(nudges[2], -1.5);  // above mean: pushed down
+}
+
+TEST(ControlNudges, ZeroGainDisablesControl) {
+  EnsembleStatistics stats(2);
+  const std::vector<double> nudges =
+      stats.control_nudges({3.0, 9.0}, 6.0, 0.0);
+  EXPECT_DOUBLE_EQ(nudges[0], 0.0);
+  EXPECT_DOUBLE_EQ(nudges[1], 0.0);
+}

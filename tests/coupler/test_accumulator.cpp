@@ -1,0 +1,126 @@
+// FieldAccumulator: interval time-averaging of coupling fields, and the
+// multi-field Router transfer.
+#include "src/coupler/accumulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/coupler/field.hpp"
+#include "src/coupler/router.hpp"
+#include "tests/mph/mph_test_util.hpp"
+
+using namespace mph::coupler;
+
+TEST(Accumulator, MeanOfSamples) {
+  FieldAccumulator acc(3);
+  const std::vector<double> a{1, 2, 3};
+  const std::vector<double> b{3, 4, 5};
+  acc.add(a);
+  acc.add(b);
+  EXPECT_EQ(acc.samples(), 2);
+  const std::vector<double> mean = acc.mean();
+  EXPECT_DOUBLE_EQ(mean[0], 2.0);
+  EXPECT_DOUBLE_EQ(mean[1], 3.0);
+  EXPECT_DOUBLE_EQ(mean[2], 4.0);
+}
+
+TEST(Accumulator, DrainResets) {
+  FieldAccumulator acc(1);
+  acc.add(std::vector<double>{10.0});
+  EXPECT_DOUBLE_EQ(acc.drain()[0], 10.0);
+  EXPECT_EQ(acc.samples(), 0);
+  acc.add(std::vector<double>{4.0});
+  EXPECT_DOUBLE_EQ(acc.mean()[0], 4.0);  // previous interval forgotten
+}
+
+TEST(Accumulator, SingleSampleIsIdentity) {
+  FieldAccumulator acc(2);
+  acc.add(std::vector<double>{7.5, -1.0});
+  const auto mean = acc.mean();
+  EXPECT_DOUBLE_EQ(mean[0], 7.5);
+  EXPECT_DOUBLE_EQ(mean[1], -1.0);
+}
+
+TEST(Accumulator, Errors) {
+  FieldAccumulator acc(2);
+  EXPECT_THROW(acc.add(std::vector<double>{1.0}), std::invalid_argument);
+  EXPECT_THROW((void)acc.mean(), std::logic_error);
+}
+
+TEST(Accumulator, ManyIntervalsStayExact) {
+  FieldAccumulator acc(1);
+  for (int interval = 0; interval < 5; ++interval) {
+    for (int s = 0; s < 4; ++s) {
+      acc.add(std::vector<double>{static_cast<double>(interval * 4 + s)});
+    }
+    const double mean = acc.drain()[0];
+    EXPECT_DOUBLE_EQ(mean, interval * 4 + 1.5);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Router::transfer_many
+// ---------------------------------------------------------------------------
+
+TEST(TransferMany, ThreeFieldsOneMessagePerPeer) {
+  using namespace mph;
+  using namespace mph::testing;
+  const std::string registry = "BEGIN\nsrc\ndst\nEND\n";
+  const Decomp src = Decomp::block(12, 2);
+  const Decomp dst = Decomp::cyclic(12, 2, 1);
+
+  run_mph_ok(
+      registry,
+      {TestExec{{"src"}, "", 2,
+                [&](Mph& h, const minimpi::Comm&) {
+                  const minimpi::Comm joint = h.comm_join("src", "dst");
+                  const Router r(joint, src, dst, Side::source);
+                  Field f1(src, h.local_proc_id());
+                  Field f2(src, h.local_proc_id());
+                  Field f3(src, h.local_proc_id());
+                  f1.fill([](std::int64_t g) { return 1.0 * g; });
+                  f2.fill([](std::int64_t g) { return 100.0 + g; });
+                  f3.fill([](std::int64_t g) { return -2.0 * g; });
+                  const std::span<const double> srcs[] = {f1.data(), f2.data(),
+                                                          f3.data()};
+                  r.transfer_many(srcs, {}, 5);
+                }},
+       TestExec{{"dst"}, "", 2,
+                [&](Mph& h, const minimpi::Comm&) {
+                  const minimpi::Comm joint = h.comm_join("src", "dst");
+                  const Router r(joint, src, dst, Side::destination);
+                  Field g1(dst, h.local_proc_id());
+                  Field g2(dst, h.local_proc_id());
+                  Field g3(dst, h.local_proc_id());
+                  const std::span<double> dsts[] = {g1.data(), g2.data(),
+                                                    g3.data()};
+                  r.transfer_many({}, dsts, 5);
+                  for (std::size_t l = 0; l < g1.local_size(); ++l) {
+                    const std::int64_t g = dst.to_global(
+                        h.local_proc_id(), static_cast<std::int64_t>(l));
+                    EXPECT_DOUBLE_EQ(g1.data()[l], 1.0 * g);
+                    EXPECT_DOUBLE_EQ(g2.data()[l], 100.0 + g);
+                    EXPECT_DOUBLE_EQ(g3.data()[l], -2.0 * g);
+                  }
+                }}});
+}
+
+TEST(TransferMany, ZeroFieldsIsNoOp) {
+  using namespace mph;
+  using namespace mph::testing;
+  const std::string registry = "BEGIN\nsrc\ndst\nEND\n";
+  const Decomp src = Decomp::block(4, 1);
+  const Decomp dst = Decomp::block(4, 1);
+  run_mph_ok(registry,
+             {TestExec{{"src"}, "", 1,
+                       [&](Mph& h, const minimpi::Comm&) {
+                         const minimpi::Comm joint = h.comm_join("src", "dst");
+                         const Router r(joint, src, dst, Side::source);
+                         r.transfer_many({}, {}, 1);
+                       }},
+              TestExec{{"dst"}, "", 1,
+                       [&](Mph& h, const minimpi::Comm&) {
+                         const minimpi::Comm joint = h.comm_join("src", "dst");
+                         const Router r(joint, src, dst, Side::destination);
+                         r.transfer_many({}, {}, 1);
+                       }}});
+}

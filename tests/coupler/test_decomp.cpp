@@ -1,0 +1,113 @@
+// Decomp: block/cyclic/explicit decompositions and index translation.
+#include "src/coupler/decomp.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace mph::coupler;
+
+TEST(DecompBlock, EvenDivision) {
+  const Decomp d = Decomp::block(12, 4);
+  EXPECT_EQ(d.nranks(), 4);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(d.local_size(r), 3);
+    ASSERT_EQ(d.segments(r).size(), 1u);
+    EXPECT_EQ(d.segments(r)[0].gstart, 3 * r);
+  }
+}
+
+TEST(DecompBlock, RemainderGoesToLowRanks) {
+  const Decomp d = Decomp::block(10, 3);
+  EXPECT_EQ(d.local_size(0), 4);
+  EXPECT_EQ(d.local_size(1), 3);
+  EXPECT_EQ(d.local_size(2), 3);
+  EXPECT_EQ(d.segments(1)[0].gstart, 4);
+  EXPECT_EQ(d.segments(2)[0].gstart, 7);
+}
+
+TEST(DecompBlock, MoreRanksThanIndices) {
+  const Decomp d = Decomp::block(2, 4);
+  EXPECT_EQ(d.local_size(0), 1);
+  EXPECT_EQ(d.local_size(1), 1);
+  EXPECT_EQ(d.local_size(2), 0);
+  EXPECT_TRUE(d.segments(3).empty());
+}
+
+TEST(DecompBlock, EmptyGlobal) {
+  const Decomp d = Decomp::block(0, 2);
+  EXPECT_EQ(d.local_size(0), 0);
+  EXPECT_EQ(d.local_size(1), 0);
+}
+
+TEST(DecompCyclic, RoundRobinChunks) {
+  const Decomp d = Decomp::cyclic(10, 3, 2);
+  // Chunks: [0,2)->r0, [2,4)->r1, [4,6)->r2, [6,8)->r0, [8,10)->r1.
+  EXPECT_EQ(d.local_size(0), 4);
+  EXPECT_EQ(d.local_size(1), 4);
+  EXPECT_EQ(d.local_size(2), 2);
+  EXPECT_EQ(d.segments(0)[1].gstart, 6);
+}
+
+TEST(DecompCyclic, PureCyclic) {
+  const Decomp d = Decomp::cyclic(6, 2, 1);
+  EXPECT_EQ(d.owner_of(0), 0);
+  EXPECT_EQ(d.owner_of(1), 1);
+  EXPECT_EQ(d.owner_of(4), 0);
+  EXPECT_EQ(d.owner_of(5), 1);
+}
+
+TEST(Decomp, OwnerAndTranslationRoundTrip) {
+  for (const Decomp& d :
+       {Decomp::block(17, 5), Decomp::cyclic(17, 5, 3)}) {
+    for (std::int64_t g = 0; g < 17; ++g) {
+      const int owner = d.owner_of(g);
+      const std::int64_t l = d.to_local(owner, g);
+      ASSERT_GE(l, 0);
+      EXPECT_EQ(d.to_global(owner, l), g);
+      // Non-owners report -1.
+      for (int r = 0; r < d.nranks(); ++r) {
+        if (r != owner) EXPECT_EQ(d.to_local(r, g), -1);
+      }
+    }
+  }
+}
+
+TEST(DecompFromSegments, ValidExplicitLayout) {
+  const Decomp d = Decomp::from_segments(
+      8, {{Segment{0, 2}, Segment{6, 2}}, {Segment{2, 4}}});
+  EXPECT_EQ(d.local_size(0), 4);
+  EXPECT_EQ(d.local_size(1), 4);
+  EXPECT_EQ(d.to_global(0, 2), 6);  // second segment starts after the first
+  EXPECT_EQ(d.to_local(0, 7), 3);
+}
+
+TEST(DecompFromSegments, RejectsOverlap) {
+  EXPECT_THROW(
+      (void)Decomp::from_segments(4, {{Segment{0, 3}}, {Segment{2, 2}}}),
+      std::invalid_argument);
+}
+
+TEST(DecompFromSegments, RejectsGap) {
+  EXPECT_THROW(
+      (void)Decomp::from_segments(5, {{Segment{0, 2}}, {Segment{3, 2}}}),
+      std::invalid_argument);
+}
+
+TEST(DecompFromSegments, RejectsOutOfBounds) {
+  EXPECT_THROW((void)Decomp::from_segments(3, {{Segment{0, 4}}}),
+               std::invalid_argument);
+}
+
+TEST(DecompFromSegments, RejectsShortCoverage) {
+  EXPECT_THROW((void)Decomp::from_segments(5, {{Segment{0, 3}}}),
+               std::invalid_argument);
+}
+
+TEST(Decomp, InvalidArguments) {
+  EXPECT_THROW((void)Decomp::block(-1, 2), std::invalid_argument);
+  EXPECT_THROW((void)Decomp::block(4, 0), std::invalid_argument);
+  EXPECT_THROW((void)Decomp::cyclic(4, 2, 0), std::invalid_argument);
+  const Decomp d = Decomp::block(4, 2);
+  EXPECT_THROW((void)d.owner_of(4), std::invalid_argument);
+  EXPECT_THROW((void)d.segments(2), std::invalid_argument);
+  EXPECT_THROW((void)d.to_global(0, 9), std::invalid_argument);
+}

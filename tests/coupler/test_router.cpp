@@ -1,0 +1,161 @@
+// Router: redistribution between decompositions over a joint communicator
+// built by MPH_comm_join — including the full MPH + Field integration and
+// randomized property checks.
+#include "src/coupler/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/coupler/field.hpp"
+#include "src/util/rng.hpp"
+#include "tests/mph/mph_test_util.hpp"
+
+using namespace mph;
+using namespace mph::coupler;
+using namespace mph::testing;
+using minimpi::Comm;
+
+namespace {
+
+/// Run source (nA ranks) and destination (nB ranks) components, build the
+/// joint comm via MPH, and transfer a field initialized to f(g) = 3g + 1.
+/// Every destination rank verifies its received values.
+void run_transfer(int n_src, int n_dst, const Decomp& src, const Decomp& dst) {
+  const std::string registry = "BEGIN\nsrc\ndst\nEND\n";
+  auto src_body = [&](Mph& h, const Comm&) {
+    const Comm joint = h.comm_join("src", "dst");
+    const Router router(joint, src, dst, Side::source);
+    Field field(src, h.local_proc_id());
+    field.fill([](std::int64_t g) { return 3.0 * g + 1.0; });
+    router.transfer(field.data(), {}, 9);
+  };
+  auto dst_body = [&](Mph& h, const Comm&) {
+    const Comm joint = h.comm_join("src", "dst");
+    const Router router(joint, src, dst, Side::destination);
+    Field field(dst, h.local_proc_id());
+    router.transfer({}, field.data(), 9);
+    for (std::size_t l = 0; l < field.local_size(); ++l) {
+      const std::int64_t g =
+          dst.to_global(h.local_proc_id(), static_cast<std::int64_t>(l));
+      EXPECT_DOUBLE_EQ(field.at_local(static_cast<std::int64_t>(l)),
+                       3.0 * g + 1.0)
+          << "global index " << g;
+    }
+  };
+  run_mph_ok(registry, {TestExec{{"src"}, "", n_src, src_body},
+                        TestExec{{"dst"}, "", n_dst, dst_body}});
+}
+
+}  // namespace
+
+TEST(Router, BlockToBlockDifferentCounts) {
+  run_transfer(3, 2, Decomp::block(24, 3), Decomp::block(24, 2));
+}
+
+TEST(Router, BlockToCyclic) {
+  run_transfer(2, 3, Decomp::block(20, 2), Decomp::cyclic(20, 3, 1));
+}
+
+TEST(Router, CyclicToCyclicDifferentChunks) {
+  run_transfer(2, 2, Decomp::cyclic(30, 2, 3), Decomp::cyclic(30, 2, 5));
+}
+
+TEST(Router, SingleRankEachSide) {
+  run_transfer(1, 1, Decomp::block(7, 1), Decomp::block(7, 1));
+}
+
+TEST(Router, ManyToOneGather) {
+  run_transfer(4, 1, Decomp::block(16, 4), Decomp::block(16, 1));
+}
+
+TEST(Router, OneToManyScatter) {
+  run_transfer(1, 4, Decomp::block(16, 1), Decomp::block(16, 4));
+}
+
+/// Property sweep: random explicit decompositions on both sides.
+class RouterProperty : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, RouterProperty, ::testing::Range(0, 8));
+
+TEST_P(RouterProperty, RandomDecompositionsTransferExactly) {
+  mph::util::Rng rng(777 + static_cast<unsigned>(GetParam()));
+  const std::int64_t n = rng.range(8, 64);
+  const int n_src = static_cast<int>(rng.range(1, 3));
+  const int n_dst = static_cast<int>(rng.range(1, 3));
+  const Decomp src = rng.uniform() < 0.5 ? Decomp::block(n, n_src)
+                                         : Decomp::cyclic(n, n_src,
+                                                          rng.range(1, 4));
+  const Decomp dst = rng.uniform() < 0.5 ? Decomp::block(n, n_dst)
+                                         : Decomp::cyclic(n, n_dst,
+                                                          rng.range(1, 4));
+  run_transfer(n_src, n_dst, src, dst);
+}
+
+TEST(Router, ScheduleStatistics) {
+  // 2 src block ranks x 2 dst cyclic ranks over 8 indices: every src rank
+  // talks to both dst ranks; every element moves exactly once.
+  const std::string registry = "BEGIN\nsrc\ndst\nEND\n";
+  const Decomp src = Decomp::block(8, 2);
+  const Decomp dst = Decomp::cyclic(8, 2, 1);
+  run_mph_ok(
+      registry,
+      {TestExec{{"src"}, "", 2,
+                [&](Mph& h, const Comm&) {
+                  const Comm joint = h.comm_join("src", "dst");
+                  const Router r(joint, src, dst, Side::source);
+                  EXPECT_EQ(r.message_count(), 2u);
+                  EXPECT_EQ(r.element_count(), 4);
+                  EXPECT_EQ(r.side_rank(), h.local_proc_id());
+                  Field f(src, h.local_proc_id());
+                  r.transfer(f.data(), {}, 0);
+                }},
+       TestExec{{"dst"}, "", 2,
+                [&](Mph& h, const Comm&) {
+                  const Comm joint = h.comm_join("src", "dst");
+                  const Router r(joint, src, dst, Side::destination);
+                  EXPECT_EQ(r.message_count(), 2u);
+                  EXPECT_EQ(r.element_count(), 4);
+                  Field f(dst, h.local_proc_id());
+                  r.transfer({}, f.data(), 0);
+                }}});
+}
+
+TEST(Router, ConstructionValidation) {
+  // Validation happens before any communication, so a plain SPMD job works.
+  const minimpi::JobReport report = minimpi::run_spmd(
+      3,
+      [](const Comm& world, const minimpi::ExecEnv&) {
+        // Global size mismatch.
+        EXPECT_THROW(Router(world, Decomp::block(8, 2), Decomp::block(9, 1),
+                            Side::source),
+                     std::invalid_argument);
+        // Rank count mismatch: 2 + 1 == 3 ok, but 2 + 2 != 3.
+        EXPECT_THROW(Router(world, Decomp::block(8, 2), Decomp::block(8, 2),
+                            Side::source),
+                     std::invalid_argument);
+        // Side / rank range mismatch.
+        if (world.rank() == 2) {
+          EXPECT_THROW(Router(world, Decomp::block(8, 2),
+                              Decomp::block(8, 1), Side::source),
+                       std::invalid_argument);
+        } else {
+          EXPECT_THROW(Router(world, Decomp::block(8, 2),
+                              Decomp::block(8, 1), Side::destination),
+                       std::invalid_argument);
+        }
+      },
+      test_job_options());
+  ASSERT_TRUE(report.ok) << report.abort_reason;
+}
+
+TEST(Field, SumMinMaxAndFill) {
+  const minimpi::JobReport report = minimpi::run_spmd(
+      3,
+      [](const Comm& world, const minimpi::ExecEnv&) {
+        Field f(Decomp::block(9, 3), world.rank());
+        f.fill([](std::int64_t g) { return static_cast<double>(g); });
+        EXPECT_DOUBLE_EQ(f.global_sum(world), 36.0);  // 0+..+8
+        EXPECT_DOUBLE_EQ(f.global_min(world), 0.0);
+        EXPECT_DOUBLE_EQ(f.global_max(world), 8.0);
+      },
+      test_job_options());
+  ASSERT_TRUE(report.ok) << report.abort_reason;
+}

@@ -1,0 +1,63 @@
+// TimeManager and Alarm semantics.
+#include "src/coupler/timemgr.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace mph::coupler;
+
+TEST(Alarm, RingsAtMultiples) {
+  const Alarm a("couple", 10.0);
+  EXPECT_TRUE(a.ringing(9.0, 10.0));
+  EXPECT_TRUE(a.ringing(19.5, 20.5));
+  EXPECT_FALSE(a.ringing(10.0, 19.0));
+  EXPECT_FALSE(a.ringing(0.0, 9.9));
+}
+
+TEST(Alarm, RejectsNonPositiveInterval) {
+  EXPECT_THROW(Alarm("bad", 0.0), std::invalid_argument);
+  EXPECT_THROW(Alarm("bad", -1.0), std::invalid_argument);
+}
+
+TEST(TimeManager, StepsAndTime) {
+  TimeManager tm(2.0, 10.0);
+  EXPECT_EQ(tm.step(), 0);
+  EXPECT_DOUBLE_EQ(tm.time(), 0.0);
+  EXPECT_FALSE(tm.done());
+  int steps = 0;
+  while (!tm.done()) {
+    tm.advance();
+    ++steps;
+  }
+  EXPECT_EQ(steps, 5);
+  EXPECT_DOUBLE_EQ(tm.time(), 10.0);
+}
+
+TEST(TimeManager, AlarmsFireOnSchedule) {
+  TimeManager tm(1.0, 12.0);
+  tm.add_alarm("couple", 3.0);
+  tm.add_alarm("output", 6.0);
+  int couple_count = 0, output_count = 0;
+  while (!tm.done()) {
+    const auto fired = tm.advance();
+    if (tm.alarm_rang("couple", fired)) ++couple_count;
+    if (tm.alarm_rang("output", fired)) ++output_count;
+  }
+  EXPECT_EQ(couple_count, 4);  // t = 3, 6, 9, 12
+  EXPECT_EQ(output_count, 2);  // t = 6, 12
+}
+
+TEST(TimeManager, AlarmMustBeMultipleOfDt) {
+  TimeManager tm(2.0, 10.0);
+  EXPECT_NO_THROW(tm.add_alarm("ok", 6.0));
+  EXPECT_THROW(tm.add_alarm("bad", 5.0), std::invalid_argument);
+}
+
+TEST(TimeManager, InvalidConstruction) {
+  EXPECT_THROW(TimeManager(0.0, 5.0), std::invalid_argument);
+  EXPECT_THROW(TimeManager(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(TimeManager, ZeroStopIsImmediatelyDone) {
+  TimeManager tm(1.0, 0.0);
+  EXPECT_TRUE(tm.done());
+}

@@ -1,0 +1,137 @@
+// ArgumentSet: the paper §4.4 typed argument interface.
+#include "src/mph/arguments.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/mph/errors.hpp"
+
+using namespace mph;
+
+namespace {
+ArgumentSet paper_line() {
+  // "Ocean1 0 15 inf1 outf1 logf alpha=3 debug=on" — trailing tokens only.
+  return ArgumentSet::from_tokens({"inf1", "outf1", "logf", "alpha=3",
+                                   "debug=on"});
+}
+}  // namespace
+
+TEST(Arguments, PaperExampleIntAndBool) {
+  const ArgumentSet args = paper_line();
+  int alpha = 0;
+  EXPECT_TRUE(args.get("alpha", alpha));
+  EXPECT_EQ(alpha, 3);
+  bool debug = false;
+  EXPECT_TRUE(args.get("debug", debug));
+  EXPECT_TRUE(debug);
+}
+
+TEST(Arguments, PaperExampleDouble) {
+  const ArgumentSet args = ArgumentSet::from_tokens({"beta=4.5"});
+  double beta = 0;
+  EXPECT_TRUE(args.get("beta", beta));
+  EXPECT_DOUBLE_EQ(beta, 4.5);
+}
+
+TEST(Arguments, PositionalFieldsAreOneBased) {
+  // "fname will get string 'inf3' if such a string is in the first field".
+  const ArgumentSet args = paper_line();
+  std::string value;
+  EXPECT_TRUE(args.field(1, value));
+  EXPECT_EQ(value, "inf1");
+  EXPECT_TRUE(args.field(3, value));
+  EXPECT_EQ(value, "logf");
+  EXPECT_FALSE(args.field(4, value));  // only 3 positional fields
+}
+
+TEST(Arguments, FieldZeroThrows) {
+  const ArgumentSet args = paper_line();
+  std::string value;
+  EXPECT_THROW((void)args.field(0, value), ArgumentError);
+}
+
+TEST(Arguments, MissingKeyReturnsFalseAndLeavesOutput) {
+  const ArgumentSet args = paper_line();
+  int value = 42;
+  EXPECT_FALSE(args.get("gamma", value));
+  EXPECT_EQ(value, 42);
+}
+
+TEST(Arguments, WrongTypeThrows) {
+  const ArgumentSet args =
+      ArgumentSet::from_tokens({"dynamics=finite_volume"});
+  int value = 0;
+  EXPECT_THROW((void)args.get("dynamics", value), ArgumentError);
+  double dvalue = 0;
+  EXPECT_THROW((void)args.get("dynamics", dvalue), ArgumentError);
+  bool bvalue = false;
+  EXPECT_THROW((void)args.get("dynamics", bvalue), ArgumentError);
+  // As a string it is fine.
+  std::string svalue;
+  EXPECT_TRUE(args.get("dynamics", svalue));
+  EXPECT_EQ(svalue, "finite_volume");
+}
+
+TEST(Arguments, IntegerReadAsDoubleWorks) {
+  const ArgumentSet args = ArgumentSet::from_tokens({"alpha=3"});
+  double value = 0;
+  EXPECT_TRUE(args.get("alpha", value));
+  EXPECT_DOUBLE_EQ(value, 3.0);
+}
+
+TEST(Arguments, DoubleReadAsIntThrows) {
+  const ArgumentSet args = ArgumentSet::from_tokens({"beta=4.5"});
+  int value = 0;
+  EXPECT_THROW((void)args.get("beta", value), ArgumentError);
+}
+
+TEST(Arguments, LongLongAndIntOverflow) {
+  const ArgumentSet args =
+      ArgumentSet::from_tokens({"big=9999999999"});  // > INT_MAX
+  long long wide = 0;
+  EXPECT_TRUE(args.get("big", wide));
+  EXPECT_EQ(wide, 9999999999LL);
+  int narrow = 0;
+  EXPECT_THROW((void)args.get("big", narrow), ArgumentError);
+}
+
+TEST(Arguments, BoolSpellings) {
+  const ArgumentSet args = ArgumentSet::from_tokens(
+      {"a=on", "b=off", "c=TRUE", "d=no", "e=1"});
+  bool v = false;
+  EXPECT_TRUE(args.get("a", v));
+  EXPECT_TRUE(v);
+  EXPECT_TRUE(args.get("b", v));
+  EXPECT_FALSE(v);
+  EXPECT_TRUE(args.get("c", v));
+  EXPECT_TRUE(v);
+  EXPECT_TRUE(args.get("d", v));
+  EXPECT_FALSE(v);
+  EXPECT_TRUE(args.get("e", v));
+  EXPECT_TRUE(v);
+}
+
+TEST(Arguments, DuplicateKeyRejected) {
+  EXPECT_THROW((void)ArgumentSet::from_tokens({"a=1", "a=2"}), ArgumentError);
+}
+
+TEST(Arguments, EmptySet) {
+  const ArgumentSet args;
+  EXPECT_TRUE(args.empty());
+  EXPECT_EQ(args.field_count(), 0u);
+  EXPECT_EQ(args.named_count(), 0u);
+  int v = 0;
+  EXPECT_FALSE(args.get("x", v));
+}
+
+TEST(Arguments, ToTokensRoundTrip) {
+  const ArgumentSet args = paper_line();
+  const ArgumentSet again = ArgumentSet::from_tokens(args.to_tokens());
+  EXPECT_EQ(args, again);
+}
+
+TEST(Arguments, ValueContainingEquals) {
+  const ArgumentSet args = ArgumentSet::from_tokens({"expr=x=y"});
+  std::string v;
+  EXPECT_TRUE(args.get("expr", v));
+  EXPECT_EQ(v, "x=y");
+}

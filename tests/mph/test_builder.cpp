@@ -1,0 +1,120 @@
+// RegistryBuilder: programmatic registration files, and Directory::describe.
+#include "src/mph/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/mph/mph_test_util.hpp"
+
+using namespace mph;
+using namespace mph::testing;
+
+TEST(Builder, SingleComponents) {
+  RegistryBuilder b;
+  b.add_single("atmosphere").add_single("coupler", 2);
+  const Registry reg = b.build();
+  EXPECT_EQ(reg.num_executables(), 2);
+  EXPECT_FALSE(reg.blocks()[0].components[0].has_range());
+  EXPECT_EQ(reg.blocks()[1].required_size(), 2);
+}
+
+TEST(Builder, MultiComponentBlockWithOverlapAndArgs) {
+  RegistryBuilder b;
+  b.multi_component()
+      .component("atmosphere", 0, 3, {"output=atm.nc"})
+      .component("land", 0, 3)
+      .component("chemistry", 4, 5, {"co2=420"})
+      .done();
+  const Registry reg = b.build();
+  ASSERT_EQ(reg.num_executables(), 1);
+  const ExecutableBlock& block = reg.blocks()[0];
+  EXPECT_EQ(block.kind, BlockKind::multi_component);
+  EXPECT_EQ(block.required_size(), 6);
+  int co2 = 0;
+  EXPECT_TRUE(block.components[2].args.get("co2", co2));
+  EXPECT_EQ(co2, 420);
+}
+
+TEST(Builder, MultiInstanceGenerator) {
+  RegistryBuilder b;
+  b.multi_instance("Ocean", 4, 3, [](int i) {
+    return std::vector<std::string>{"in" + std::to_string(i) + ".nml",
+                                    "diff=" + std::to_string(i + 1)};
+  });
+  b.add_single("statistics");
+  const Registry reg = b.build();
+  ASSERT_EQ(reg.num_executables(), 2);
+  const ExecutableBlock& block = reg.blocks()[0];
+  ASSERT_EQ(block.components.size(), 4u);
+  EXPECT_EQ(block.components[0].name, "Ocean1");
+  EXPECT_EQ(block.components[3].name, "Ocean4");
+  EXPECT_EQ(block.components[3].low, 9);
+  EXPECT_EQ(block.components[3].high, 11);
+  int diff = 0;
+  EXPECT_TRUE(block.components[2].args.get("diff", diff));
+  EXPECT_EQ(diff, 3);
+}
+
+TEST(Builder, OutputIsValidRegistryText) {
+  RegistryBuilder b;
+  b.multi_instance("Run", 2, 2).add_single("viz");
+  const std::string text = b.to_text();
+  // The text parses back to the same model (builder == parser strictness).
+  const Registry reg = Registry::parse(text);
+  EXPECT_EQ(reg.total_components(), 3);
+  EXPECT_NE(text.find("Multi_Instance_Begin"), std::string::npos);
+}
+
+TEST(Builder, ValidationMatchesParser) {
+  // Duplicate names are caught at build() just like in hand-written files.
+  RegistryBuilder b;
+  b.add_single("ocean").add_single("ocean");
+  EXPECT_THROW((void)b.build(), RegistryError);
+
+  RegistryBuilder b2;
+  EXPECT_THROW((void)b2.add_single("x", 0), MphError);
+  EXPECT_THROW((void)b2.multi_instance("Y", 0, 2), MphError);
+}
+
+TEST(Builder, DrivesARealJob) {
+  // End-to-end: a generated registry wires an actual ensemble.
+  RegistryBuilder b;
+  b.multi_instance("Member", 3, 1, [](int i) {
+    return std::vector<std::string>{"alpha=" + std::to_string(10 * (i + 1))};
+  });
+  const std::string text = b.to_text();
+  run_mph_ok(text, {TestExec{{}, "Member", 3, [](Mph& h, const minimpi::Comm&) {
+                      int alpha = 0;
+                      EXPECT_TRUE(h.get_argument("alpha", alpha));
+                      EXPECT_EQ(alpha, 10 * (h.comp_id() + 1));
+                    }}});
+}
+
+TEST(Describe, ConfigurationBanner) {
+  run_mph_ok(
+      "BEGIN\nMulti_Component_Begin\natm 0 1\nlnd 0 1\n"
+      "Multi_Component_End\ncpl\nEND\n",
+      {TestExec{{"atm", "lnd"}, "", 2,
+                [](Mph& h, const minimpi::Comm&) {
+                  const std::string banner = h.directory().describe();
+                  EXPECT_NE(banner.find("2 executable(s), 3 component(s)"),
+                            std::string::npos);
+                  EXPECT_NE(banner.find("'atm': world ranks 0..1"),
+                            std::string::npos);
+                  EXPECT_NE(banner.find("'cpl': world ranks 2..2"),
+                            std::string::npos);
+                  EXPECT_NE(banner.find("[multi-component]"),
+                            std::string::npos);
+                  EXPECT_NE(banner.find("[single-component]"),
+                            std::string::npos);
+                }},
+       TestExec{{"cpl"}, "", 1, nullptr}});
+}
+
+TEST(Describe, ArgumentsShown) {
+  run_mph_ok("BEGIN\nsolo 0 0 mode=fast in.nml\nEND\n",
+             {TestExec{{"solo"}, "", 1, [](Mph& h, const minimpi::Comm&) {
+                         const std::string banner = h.directory().describe();
+                         EXPECT_NE(banner.find("mode=fast"), std::string::npos);
+                         EXPECT_NE(banner.find("in.nml"), std::string::npos);
+                       }}});
+}

@@ -1,0 +1,227 @@
+// Failure injection across the handshake: every way the registration file
+// and the launched job can disagree must produce a clean, specific error on
+// every rank (no hangs).
+#include <gtest/gtest.h>
+
+#include "src/minimpi/collectives.hpp"
+#include "tests/mph/mph_test_util.hpp"
+
+using namespace mph;
+using namespace mph::testing;
+using minimpi::Comm;
+
+TEST(SetupFailures, ComponentNotInRegistrationFile) {
+  // §4.1: "the name-tags called in atmosphere component must appear
+  // correctly in the registration file."
+  const std::string err = run_mph_error(
+      "BEGIN\natmosphere\nocean\nEND\n",
+      {TestExec{{"atmosphere"}, "", 1, nullptr},
+       TestExec{{"aerosols"}, "", 1, nullptr}});
+  EXPECT_NE(err.find("aerosols"), std::string::npos);
+  EXPECT_NE(err.find("no matching entry"), std::string::npos);
+}
+
+TEST(SetupFailures, RegistryEntryNotLaunched) {
+  const std::string err = run_mph_error(
+      "BEGIN\natmosphere\nocean\ncoupler\nEND\n",
+      {TestExec{{"atmosphere"}, "", 1, nullptr},
+       TestExec{{"ocean"}, "", 1, nullptr}});
+  EXPECT_NE(err.find("coupler"), std::string::npos);
+  EXPECT_NE(err.find("not provided"), std::string::npos);
+}
+
+TEST(SetupFailures, TwoExecutablesSameName) {
+  const std::string err = run_mph_error(
+      "BEGIN\nocean\nstats\nEND\n",
+      {TestExec{{"ocean"}, "", 1, nullptr},
+       TestExec{{"stats"}, "", 1, nullptr},
+       TestExec{{"ocean"}, "", 1, nullptr}});
+  EXPECT_NE(err.find("Multi_Instance"), std::string::npos);
+}
+
+TEST(SetupFailures, MalformedRegistryPropagatesToAllRanks) {
+  const std::string err = run_mph_error(
+      "BEGIN\nocean\n",  // missing END
+      {TestExec{{"ocean"}, "", 2, nullptr}});
+  EXPECT_NE(err.find("END"), std::string::npos);
+}
+
+TEST(SetupFailures, EmptyNameListRejected) {
+  const std::string err = run_mph_error(
+      "BEGIN\nocean\nEND\n", {TestExec{{}, "", 1, nullptr}});
+  EXPECT_NE(err.find("no component names"), std::string::npos);
+}
+
+TEST(SetupFailures, DuplicateNameInOneSetupCall) {
+  const std::string err = run_mph_error(
+      "BEGIN\nMulti_Component_Begin\na 0 0\nb 1 1\nMulti_Component_End\nEND\n",
+      {TestExec{{"a", "a"}, "", 2, nullptr}});
+  EXPECT_NE(err.find("repeated"), std::string::npos);
+}
+
+TEST(SetupFailures, InvalidNameInSetupCall) {
+  const std::string err = run_mph_error(
+      "BEGIN\nocean\nEND\n", {TestExec{{"has space"}, "", 1, nullptr}});
+  EXPECT_NE(err.find("invalid component name"), std::string::npos);
+}
+
+TEST(SetupFailures, TooManyNamesInSetupCall) {
+  std::vector<std::string> names;
+  for (int i = 0; i < 11; ++i) names.push_back("c" + std::to_string(i));
+  const std::string err = run_mph_error("BEGIN\nocean\nEND\n",
+                                        {TestExec{names, "", 1, nullptr}});
+  EXPECT_NE(err.find("up to 10"), std::string::npos);
+}
+
+TEST(SetupFailures, MultiComponentExecutableTooSmallForRanges) {
+  // Block needs 6 ranks (max high = 5); executable gets 4.
+  const std::string err = run_mph_error(
+      "BEGIN\nMulti_Component_Begin\na 0 2\nb 3 5\nMulti_Component_End\nEND\n",
+      {TestExec{{"a", "b"}, "", 4, nullptr}});
+  EXPECT_NE(err.find("counts must agree"), std::string::npos);
+}
+
+TEST(SetupFailures, MultiComponentExecutableTooLargeForRanges) {
+  const std::string err = run_mph_error(
+      "BEGIN\nMulti_Component_Begin\na 0 2\nb 3 5\nMulti_Component_End\nEND\n",
+      {TestExec{{"a", "b"}, "", 8, nullptr}});
+  EXPECT_NE(err.find("counts must agree"), std::string::npos);
+}
+
+TEST(SetupFailures, InstanceDeclaredAsComponent) {
+  // Declaring "Ocean1" via components_setup does not match a
+  // Multi_Instance block: instance expansion requires multi_instance().
+  const std::string registry =
+      "BEGIN\nMulti_Instance_Begin\nOcean1 0 0\nOcean2 1 1\n"
+      "Multi_Instance_End\nEND\n";
+  const std::string err = run_mph_error(
+      registry, {TestExec{{"Ocean1"}, "", 1, nullptr},
+                 TestExec{{"Ocean2"}, "", 1, nullptr}});
+  EXPECT_NE(err.find("no matching entry"), std::string::npos);
+}
+
+TEST(SetupFailures, ComponentDeclaredAsInstance) {
+  const std::string err = run_mph_error(
+      "BEGIN\nocean\nEND\n", {TestExec{{}, "ocean", 1, nullptr}});
+  EXPECT_NE(err.find("Multi_Instance"), std::string::npos);
+}
+
+TEST(SetupFailures, UnreadableRegistryPath) {
+  const minimpi::JobReport report = minimpi::run_mpmd(
+      {minimpi::ExecSpec{
+          "solo", 2,
+          [](const Comm& world, const minimpi::ExecEnv&) {
+            (void)Mph::components_setup(
+                world, RegistrySource::from_path("/no/such/file.in"),
+                {"solo"});
+          },
+          {}}},
+      test_job_options());
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.abort_reason.find("cannot open"), std::string::npos);
+}
+
+TEST(RuntimeFailures, ComponentCrashMidCoupledExchangeAbortsCleanly) {
+  // A component dies between exchanges; its peers are blocked in recv and
+  // must unwind with the root cause reported, not hang (the mpirun
+  // kill-the-job behaviour).
+  minimpi::JobOptions options;
+  options.recv_timeout = std::chrono::seconds(30);
+  const std::string registry = "BEGIN\nproducer\nconsumer\nEND\n";
+  const minimpi::JobReport report = minimpi::run_mpmd(
+      {
+          minimpi::ExecSpec{
+              "producer", 1,
+              [&](const Comm& world, const minimpi::ExecEnv&) {
+                Mph h = Mph::components_setup(
+                    world, RegistrySource::from_text(registry), {"producer"});
+                h.send(1.0, "consumer", 0, 0);  // first exchange succeeds
+                throw std::runtime_error("producer segfault stand-in");
+              },
+              {}},
+          minimpi::ExecSpec{
+              "consumer", 2,
+              [&](const Comm& world, const minimpi::ExecEnv&) {
+                Mph h = Mph::components_setup(
+                    world, RegistrySource::from_text(registry), {"consumer"});
+                if (h.local_proc_id() == 0) {
+                  double v = 0;
+                  h.recv(v, "producer", 0, 0);
+                  EXPECT_EQ(v, 1.0);
+                  h.recv(v, "producer", 0, 0);  // never sent: must abort
+                } else {
+                  // Blocked in a component collective at crash time.
+                  minimpi::barrier(h.comp_comm());
+                  minimpi::barrier(h.comp_comm());
+                  double v = 0;
+                  h.world().recv(v, minimpi::any_source, 99);
+                }
+              },
+              {}},
+      },
+      options);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.abort_reason.find("producer segfault stand-in"),
+            std::string::npos);
+  ASSERT_FALSE(report.failures.empty());
+  EXPECT_EQ(report.failures.front().what, "producer segfault stand-in");
+}
+
+TEST(RuntimeFailures, ChainedJoinsWithSharedLeaderStayOrdered) {
+  // join(A,B) then join(A,C): the shared leader issues two context
+  // distributions over the same control tag; FIFO per (src,dst,tag) must
+  // keep them straight.
+  const std::string registry = "BEGIN\nA\nB\nC\nEND\n";
+  auto a_body = [](Mph& h, const Comm&) {
+    const minimpi::Comm ab = h.comm_join("A", "B");
+    const minimpi::Comm ac = h.comm_join("A", "C");
+    EXPECT_NE(ab.context(), ac.context());
+    int v1 = h.local_proc_id() == 0 ? 11 : 0;
+    minimpi::bcast_value(ab, v1, 0);
+    EXPECT_EQ(v1, 11);
+    int v2 = h.local_proc_id() == 0 ? 22 : 0;
+    minimpi::bcast_value(ac, v2, 0);
+    EXPECT_EQ(v2, 22);
+  };
+  auto b_body = [](Mph& h, const Comm&) {
+    const minimpi::Comm ab = h.comm_join("A", "B");
+    int v1 = 0;
+    minimpi::bcast_value(ab, v1, 0);
+    EXPECT_EQ(v1, 11);
+  };
+  auto c_body = [](Mph& h, const Comm&) {
+    const minimpi::Comm ac = h.comm_join("A", "C");
+    int v2 = 0;
+    minimpi::bcast_value(ac, v2, 0);
+    EXPECT_EQ(v2, 22);
+  };
+  run_mph_ok(registry, {TestExec{{"A"}, "", 2, a_body},
+                        TestExec{{"B"}, "", 2, b_body},
+                        TestExec{{"C"}, "", 1, c_body}});
+}
+
+TEST(SetupFailures, ErrorsDoNotHangOtherExecutables) {
+  // One executable's name mismatch must abort the whole job promptly, even
+  // though the other executable would otherwise block in the handshake.
+  minimpi::JobOptions options;
+  options.recv_timeout = std::chrono::seconds(30);
+  const std::string registry = "BEGIN\na\nb\nEND\n";
+  std::vector<minimpi::ExecSpec> specs;
+  specs.push_back(minimpi::ExecSpec{
+      "good", 1,
+      [&](const Comm& world, const minimpi::ExecEnv&) {
+        (void)Mph::components_setup(
+            world, RegistrySource::from_text(registry), {"a"});
+      },
+      {}});
+  specs.push_back(minimpi::ExecSpec{
+      "bad", 1,
+      [&](const Comm& world, const minimpi::ExecEnv&) {
+        (void)Mph::components_setup(
+            world, RegistrySource::from_text(registry), {"wrong"});
+      },
+      {}});
+  const minimpi::JobReport report = minimpi::run_mpmd(specs, options);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.abort_reason.find("wrong"), std::string::npos);
+}

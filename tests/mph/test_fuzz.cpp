@@ -1,0 +1,127 @@
+// Registry parser fuzzing: arbitrary byte soup and structured mutations
+// must either parse cleanly or throw RegistryError — never crash, hang, or
+// corrupt.  Also: every successfully parsed registry must round-trip.
+#include <gtest/gtest.h>
+
+#include "src/mph/errors.hpp"
+#include "src/mph/registry.hpp"
+#include "src/util/rng.hpp"
+
+using namespace mph;
+
+namespace {
+
+/// Feed text to the parser; on success check the round-trip invariant.
+void check_parse(const std::string& text) {
+  try {
+    const Registry reg = Registry::parse(text);
+    // Round-trip: the serialized form re-parses to the same shape.
+    const Registry again = Registry::parse(reg.to_text());
+    ASSERT_EQ(reg.num_executables(), again.num_executables());
+    ASSERT_EQ(reg.total_components(), again.total_components());
+  } catch (const RegistryError&) {
+    // Expected failure mode — fine.
+  }
+}
+
+std::string random_token(mph::util::Rng& rng) {
+  static const char* kTokens[] = {
+      "BEGIN",      "END",
+      "Multi_Component_Begin", "Multi_Component_End",
+      "Multi_Instance_Begin",  "Multi_Instance_End",
+      "atmosphere", "ocean",   "coupler",  "Ocean1",
+      "0",          "15",      "-3",       "99999999",
+      "alpha=3",    "debug=on", "=bad",    "a=b=c",
+      "!comment",   "#hash",    "",         " ",
+  };
+  return kTokens[rng.below(std::size(kTokens))];
+}
+
+}  // namespace
+
+class RegistryFuzz : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, RegistryFuzz, ::testing::Range(0, 16));
+
+TEST_P(RegistryFuzz, RandomTokenSoup) {
+  mph::util::Rng rng(31337 + static_cast<unsigned>(GetParam()));
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text;
+    const int lines = static_cast<int>(rng.range(0, 12));
+    for (int l = 0; l < lines; ++l) {
+      const int tokens = static_cast<int>(rng.range(0, 6));
+      for (int t = 0; t < tokens; ++t) {
+        text += random_token(rng);
+        text += ' ';
+      }
+      text += '\n';
+    }
+    check_parse(text);
+  }
+}
+
+TEST_P(RegistryFuzz, MutatedValidFiles) {
+  // Start from a valid file and apply random single-character mutations.
+  const std::string base = R"(BEGIN
+Multi_Component_Begin
+atmosphere 0 15
+land 0 15
+chemistry 16 19
+Multi_Component_End
+Multi_Instance_Begin
+Ocean1 0 15 inf1 alpha=3
+Ocean2 16 31 inf2 beta=4.5
+Multi_Instance_End
+coupler
+END
+)";
+  mph::util::Rng rng(555 + static_cast<unsigned>(GetParam()));
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string text = base;
+    const int mutations = static_cast<int>(rng.range(1, 4));
+    for (int m = 0; m < mutations; ++m) {
+      const std::size_t pos = rng.below(text.size());
+      switch (rng.below(3)) {
+        case 0:  // flip a character
+          text[pos] = static_cast<char>(rng.range(32, 126));
+          break;
+        case 1:  // delete a character
+          text.erase(pos, 1);
+          break;
+        case 2:  // duplicate a character
+          text.insert(pos, 1, text[pos]);
+          break;
+      }
+    }
+    check_parse(text);
+  }
+}
+
+TEST(RegistryFuzz, BinaryGarbage) {
+  mph::util::Rng rng(777);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string text;
+    const std::size_t size = rng.below(512);
+    for (std::size_t i = 0; i < size; ++i) {
+      text.push_back(static_cast<char>(rng.below(256)));
+    }
+    check_parse(text);
+  }
+}
+
+TEST(RegistryFuzz, PathologicalWhitespaceAndComments) {
+  check_parse(std::string(10000, '\n'));
+  check_parse(std::string(10000, ' '));
+  check_parse("BEGIN" + std::string(5000, ' ') + "\nocean\nEND\n");
+  check_parse("BEGIN\n!" + std::string(5000, 'x') + "\nocean\nEND\n");
+  std::string many_comments = "BEGIN\n";
+  for (int i = 0; i < 2000; ++i) many_comments += "! c\n";
+  many_comments += "ocean\nEND\n";
+  check_parse(many_comments);
+}
+
+TEST(RegistryFuzz, VeryLongNames) {
+  const std::string long_name(10000, 'a');
+  check_parse("BEGIN\n" + long_name + "\nEND\n");
+  const Registry reg = Registry::parse("BEGIN\n" + long_name + "\nEND\n");
+  EXPECT_TRUE(reg.has_component(long_name));
+}

@@ -1,0 +1,221 @@
+// MPH_comm_join (paper §5.1) and name-addressed inter-component
+// communication (paper §5.2).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/minimpi/collectives.hpp"
+#include "tests/mph/mph_test_util.hpp"
+
+using namespace mph;
+using namespace mph::testing;
+using minimpi::Comm;
+
+namespace {
+// atmosphere: 4 ranks (world 0-3), ocean: 2 (world 4-5), coupler: 1 (6).
+const std::string kRegistry = "BEGIN\natmosphere\nocean\ncoupler\nEND\n";
+
+TestExec atm(std::function<void(Mph&, const Comm&)> body) {
+  return TestExec{{"atmosphere"}, "", 4, std::move(body)};
+}
+TestExec ocn(std::function<void(Mph&, const Comm&)> body) {
+  return TestExec{{"ocean"}, "", 2, std::move(body)};
+}
+TestExec cpl(std::function<void(Mph&, const Comm&)> body) {
+  return TestExec{{"coupler"}, "", 1, std::move(body)};
+}
+}  // namespace
+
+TEST(CommJoin, PaperOrderingFirstComponentRanksFirst) {
+  // §5.1: atmosphere first -> its processors rank 0..3; ocean 4..5.
+  auto joiner = [](Mph& h, const Comm& world) {
+    const Comm joint = h.comm_join("atmosphere", "ocean");
+    ASSERT_TRUE(joint.valid());
+    EXPECT_EQ(joint.size(), 6);
+    if (h.comp_name() == "atmosphere") {
+      EXPECT_EQ(joint.rank(), world.rank());
+    } else {
+      EXPECT_EQ(joint.rank(), 4 + h.local_proc_id());
+    }
+  };
+  run_mph_ok(kRegistry, {atm(joiner), ocn(joiner), cpl(nullptr)});
+}
+
+TEST(CommJoin, ReversedOrderReversesRanks) {
+  // "If one reverses atmosphere with ocean ... ocean processors will rank
+  // 0-1 and atmosphere processors will rank 2-5."
+  auto joiner = [](Mph& h, const Comm&) {
+    const Comm joint = h.comm_join("ocean", "atmosphere");
+    EXPECT_EQ(joint.size(), 6);
+    if (h.comp_name() == "ocean") {
+      EXPECT_EQ(joint.rank(), h.local_proc_id());
+    } else {
+      EXPECT_EQ(joint.rank(), 2 + h.local_proc_id());
+    }
+  };
+  run_mph_ok(kRegistry, {atm(joiner), ocn(joiner), cpl(nullptr)});
+}
+
+TEST(CommJoin, CollectivesWorkOnJointComm) {
+  // "With this joint communicator, collective operations such as data
+  // redistribution could easily be performed."
+  auto joiner = [](Mph& h, const Comm&) {
+    const Comm joint = h.comm_join("atmosphere", "ocean");
+    // Atmosphere contributes its local ranks, ocean contributes 100+rank;
+    // allgather redistributes everything to everyone.
+    const int mine = h.comp_name() == "atmosphere" ? h.local_proc_id()
+                                                   : 100 + h.local_proc_id();
+    const std::vector<int> all = minimpi::allgather_value(joint, mine);
+    const std::vector<int> expect{0, 1, 2, 3, 100, 101};
+    EXPECT_EQ(all, expect);
+  };
+  run_mph_ok(kRegistry, {atm(joiner), ocn(joiner), cpl(nullptr)});
+}
+
+TEST(CommJoin, ThirdComponentUninvolved) {
+  // The coupler does NOT participate in the join — the call is collective
+  // over the union only; the coupler does unrelated work meanwhile.
+  run_mph_ok(kRegistry,
+             {atm([](Mph& h, const Comm&) {
+                const Comm joint = h.comm_join("atmosphere", "ocean");
+                minimpi::barrier(joint);
+              }),
+              ocn([](Mph& h, const Comm&) {
+                const Comm joint = h.comm_join("atmosphere", "ocean");
+                minimpi::barrier(joint);
+              }),
+              cpl([](Mph& h, const Comm&) {
+                EXPECT_EQ(h.comp_name(), "coupler");
+              })});
+}
+
+TEST(CommJoin, SequentialJoinsYieldIndependentComms) {
+  auto joiner = [](Mph& h, const Comm&) {
+    const Comm j1 = h.comm_join("atmosphere", "ocean");
+    const Comm j2 = h.comm_join("atmosphere", "ocean");
+    EXPECT_NE(j1.context(), j2.context());
+    // Both stay usable.
+    minimpi::barrier(j1);
+    minimpi::barrier(j2);
+  };
+  run_mph_ok(kRegistry, {atm(joiner), ocn(joiner), cpl(nullptr)});
+}
+
+TEST(CommJoin, NonMemberCallerRejected) {
+  run_mph_ok(kRegistry, {atm(nullptr), ocn(nullptr),
+                         cpl([](Mph& h, const Comm&) {
+                           EXPECT_THROW(
+                               (void)h.comm_join("atmosphere", "ocean"),
+                               SetupError);
+                         })});
+}
+
+TEST(CommJoin, SelfJoinRejected) {
+  run_mph_ok(kRegistry, {atm([](Mph& h, const Comm&) {
+               EXPECT_THROW((void)h.comm_join("atmosphere", "atmosphere"),
+                            SetupError);
+             }),
+             ocn(nullptr), cpl(nullptr)});
+}
+
+TEST(CommJoin, OverlappingComponentsRejected) {
+  const std::string registry = R"(BEGIN
+Multi_Component_Begin
+a 0 3
+b 2 5
+Multi_Component_End
+END
+)";
+  run_mph_ok(registry,
+             {TestExec{{"a", "b"}, "", 6, [](Mph& h, const Comm&) {
+                         EXPECT_THROW((void)h.comm_join("a", "b"), SetupError);
+                       }}});
+}
+
+// ---------------------------------------------------------------------------
+// §5.2 name-addressed point-to-point.
+// ---------------------------------------------------------------------------
+
+TEST(NamedP2P, SendToProcessThreeOnOcean) {
+  // The paper's exact scenario: "if a processor on atmosphere wants to send
+  // Process 3 on ocean" — here ocean local 1 (2-rank ocean).
+  run_mph_ok(kRegistry,
+             {atm([](Mph& h, const Comm&) {
+                if (h.local_proc_id() == 0) {
+                  const std::vector<double> flux{1.0, 2.0, 3.0};
+                  h.send(std::span<const double>(flux), "ocean", 1, 77);
+                }
+              }),
+              ocn([](Mph& h, const Comm&) {
+                if (h.local_proc_id() == 1) {
+                  std::vector<double> flux(3);
+                  const minimpi::Status st =
+                      h.recv(std::span<double>(flux), "atmosphere", 0, 77);
+                  EXPECT_DOUBLE_EQ(flux[2], 3.0);
+                  // Source arrives in world ranks (MPH_Global_World).
+                  EXPECT_EQ(st.source, 0);
+                }
+              }),
+              cpl(nullptr)});
+}
+
+TEST(NamedP2P, GlobalRankTranslation) {
+  run_mph_ok(kRegistry, {atm([](Mph& h, const Comm&) {
+               EXPECT_EQ(h.global_rank_of("atmosphere", 0), 0);
+               EXPECT_EQ(h.global_rank_of("ocean", 0), 4);
+               EXPECT_EQ(h.global_rank_of("ocean", 1), 5);
+               EXPECT_EQ(h.global_rank_of("coupler", 0), 6);
+               EXPECT_THROW((void)h.global_rank_of("ocean", 2), LookupError);
+               EXPECT_THROW((void)h.global_rank_of("ocean", -1), LookupError);
+               EXPECT_THROW((void)h.global_rank_of("mars", 0), LookupError);
+             }),
+             ocn(nullptr), cpl(nullptr)});
+}
+
+TEST(NamedP2P, EveryPairExchanges) {
+  // All-pairs handshake across the three components' roots via tags.
+  auto body = [](Mph& h, const Comm&) {
+    const std::vector<std::string> components{"atmosphere", "ocean",
+                                              "coupler"};
+    if (h.local_proc_id() != 0) return;
+    const int me = h.comp_id();
+    for (int other = 0; other < 3; ++other) {
+      if (other == me) continue;
+      h.send(me * 10, components[static_cast<std::size_t>(other)], 0,
+             100 + me);
+    }
+    int total = 0;
+    for (int other = 0; other < 3; ++other) {
+      if (other == me) continue;
+      int v = 0;
+      h.world().recv(v, minimpi::any_source, 100 + other);
+      total += v;
+    }
+    EXPECT_EQ(total, (0 + 10 + 20) - me * 10);
+  };
+  run_mph_ok(kRegistry, {atm(body), ocn(body), cpl(body)});
+}
+
+TEST(NamedP2P, CouplerGathersFromAllComponentsByDirectory) {
+  // The flux-coupler pattern: the coupler walks the directory and collects
+  // one value per remote component root.
+  run_mph_ok(
+      kRegistry,
+      {atm([](Mph& h, const Comm&) {
+         if (h.local_proc_id() == 0) h.send(h.comp_id(), "coupler", 0, 5);
+       }),
+       ocn([](Mph& h, const Comm&) {
+         if (h.local_proc_id() == 0) h.send(h.comp_id(), "coupler", 0, 5);
+       }),
+       cpl([](Mph& h, const Comm&) {
+         int seen = 0;
+         for (const ComponentRecord& c : h.directory().components()) {
+           if (c.name == "coupler") continue;
+           int v = -1;
+           h.world().recv(v, c.global_low, 5);
+           EXPECT_EQ(v, c.component_id);
+           ++seen;
+         }
+         EXPECT_EQ(seen, 2);
+       })});
+}

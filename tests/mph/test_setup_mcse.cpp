@@ -1,0 +1,192 @@
+// MCSE mode (paper §2.2, §4.2): every component compiled into one
+// executable; a master program dispatches via PROC_in_component.
+#include <gtest/gtest.h>
+
+#include "src/minimpi/collectives.hpp"
+#include "tests/mph/mph_test_util.hpp"
+
+using namespace mph;
+using namespace mph::testing;
+using minimpi::Comm;
+
+namespace {
+// The paper's §4.2 registration file, scaled to 9 ranks (atmosphere 0-3,
+// ocean 4-7, coupler 8) so tests stay light.
+const std::string kMcseRegistry = R"(BEGIN
+Multi_Component_Begin
+atmosphere 0 3
+ocean 4 7
+coupler 8 8
+Multi_Component_End
+END
+)";
+}  // namespace
+
+TEST(SetupMCSE, MasterProgramDispatch) {
+  run_mph_ok(
+      kMcseRegistry,
+      {TestExec{{"atmosphere", "ocean", "coupler"}, "", 9,
+                [](Mph& h, const Comm& world) {
+                  // Exactly the paper's master-program pattern.
+                  Comm comm;
+                  int dispatched = 0;
+                  if (h.proc_in_component("ocean", &comm)) {
+                    ++dispatched;
+                    EXPECT_GE(world.rank(), 4);
+                    EXPECT_LE(world.rank(), 7);
+                    EXPECT_EQ(comm.size(), 4);
+                    EXPECT_EQ(comm.rank(), world.rank() - 4);
+                  }
+                  if (h.proc_in_component("atmosphere", &comm)) {
+                    ++dispatched;
+                    EXPECT_LE(world.rank(), 3);
+                    EXPECT_EQ(comm.size(), 4);
+                  }
+                  if (h.proc_in_component("coupler", &comm)) {
+                    ++dispatched;
+                    EXPECT_EQ(world.rank(), 8);
+                    EXPECT_EQ(comm.size(), 1);
+                  }
+                  EXPECT_EQ(dispatched, 1);  // disjoint: exactly one hit
+                  // One executable spanning the world.
+                  EXPECT_EQ(h.num_executables(), 1);
+                  EXPECT_EQ(h.exec_comm().size(), 9);
+                  EXPECT_EQ(h.exe_low_proc_limit(), 0);
+                  EXPECT_EQ(h.exe_up_proc_limit(), 8);
+                }}});
+}
+
+TEST(SetupMCSE, OverlappingComponents) {
+  // §4.2: "MPH allows components to overlap on their processor
+  // allocations."  land shares atmosphere's processors completely.
+  const std::string registry = R"(BEGIN
+Multi_Component_Begin
+atmosphere 0 3
+land 0 3
+chemistry 4 5
+Multi_Component_End
+END
+)";
+  run_mph_ok(
+      registry,
+      {TestExec{{"atmosphere", "land", "chemistry"}, "", 6,
+                [](Mph& h, const Comm& world) {
+                  Comm atm, lnd, chm;
+                  const bool in_atm = h.proc_in_component("atmosphere", &atm);
+                  const bool in_lnd = h.proc_in_component("land", &lnd);
+                  const bool in_chm = h.proc_in_component("chemistry", &chm);
+                  if (world.rank() <= 3) {
+                    EXPECT_TRUE(in_atm);
+                    EXPECT_TRUE(in_lnd);
+                    EXPECT_FALSE(in_chm);
+                    // Two distinct communicators over the same processors.
+                    EXPECT_EQ(atm.size(), 4);
+                    EXPECT_EQ(lnd.size(), 4);
+                    EXPECT_NE(atm.context(), lnd.context());
+                    EXPECT_EQ(h.my_components(),
+                              (std::vector<std::string>{"atmosphere",
+                                                        "land"}));
+                    // Message tags distinguish overlapped components, as the
+                    // paper recommends: exchange on both comms.
+                    const int a_sum = minimpi::allreduce_value(
+                        atm, 1, minimpi::op::Sum{});
+                    const int l_sum = minimpi::allreduce_value(
+                        lnd, 10, minimpi::op::Sum{});
+                    EXPECT_EQ(a_sum, 4);
+                    EXPECT_EQ(l_sum, 40);
+                  } else {
+                    EXPECT_FALSE(in_atm);
+                    EXPECT_FALSE(in_lnd);
+                    EXPECT_TRUE(in_chm);
+                    EXPECT_EQ(chm.size(), 2);
+                  }
+                }}});
+}
+
+TEST(SetupMCSE, PartialOverlap) {
+  // Components sharing only part of their ranges.
+  const std::string registry = R"(BEGIN
+Multi_Component_Begin
+a 0 3
+b 2 5
+Multi_Component_End
+END
+)";
+  run_mph_ok(registry,
+             {TestExec{{"a", "b"}, "", 6, [](Mph& h, const Comm& world) {
+                         const bool in_a = h.proc_in_component("a");
+                         const bool in_b = h.proc_in_component("b");
+                         EXPECT_EQ(in_a, world.rank() <= 3);
+                         EXPECT_EQ(in_b, world.rank() >= 2);
+                         if (world.rank() == 2 || world.rank() == 3) {
+                           EXPECT_EQ(h.my_components().size(), 2u);
+                           // comp_comm(name) gives each view; local ranks
+                           // differ between the views.
+                           EXPECT_EQ(h.comp_comm("a").rank(), world.rank());
+                           EXPECT_EQ(h.comp_comm("b").rank(),
+                                     world.rank() - 2);
+                         }
+                       }}});
+}
+
+TEST(SetupMCSE, GapRanksBelongToNoComponent) {
+  // A processor allocated to the executable but to no component: legal; the
+  // master program simply never dispatches it.
+  const std::string registry = R"(BEGIN
+Multi_Component_Begin
+a 0 1
+b 3 4
+Multi_Component_End
+END
+)";
+  run_mph_ok(registry,
+             {TestExec{{"a", "b"}, "", 5, [](Mph& h, const Comm& world) {
+                         if (world.rank() == 2) {
+                           EXPECT_TRUE(h.my_components().empty());
+                           EXPECT_FALSE(h.proc_in_component("a"));
+                           EXPECT_FALSE(h.proc_in_component("b"));
+                           EXPECT_THROW((void)h.comp_comm(), LookupError);
+                         } else {
+                           EXPECT_EQ(h.my_components().size(), 1u);
+                         }
+                       }}});
+}
+
+TEST(SetupMCSE, SubroutineNamesNeedNotMatchNameTags) {
+  // §4.2 uses ocean_xyz / coupler_abc: the dispatch target is free.  Here
+  // the "subroutines" are lambdas keyed by anything we like.
+  run_mph_ok(kMcseRegistry,
+             {TestExec{{"atmosphere", "ocean", "coupler"}, "", 9,
+                       [](Mph& h, const Comm&) {
+                         Comm comm;
+                         if (h.proc_in_component("ocean", &comm)) {
+                           // ocean_xyz(comm)
+                           const int n = minimpi::allreduce_value(
+                               comm, 1, minimpi::op::Sum{});
+                           EXPECT_EQ(n, 4);
+                         }
+                       }}});
+}
+
+TEST(SetupMCSE, WrongWorldSizeRejected) {
+  const std::string err = run_mph_error(
+      kMcseRegistry,
+      {TestExec{{"atmosphere", "ocean", "coupler"}, "", 7, nullptr}});
+  EXPECT_NE(err.find("processors"), std::string::npos);
+}
+
+TEST(SetupMCSE, UnknownComponentLookupListsCandidates) {
+  run_mph_ok(kMcseRegistry,
+             {TestExec{{"atmosphere", "ocean", "coupler"}, "", 9,
+                       [](Mph& h, const Comm&) {
+                         try {
+                           (void)h.proc_in_component("Ocean");  // wrong case
+                           FAIL() << "expected LookupError";
+                         } catch (const LookupError& e) {
+                           const std::string what = e.what();
+                           EXPECT_NE(what.find("ocean"), std::string::npos);
+                           EXPECT_NE(what.find("atmosphere"),
+                                     std::string::npos);
+                         }
+                       }}});
+}

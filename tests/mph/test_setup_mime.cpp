@@ -1,0 +1,306 @@
+// MIME mode (paper §2.5, §4.4): multi-instance executables for ensemble
+// simulations, instance argument passing, coexistence with other modes.
+#include <gtest/gtest.h>
+
+#include "src/minimpi/collectives.hpp"
+#include "tests/mph/mph_test_util.hpp"
+
+using namespace mph;
+using namespace mph::testing;
+using minimpi::Comm;
+
+namespace {
+// The paper's §4.4 registration file, scaled down 4x: three Ocean
+// instances of 4 ranks each plus a 1-rank statistics executable.
+const std::string kMimeRegistry = R"(BEGIN
+Multi_Instance_Begin ! a multi-instance exec
+Ocean1 0 3 inf1 outf1 logf alpha=3 debug=on
+Ocean2 4 7 inf2 outf2 beta=4.5 debug=off
+Ocean3 8 11 inf3 dynamics=finite_volume
+Multi_Instance_End
+statistics ! a single-component exec
+END
+)";
+}  // namespace
+
+TEST(SetupMIME, InstancesExpandIntoComponents) {
+  run_mph_ok(
+      kMimeRegistry,
+      {TestExec{{}, "Ocean", 12,
+                [](Mph& h, const Comm& world) {
+                  EXPECT_EQ(h.total_components(), 4);  // 3 instances + stats
+                  EXPECT_EQ(h.num_executables(), 2);
+                  // Expanded name, not the prefix.
+                  const std::string expect =
+                      "Ocean" + std::to_string(world.rank() / 4 + 1);
+                  EXPECT_EQ(h.comp_name(), expect);
+                  EXPECT_EQ(h.comp_comm().size(), 4);
+                  EXPECT_EQ(h.local_proc_id(), world.rank() % 4);
+                  // All instances share one executable.
+                  EXPECT_EQ(h.exec_comm().size(), 12);
+                  EXPECT_EQ(h.exe_low_proc_limit(), 0);
+                  EXPECT_EQ(h.exe_up_proc_limit(), 11);
+                }},
+       TestExec{{"statistics"}, "", 1,
+                [](Mph& h, const Comm&) {
+                  EXPECT_EQ(h.comp_name(), "statistics");
+                  EXPECT_EQ(h.directory().component("Ocean2").global_low, 4);
+                }}});
+}
+
+TEST(SetupMIME, PaperArgumentRetrieval) {
+  run_mph_ok(
+      kMimeRegistry,
+      {TestExec{{}, "Ocean", 12,
+                [](Mph& h, const Comm& world) {
+                  const int instance = world.rank() / 4;  // 0,1,2
+                  if (instance == 0) {
+                    // call MPH_get_argument("alpha", alpha2) -> 3
+                    int alpha = 0;
+                    EXPECT_TRUE(h.get_argument("alpha", alpha));
+                    EXPECT_EQ(alpha, 3);
+                    bool debug = false;
+                    EXPECT_TRUE(h.get_argument("debug", debug));
+                    EXPECT_TRUE(debug);
+                    // field 1 is "inf1"
+                    std::string fname;
+                    EXPECT_TRUE(h.get_argument_field(1, fname));
+                    EXPECT_EQ(fname, "inf1");
+                  } else if (instance == 1) {
+                    double beta = 0;
+                    EXPECT_TRUE(h.get_argument("beta", beta));
+                    EXPECT_DOUBLE_EQ(beta, 4.5);
+                    int alpha = 0;
+                    EXPECT_FALSE(h.get_argument("alpha", alpha));
+                  } else {
+                    std::string dynamics;
+                    EXPECT_TRUE(h.get_argument("dynamics", dynamics));
+                    EXPECT_EQ(dynamics, "finite_volume");
+                    std::string fname;
+                    EXPECT_TRUE(h.get_argument_field(1, fname));
+                    EXPECT_EQ(fname, "inf3");
+                    EXPECT_FALSE(h.get_argument_field(2, fname));
+                  }
+                }},
+       TestExec{{"statistics"}, "", 1, nullptr}});
+}
+
+TEST(SetupMIME, EnsembleAveragingOnTheFly) {
+  // The paper's flagship use case: instances run concurrently, statistics
+  // aggregates instantaneous fields.  Each instance's local root sends its
+  // instantaneous "temperature" to statistics, which forms the ensemble
+  // mean — impossible with K independent jobs.
+  run_mph_ok(
+      kMimeRegistry,
+      {TestExec{{}, "Ocean", 12,
+                [](Mph& h, const Comm&) {
+                  // Per-instance field value keyed by the instance id.
+                  const double field = 10.0 * (h.comp_id() + 1);
+                  const double local_mean = minimpi::allreduce_value(
+                      h.comp_comm(), field, minimpi::op::Sum{}) /
+                      h.comp_comm().size();
+                  if (h.local_proc_id() == 0) {
+                    h.send(local_mean, "statistics", 0, 1);
+                  }
+                }},
+       TestExec{{"statistics"}, "", 1,
+                [](Mph& h, const Comm&) {
+                  double sum = 0;
+                  for (int i = 0; i < 3; ++i) {
+                    double v = 0;
+                    h.world().recv(v, minimpi::any_source, 1);
+                    sum += v;
+                  }
+                  EXPECT_DOUBLE_EQ(sum / 3.0, 20.0);  // mean of 10,20,30
+                }}});
+}
+
+TEST(SetupMIME, UnequalInstanceSizes) {
+  const std::string registry = R"(BEGIN
+Multi_Instance_Begin
+Run_small 0 0
+Run_medium 1 3
+Run_large 4 9
+Multi_Instance_End
+END
+)";
+  run_mph_ok(registry,
+             {TestExec{{}, "Run_", 10, [](Mph& h, const Comm& world) {
+                         if (world.rank() == 0) {
+                           EXPECT_EQ(h.comp_name(), "Run_small");
+                           EXPECT_EQ(h.comp_comm().size(), 1);
+                         } else if (world.rank() <= 3) {
+                           EXPECT_EQ(h.comp_name(), "Run_medium");
+                           EXPECT_EQ(h.comp_comm().size(), 3);
+                         } else {
+                           EXPECT_EQ(h.comp_name(), "Run_large");
+                           EXPECT_EQ(h.comp_comm().size(), 6);
+                         }
+                       }}});
+}
+
+TEST(SetupMIME, AllThreeExecutableKindsCoexist) {
+  // §4.4: "Any other mix of single-component and/or multi-component
+  // executables may coexist with multi-instance executables."
+  const std::string registry = R"(BEGIN
+Multi_Instance_Begin
+Ens1 0 1 diff=0.5
+Ens2 2 3 diff=2.0
+Multi_Instance_End
+Multi_Component_Begin
+atmosphere 0 1
+land 2 2
+Multi_Component_End
+coupler
+END
+)";
+  run_mph_ok(
+      registry,
+      {TestExec{{}, "Ens", 4,
+                [](Mph& h, const Comm&) {
+                  EXPECT_EQ(h.total_components(), 5);
+                  EXPECT_EQ(h.num_executables(), 3);
+                  EXPECT_TRUE(h.comp_name() == "Ens1" ||
+                              h.comp_name() == "Ens2");
+                  double diff = 0;
+                  EXPECT_TRUE(h.get_argument("diff", diff));
+                  // Cross-kind messaging: each instance root pings coupler.
+                  if (h.local_proc_id() == 0) {
+                    h.send(diff, "coupler", 0, 4);
+                  }
+                }},
+       TestExec{{"atmosphere", "land"}, "", 3,
+                [](Mph& h, const Comm&) {
+                  EXPECT_EQ(h.exec_comm().size(), 3);
+                  EXPECT_EQ(h.directory().component("Ens2").global_low, 2);
+                  if (h.comp_name() == "land") {
+                    h.send(1.0, "coupler", 0, 4);
+                  }
+                }},
+       TestExec{{"coupler"}, "", 1,
+                [](Mph& h, const Comm&) {
+                  double total = 0;
+                  for (int i = 0; i < 3; ++i) {
+                    double v = 0;
+                    h.world().recv(v, minimpi::any_source, 4);
+                    total += v;
+                  }
+                  EXPECT_DOUBLE_EQ(total, 0.5 + 2.0 + 1.0);
+                  // The directory distinguishes the three kinds.
+                  const Directory& dir = h.directory();
+                  EXPECT_EQ(dir.component("Ens1").kind,
+                            BlockKind::multi_instance);
+                  EXPECT_EQ(dir.component("atmosphere").kind,
+                            BlockKind::multi_component);
+                  EXPECT_EQ(dir.component("coupler").kind, BlockKind::single);
+                }}});
+}
+
+TEST(SetupMIME, SixteenInstances) {
+  // Larger ensembles (no instance-count limit, §4.4).
+  std::string registry = "BEGIN\nMulti_Instance_Begin\n";
+  for (int i = 0; i < 16; ++i) {
+    registry += "W" + std::to_string(i + 1) + " " + std::to_string(i) + " " +
+                std::to_string(i) + " id=" + std::to_string(i) + "\n";
+  }
+  registry += "Multi_Instance_End\nEND\n";
+  run_mph_ok(registry,
+             {TestExec{{}, "W", 16, [](Mph& h, const Comm& world) {
+                         EXPECT_EQ(h.total_components(), 16);
+                         EXPECT_EQ(h.comp_comm().size(), 1);
+                         int id = -1;
+                         EXPECT_TRUE(h.get_argument("id", id));
+                         EXPECT_EQ(id, world.rank());
+                       }}});
+}
+
+TEST(SetupMIME, PrefixMustMatchABlock) {
+  const std::string err = run_mph_error(
+      kMimeRegistry, {TestExec{{}, "Atmos", 12, nullptr},
+                      TestExec{{"statistics"}, "", 1, nullptr}});
+  EXPECT_NE(err.find("prefix"), std::string::npos);
+}
+
+TEST(SetupMIME, PrefixMustCoverEveryInstanceName) {
+  // A block whose names do not all share the declared prefix cannot match.
+  const std::string registry = R"(BEGIN
+Multi_Instance_Begin
+Ocean1 0 1
+Atlantic2 2 3
+Multi_Instance_End
+END
+)";
+  const std::string err =
+      run_mph_error(registry, {TestExec{{}, "Ocean", 4, nullptr}});
+  EXPECT_NE(err.find("prefix"), std::string::npos);
+}
+
+TEST(SetupMIME, AmbiguousPrefixRejected) {
+  const std::string registry = R"(BEGIN
+Multi_Instance_Begin
+OceanA1 0 1
+Multi_Instance_End
+Multi_Instance_Begin
+OceanB1 0 1
+Multi_Instance_End
+END
+)";
+  // "Ocean" matches both blocks.
+  const std::string err = run_mph_error(
+      registry, {TestExec{{}, "Ocean", 2, nullptr},
+                 TestExec{{}, "Ocean", 2, nullptr}});
+  EXPECT_NE(err.find("more than one"), std::string::npos);
+}
+
+TEST(SetupMIME, InstanceCountMismatchRejected) {
+  // The block demands 12 ranks; give the executable 8.
+  const std::string err = run_mph_error(
+      kMimeRegistry, {TestExec{{}, "Ocean", 8, nullptr},
+                      TestExec{{"statistics"}, "", 1, nullptr}});
+  EXPECT_NE(err.find("processors"), std::string::npos);
+}
+
+TEST(SetupMIME, GlobalWarmingScenarioMix) {
+  // §4.4's second example: 3 atmosphere instances (different CO2 rates)
+  // all coupled to one ocean (here a single-component executable).
+  const std::string registry = R"(BEGIN
+Multi_Instance_Begin
+Scenario1 0 1 co2=350
+Scenario2 2 3 co2=560
+Scenario3 4 5 co2=700
+Multi_Instance_End
+ocean
+END
+)";
+  run_mph_ok(
+      registry,
+      {TestExec{{}, "Scenario", 6,
+                [](Mph& h, const Comm&) {
+                  int co2 = 0;
+                  EXPECT_TRUE(h.get_argument("co2", co2));
+                  constexpr int kRates[] = {350, 560, 700};
+                  const int instance =
+                      h.comp_id() -
+                      h.directory().component("Scenario1").component_id;
+                  ASSERT_GE(instance, 0);
+                  ASSERT_LT(instance, 3);
+                  EXPECT_EQ(co2, kRates[instance]);
+                  // Scenario means send their CO2 to ocean rank 0.
+                  if (h.local_proc_id() == 0) {
+                    h.send(co2, "ocean", 0, 2);
+                  }
+                }},
+       TestExec{{"ocean"}, "", 2,
+                [](Mph& h, const Comm&) {
+                  if (h.local_proc_id() == 0) {
+                    int total = 0;
+                    for (int i = 0; i < 3; ++i) {
+                      int v = 0;
+                      h.world().recv(v, minimpi::any_source, 2);
+                      total += v;
+                    }
+                    // "the ocean feels the average effect": 350+560+700.
+                    EXPECT_EQ(total, 1610);
+                  }
+                }}});
+}

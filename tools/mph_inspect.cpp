@@ -1,0 +1,141 @@
+// mph_inspect — command-line companion for MPH deployments.
+//
+// Usage:
+//   mph_inspect validate <processors_map.in>
+//       Parse and validate a registration file; print its structure.
+//
+//   mph_inspect plan <processors_map.in> <exec>...
+//       Dry-run the handshake against a command file, printing the exact
+//       Directory the job would build (or the setup error it would die
+//       with) — without queueing anything.  Each <exec> is
+//           name[,name...]:<nprocs>      a component-declaring executable
+//           I:<prefix>:<nprocs>          a multi-instance executable
+//       in command-file (rank) order.
+//
+//   mph_inspect generate-ensemble <prefix> <instances> <ranks_each>
+//       Emit a Multi_Instance registration file for an ensemble.
+//
+// Exit status: 0 on success, 1 on validation/plan failure, 2 on usage.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/mph/builder.hpp"
+#include "src/mph/errors.hpp"
+#include "src/mph/layout.hpp"
+#include "src/mph/registry.hpp"
+#include "src/util/strings.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: mph_inspect validate <file>\n"
+               "       mph_inspect plan <file> <names[,names]:<nprocs> | "
+               "I:<prefix>:<nprocs>>...\n"
+               "       mph_inspect generate-ensemble <prefix> <instances> "
+               "<ranks_each>\n");
+  return 2;
+}
+
+int cmd_validate(const std::string& path) {
+  const mph::Registry registry = mph::Registry::load(path);
+  std::printf("%s: OK — %d executable entr%s, %d component%s\n", path.c_str(),
+              registry.num_executables(),
+              registry.num_executables() == 1 ? "y" : "ies",
+              registry.total_components(),
+              registry.total_components() == 1 ? "" : "s");
+  for (const mph::ExecutableBlock& block : registry.blocks()) {
+    std::printf("  [%s]%s\n", mph::block_kind_name(block.kind),
+                block.required_size() > 0
+                    ? (" " + std::to_string(block.required_size()) +
+                       " processors")
+                          .c_str()
+                    : " size from launcher");
+    for (const mph::ComponentEntry& c : block.components) {
+      std::printf("    %-16s", c.name.c_str());
+      if (c.has_range()) std::printf(" %d..%d", c.low, c.high);
+      for (const std::string& token : c.args.to_tokens()) {
+        std::printf(" %s", token.c_str());
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}
+
+/// Parse "a,b:4" or "I:Ocean:12" into a PlannedExecutable.
+mph::PlannedExecutable parse_exec_spec(const std::string& spec) {
+  mph::PlannedExecutable exec;
+  std::string_view rest = spec;
+  if (mph::util::starts_with(rest, "I:")) {
+    exec.is_instance = true;
+    rest.remove_prefix(2);
+  }
+  const std::size_t colon = rest.rfind(':');
+  if (colon == std::string_view::npos) {
+    throw mph::MphError("bad executable spec '" + spec +
+                        "' (expected names:<nprocs>)");
+  }
+  const auto nprocs = mph::util::parse_int(rest.substr(colon + 1));
+  if (!nprocs.has_value() || *nprocs <= 0) {
+    throw mph::MphError("bad process count in '" + spec + "'");
+  }
+  exec.nprocs = static_cast<int>(*nprocs);
+  for (std::string_view name : mph::util::split(rest.substr(0, colon), ',')) {
+    exec.names.emplace_back(name);
+  }
+  if (exec.names.empty() || exec.names.front().empty()) {
+    throw mph::MphError("no component names in '" + spec + "'");
+  }
+  return exec;
+}
+
+int cmd_plan(const std::string& path, const std::vector<std::string>& specs) {
+  const mph::Registry registry = mph::Registry::load(path);
+  std::vector<mph::PlannedExecutable> job;
+  int total = 0;
+  for (const std::string& spec : specs) {
+    job.push_back(parse_exec_spec(spec));
+    total += job.back().nprocs;
+  }
+  const mph::Directory directory = mph::plan_layout(registry, job);
+  std::printf("plan OK — %d processes\n%s", total,
+              directory.describe().c_str());
+  return 0;
+}
+
+int cmd_generate(const std::string& prefix, const std::string& count,
+                 const std::string& ranks) {
+  const auto instances = mph::util::parse_int(count);
+  const auto ranks_each = mph::util::parse_int(ranks);
+  if (!instances || !ranks_each || *instances <= 0 || *ranks_each <= 0) {
+    throw mph::MphError("instances and ranks_each must be positive integers");
+  }
+  mph::RegistryBuilder builder;
+  builder.multi_instance(prefix, static_cast<int>(*instances),
+                         static_cast<int>(*ranks_each));
+  std::fputs(builder.to_text().c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    if (args.size() == 2 && args[0] == "validate") {
+      return cmd_validate(args[1]);
+    }
+    if (args.size() >= 3 && args[0] == "plan") {
+      return cmd_plan(args[1], {args.begin() + 2, args.end()});
+    }
+    if (args.size() == 4 && args[0] == "generate-ensemble") {
+      return cmd_generate(args[1], args[2], args[3]);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mph_inspect: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
