@@ -8,7 +8,15 @@
 // diffusivity perturbation (diff=...) and an input-file field — the paper's
 // "different input/output names can be passed on to different runs".
 //
-// Run:   ./ensemble [gain]       (gain 0 = free ensemble, >0 = steered)
+// The ensemble runs with MIME failure isolation: a rank failure inside one
+// member aborts only that member, the siblings and the statistics
+// component run to completion, and the statistics aggregate the survivors.
+// `--kill` demonstrates this with deterministic fault injection.
+//
+// Run:   ./ensemble [gain] [--kill Member[:interval]]
+//        (gain 0 = free ensemble, >0 = steered;
+//         --kill Ocean3:2 kills member Ocean3 at coupling interval 2)
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -30,6 +38,9 @@ statistics             ! aggregates the instantaneous ensemble state
 END
 )";
 
+constexpr int kMembers = 4;
+constexpr int kRanksPerMember = 2;
+
 mph::climate::ClimateConfig make_config() {
   mph::climate::ClimateConfig cfg;
   cfg.ocn_nlon = 36;
@@ -39,11 +50,17 @@ mph::climate::ClimateConfig make_config() {
   return cfg;
 }
 
+mph::HandshakeOptions isolated() {
+  mph::HandshakeOptions options;
+  options.isolate_instances = true;
+  return options;
+}
+
 void instance_main(const minimpi::Comm& world, const minimpi::ExecEnv&) {
   // One executable, replicated 4 times by MPH (§4.4):
   //   Ocean_World = MPH_multi_instance("Ocean")
   mph::Mph h = mph::Mph::multi_instance(
-      world, mph::RegistrySource::from_text(kRegistry), "Ocean");
+      world, mph::RegistrySource::from_text(kRegistry), "Ocean", isolated());
 
   // Per-instance parameters, exactly the paper's MPH_get_argument.
   double diff = 1.0;
@@ -61,7 +78,8 @@ void instance_main(const minimpi::Comm& world, const minimpi::ExecEnv&) {
 
 void statistics_main(const minimpi::Comm& world, const minimpi::ExecEnv& env) {
   mph::Mph h = mph::Mph::components_setup(
-      world, mph::RegistrySource::from_text(kRegistry), {"statistics"});
+      world, mph::RegistrySource::from_text(kRegistry), {"statistics"},
+      isolated());
   const double gain = env.args.empty() ? 0.0 : std::atof(env.args[0].c_str());
 
   const mph::climate::EnsembleResult result =
@@ -75,22 +93,73 @@ void statistics_main(const minimpi::Comm& world, const minimpi::ExecEnv& env) {
     std::printf("%8zu | %8.4f | %8.4f | %8.4f | %8.4f | %7.4f\n", i, s.mean,
                 s.median, s.min, s.max, std::sqrt(s.variance));
   }
+  for (const std::string& member : result.failed_members) {
+    const auto failure = h.failure_of(member);
+    std::printf("member %s FAILED (%s); its samples were skipped\n",
+                member.c_str(),
+                failure ? failure->to_string().c_str() : "cause unknown");
+  }
+  const mph::Mph::FinalizeReport fin = h.finalize();
+  if (!fin.clean()) {
+    std::printf("statistics finalize: %zu envelope(s) from dead members "
+                "discarded\n",
+                fin.drained_envelopes);
+  }
+}
+
+/// "Member[:interval]" → kill plan pinning member's first world rank at the
+/// given coupling interval (run_ensemble_instance's fault checkpoint).
+minimpi::FaultPlan parse_kill(const std::string& spec) {
+  std::string member = spec;
+  std::uint64_t interval = 0;
+  if (const std::size_t colon = spec.find(':'); colon != std::string::npos) {
+    member = spec.substr(0, colon);
+    interval = std::strtoull(spec.c_str() + colon + 1, nullptr, 10);
+  }
+  // Members occupy contiguous world ranks in registration order.
+  for (int m = 0; m < kMembers; ++m) {
+    if (member == "Ocean" + std::to_string(m + 1)) {
+      minimpi::FaultPlan plan;
+      plan.kill_at_step(m * kRanksPerMember, interval);
+      return plan;
+    }
+  }
+  std::fprintf(stderr, "unknown ensemble member '%s' (Ocean1..Ocean%d)\n",
+               member.c_str(), kMembers);
+  std::exit(2);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string gain = argc > 1 ? argv[1] : "0";
-  const minimpi::JobReport report = minimpi::run_mpmd({
-      // ONE executable entry replicated over 8 ranks: MPH expands it into
-      // the 4 named instances from the registration file.
-      {"ocean-ensemble", 8, instance_main, {}},
-      {"statistics", 1, statistics_main, {gain}},
-  });
+  std::string gain = "0";
+  minimpi::JobOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--kill" && i + 1 < argc) {
+      options.faults = parse_kill(argv[++i]);
+    } else {
+      gain = arg;
+    }
+  }
+
+  const minimpi::JobReport report = minimpi::run_mpmd(
+      {
+          // ONE executable entry replicated over 8 ranks: MPH expands it
+          // into the 4 named instances from the registration file.
+          {"ocean-ensemble", kMembers * kRanksPerMember, instance_main, {}},
+          {"statistics", 1, statistics_main, {gain}},
+      },
+      options);
+  for (const minimpi::RankFailure& f : report.contained) {
+    std::printf("contained: world rank %d (%s): %s\n", f.world_rank,
+                f.component.c_str(), f.what.c_str());
+  }
   if (!report.ok) {
     std::fprintf(stderr, "job failed: %s\n", report.abort_reason.c_str());
     return 1;
   }
-  std::printf("ensemble: OK\n");
+  std::printf("ensemble: OK%s\n",
+              report.contained.empty() ? "" : " (with contained failures)");
   return 0;
 }

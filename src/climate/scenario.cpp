@@ -1,5 +1,8 @@
 #include "src/climate/scenario.hpp"
 
+#include <chrono>
+#include <thread>
+
 #include "src/minimpi/collectives.hpp"
 #include "src/mph/errors.hpp"
 #include "src/util/strings.hpp"
@@ -184,6 +187,9 @@ EnsembleResult run_ensemble_instance(mph::Mph& handle,
 
   EnsembleResult result;
   for (int interval = 0; interval < cfg.intervals; ++interval) {
+    // Fault-injection checkpoint: "kill member M at interval N" plans
+    // (FaultPlan::kill_at_step) fire here, before the interval's work.
+    handle.world().fault_checkpoint(static_cast<std::uint64_t>(interval));
     for (int s = 0; s < cfg.steps_per_interval; ++s) model.step();
     const double mean = model.global_mean();
     result.my_means.push_back(mean);
@@ -220,19 +226,64 @@ EnsembleResult run_ensemble_statistics(mph::Mph& handle,
 
   EnsembleStatistics stats(static_cast<int>(instances.size()));
   EnsembleResult result;
+  std::vector<bool> alive(instances.size(), true);
+
+  // Wait for member k's sample without committing to a blocking receive: a
+  // member that dies under MIME isolation would otherwise stall the whole
+  // ensemble until the job timeout.  Returns false when the member is dead
+  // (its sample, if any arrives late, is left queued and reported by
+  // finalize()).
+  const auto member_sample = [&](std::size_t k, double& out) -> bool {
+    const minimpi::rank_t src = handle.global_rank_of(instances[k], 0);
+    const minimpi::Deadline deadline = handle.world().job().deadline();
+    for (;;) {
+      if (handle.world().iprobe(src, tags::stat_up).has_value()) {
+        handle.recv(out, instances[k], 0, tags::stat_up);
+        return true;
+      }
+      if (!handle.ping(instances[k])) return false;
+      if (std::chrono::steady_clock::now() >= deadline) {
+        throw MphError("run_ensemble_statistics: timed out waiting for the "
+                       "sample of live member '" +
+                       instances[k] + "'");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+
   for (int interval = 0; interval < cfg.intervals; ++interval) {
-    if (handle.local_proc_id() == 0) {
-      std::vector<double> samples(instances.size());
-      for (std::size_t k = 0; k < instances.size(); ++k) {
-        handle.recv(samples[k], instances[k], 0, tags::stat_up);
+    if (handle.local_proc_id() != 0) continue;
+    std::vector<double> samples;
+    std::vector<std::size_t> live;
+    samples.reserve(instances.size());
+    for (std::size_t k = 0; k < instances.size(); ++k) {
+      if (!alive[k]) continue;
+      double sample = 0;
+      if (member_sample(k, sample)) {
+        samples.push_back(sample);
+        live.push_back(k);
+      } else {
+        alive[k] = false;
       }
-      const EnsembleSnapshot snap = stats.aggregate(samples);
-      const std::vector<double> nudges =
-          stats.control_nudges(samples, snap.mean, gain);
-      for (std::size_t k = 0; k < instances.size(); ++k) {
-        handle.send(nudges[k], instances[k], 0, tags::stat_down);
+    }
+    if (samples.empty()) break;  // the whole ensemble died
+    stats.set_instances(static_cast<int>(samples.size()));
+    const EnsembleSnapshot snap = stats.aggregate(samples);
+    const std::vector<double> nudges =
+        stats.control_nudges(samples, snap.mean, gain);
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      // A member can die after reporting; don't nudge a corpse.
+      if (handle.ping(instances[live[i]])) {
+        handle.send(nudges[i], instances[live[i]], 0, tags::stat_down);
+      } else {
+        alive[live[i]] = false;
       }
-      result.snapshots.push_back(snap);
+    }
+    result.snapshots.push_back(snap);
+  }
+  if (handle.local_proc_id() == 0) {
+    for (std::size_t k = 0; k < instances.size(); ++k) {
+      if (!alive[k]) result.failed_members.push_back(instances[k]);
     }
   }
   return result;

@@ -40,6 +40,9 @@ struct EnsembleResult {
   std::vector<EnsembleSnapshot> snapshots;
   /// Instances: my own mean SST per interval.
   std::vector<double> my_means;
+  /// Statistics root only: members observed dead during the run (MIME
+  /// isolation) — their samples were skipped from the interval they died.
+  std::vector<std::string> failed_members;
 };
 
 /// Run one ocean ensemble instance (a component created by

@@ -45,6 +45,11 @@ class EnsembleStatistics {
   }
   [[nodiscard]] int instances() const noexcept { return instances_; }
 
+  /// Adjust the expected sample count: ensemble members can drop out under
+  /// MIME failure isolation, and the statistics then aggregate the
+  /// surviving subset.
+  void set_instances(int instances) noexcept { instances_ = instances; }
+
   /// Exact median of a sample vector (odd: middle; even: mean of middles).
   static double median_of(std::vector<double> values);
 

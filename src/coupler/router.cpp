@@ -66,6 +66,7 @@ Router::Router(minimpi::Comm joint, Decomp src, Decomp dst, Side side)
   // (both sides enumerate identically, so payload order agrees).
   const Decomp& mine = side_ == Side::source ? src_ : dst_;
   const Decomp& theirs = side_ == Side::source ? dst_ : src_;
+  local_size_ = mine.local_size(side_rank_);
   const int peer_base = side_ == Side::source ? n_src : 0;
   for (int p = 0; p < theirs.nranks(); ++p) {
     const auto overlaps =
@@ -90,8 +91,21 @@ std::int64_t Router::element_count() const noexcept {
   return total;
 }
 
+void Router::check_local_span(std::size_t size, const char* what) const {
+  // The schedule indexes local positions up to local_size_ - 1; a short
+  // span would read/write out of bounds.
+  if (size < static_cast<std::size_t>(local_size_)) {
+    fail(std::string(what) + " span holds " + std::to_string(size) +
+         " elements; this rank's local decomposition has " +
+         std::to_string(local_size_));
+  }
+}
+
 void Router::transfer(std::span<const double> src_data,
                       std::span<double> dst_data, minimpi::tag_t tag) const {
+  check_local_span(
+      side_ == Side::source ? src_data.size() : dst_data.size(),
+      side_ == Side::source ? "transfer: source" : "transfer: destination");
   if (side_ == Side::source) {
     for (const PeerBlock& peer : peers_) {
       std::vector<double> payload;
@@ -119,6 +133,15 @@ void Router::transfer_many(std::span<const std::span<const double>> srcs,
   const std::size_t nfields =
       side_ == Side::source ? srcs.size() : dsts.size();
   if (nfields == 0) return;
+  if (side_ == Side::source) {
+    for (const auto& field : srcs) {
+      check_local_span(field.size(), "transfer_many: source field");
+    }
+  } else {
+    for (const auto& field : dsts) {
+      check_local_span(field.size(), "transfer_many: destination field");
+    }
+  }
   if (side_ == Side::source) {
     for (const PeerBlock& peer : peers_) {
       std::vector<double> payload;

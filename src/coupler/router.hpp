@@ -68,11 +68,15 @@ class Router {
     std::vector<std::int64_t> local_positions;  ///< ascending global order
   };
 
+  /// Throw unless a local-data span covers this rank's decomposition.
+  void check_local_span(std::size_t size, const char* what) const;
+
   minimpi::Comm joint_;
   Decomp src_;
   Decomp dst_;
   Side side_;
   int side_rank_ = -1;
+  std::int64_t local_size_ = 0;   ///< my side's local element count
   std::vector<PeerBlock> peers_;  ///< ordered by peer rank
 };
 

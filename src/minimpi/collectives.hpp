@@ -43,6 +43,7 @@ namespace detail {
 
 /// Synchronize all members (dissemination barrier).
 inline void barrier(const Comm& comm) {
+  comm.fault_point(KillPoint::before_barrier);
   const tag_t tag = comm.next_collective_tag();
   const int n = comm.size();
   const int r = comm.rank();
@@ -54,6 +55,7 @@ inline void barrier(const Comm& comm) {
     comm.sendrecv_raw(std::span<const std::byte>(&token, 1), to, tag,
                       std::span<std::byte>(&in, 1), from, tag);
   }
+  comm.fault_point(KillPoint::after_barrier);
 }
 
 /// Broadcast `values` from `root` to all members (binomial tree).

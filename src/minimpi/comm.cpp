@@ -213,6 +213,21 @@ tag_t Comm::next_collective_tag() const {
   return kCollectiveTagBase + static_cast<tag_t>(seq % (1u << 23));
 }
 
+void Comm::fault_point(KillPoint point) const {
+  detail::CommState& st = state();
+  if (FaultInjector* f = st.job->faults()) {
+    f->on_point(point, st.to_global[static_cast<std::size_t>(st.my_rank)]);
+  }
+}
+
+void Comm::fault_checkpoint(std::uint64_t step) const {
+  detail::CommState& st = state();
+  if (FaultInjector* f = st.job->faults()) {
+    f->on_point(KillPoint::step,
+                st.to_global[static_cast<std::size_t>(st.my_rank)], step);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Point-to-point
 // ---------------------------------------------------------------------------
@@ -221,6 +236,7 @@ void Comm::send_raw(std::span<const std::byte> bytes, rank_t dest,
                     tag_t tag) const {
   detail::CommState& st = state();
   const rank_t dest_global = require_member_global(dest, "destination");
+  fault_point(KillPoint::before_send);
   Envelope env;
   env.context = st.context;
   env.src = st.to_global[static_cast<std::size_t>(st.my_rank)];
@@ -228,6 +244,7 @@ void Comm::send_raw(std::span<const std::byte> bytes, rank_t dest,
   env.payload.assign(bytes.begin(), bytes.end());
   st.job->count_message(env.payload.size());
   st.job->mailbox(dest_global).deliver(std::move(env));
+  fault_point(KillPoint::after_send);
 }
 
 Status Comm::recv_raw(std::span<std::byte> buffer, rank_t source,
@@ -236,10 +253,12 @@ Status Comm::recv_raw(std::span<std::byte> buffer, rank_t source,
   const rank_t src_global =
       source == any_source ? any_source
                            : require_member_global(source, "source");
+  fault_point(KillPoint::before_recv);
   Mailbox& box =
       st.job->mailbox(st.to_global[static_cast<std::size_t>(st.my_rank)]);
   Status status =
       box.recv(st.context, src_global, tag, buffer, st.job->deadline());
+  fault_point(KillPoint::after_recv);
   status.source = st.to_local[static_cast<std::size_t>(status.source)];
   return status;
 }
@@ -250,10 +269,12 @@ std::pair<Status, std::vector<std::byte>> Comm::recv_take_raw(
   const rank_t src_global =
       source == any_source ? any_source
                            : require_member_global(source, "source");
+  fault_point(KillPoint::before_recv);
   Mailbox& box =
       st.job->mailbox(st.to_global[static_cast<std::size_t>(st.my_rank)]);
   auto [status, payload] =
       box.recv_take(st.context, src_global, tag, st.job->deadline());
+  fault_point(KillPoint::after_recv);
   status.source = st.to_local[static_cast<std::size_t>(status.source)];
   return {status, std::move(payload)};
 }
@@ -275,6 +296,7 @@ Request Comm::irecv_raw(std::span<std::byte> buffer, rank_t source,
   const rank_t src_global =
       source == any_source ? any_source
                            : require_member_global(source, "source");
+  fault_point(KillPoint::before_recv);
   Mailbox& box =
       st.job->mailbox(st.to_global[static_cast<std::size_t>(st.my_rank)]);
   Request r;
@@ -331,6 +353,13 @@ struct SplitEntry {
 }  // namespace
 
 Comm Comm::split(int color, int key) const {
+  fault_point(KillPoint::before_split);
+  Comm result = split_impl(color, key);
+  fault_point(KillPoint::after_split);
+  return result;
+}
+
+Comm Comm::split_impl(int color, int key) const {
   detail::CommState& st = state();
   const tag_t tag = next_collective_tag();
   const int n = static_cast<int>(st.to_global.size());

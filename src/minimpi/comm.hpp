@@ -232,6 +232,18 @@ class Comm {
   /// same number of times in the same order, so tags agree job-wide.
   [[nodiscard]] tag_t next_collective_tag() const;
 
+  // --- fault injection hooks ----------------------------------------------
+
+  /// Fire the job's fault injector (if any) at `point` for this rank's
+  /// world rank.  No-op without a configured FaultPlan; throws
+  /// FaultInjectedError when a kill rule fires.  Collective algorithms and
+  /// the point-to-point paths call this at their kill-points.
+  void fault_point(KillPoint point) const;
+
+  /// Application-defined checkpoint for KillPoint::step rules: "kill rank R
+  /// at step N".  Drivers call this once per step/interval.
+  void fault_checkpoint(std::uint64_t step) const;
+
   /// Equality = same underlying state object (same rank's same handle).
   [[nodiscard]] bool same_state(const Comm& other) const noexcept {
     return s_ == other.s_;
@@ -242,6 +254,7 @@ class Comm {
       : s_(std::move(state)) {}
 
   [[nodiscard]] detail::CommState& state() const;
+  [[nodiscard]] Comm split_impl(int color, int key) const;
   [[nodiscard]] rank_t require_member_global(rank_t local,
                                              const char* what) const;
   static void check_user_tag(tag_t tag);

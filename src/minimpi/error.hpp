@@ -19,6 +19,7 @@ enum class Errc {
   invalid_argument,  ///< other precondition failure
   timeout,           ///< blocking operation exceeded the job's receive timeout
   aborted,           ///< job aborted (another rank raised)
+  fault_injected,    ///< a FaultPlan kill rule fired on this rank
   internal,          ///< substrate invariant violation (a bug in minimpi)
 };
 
@@ -31,6 +32,7 @@ enum class Errc {
     case Errc::invalid_argument: return "invalid_argument";
     case Errc::timeout: return "timeout";
     case Errc::aborted: return "aborted";
+    case Errc::fault_injected: return "fault_injected";
     case Errc::internal: return "internal";
   }
   return "unknown";

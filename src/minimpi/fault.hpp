@@ -1,0 +1,194 @@
+// fault.hpp — deterministic fault injection for minimpi jobs.
+//
+// A FaultPlan is a list of rules describing *where* a job should fail:
+// kill a world rank at a named kill-point (the Nth time that rank reaches
+// it), drop/delay a matching envelope, or truncate a payload in flight.
+// The plan travels through JobOptions; when non-empty the Job owns a
+// FaultInjector that every hooked code path consults.
+//
+// Determinism: rules pinned to a specific world rank fire at a fixed
+// position in that rank's own (deterministic) operation sequence, so the
+// same plan produces the same failing rank and operation on every run —
+// the property the tests/faults suite asserts.  Rules with a wildcard
+// victim fire on whichever rank reaches the hit count first and are only
+// deterministic when a single rank can match.  FaultPlan::chaos_kill
+// derives a pinned (rank, kill-point) pair from a seed for reproducible
+// randomized robustness sweeps.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/minimpi/error.hpp"
+#include "src/minimpi/mailbox.hpp"
+#include "src/minimpi/types.hpp"
+
+namespace minimpi {
+
+/// Places a kill rule can trigger.  `step` is an application-defined
+/// checkpoint reached via Comm::fault_checkpoint(step); `entry`/`finish`
+/// bracket the rank's entry-point function in the launcher.
+enum class KillPoint {
+  before_send,
+  after_send,
+  before_recv,
+  after_recv,
+  before_barrier,
+  after_barrier,
+  before_split,
+  after_split,
+  step,
+  entry,
+  finish,
+};
+
+[[nodiscard]] constexpr const char* kill_point_name(KillPoint p) noexcept {
+  switch (p) {
+    case KillPoint::before_send: return "before_send";
+    case KillPoint::after_send: return "after_send";
+    case KillPoint::before_recv: return "before_recv";
+    case KillPoint::after_recv: return "after_recv";
+    case KillPoint::before_barrier: return "before_barrier";
+    case KillPoint::after_barrier: return "after_barrier";
+    case KillPoint::before_split: return "before_split";
+    case KillPoint::after_split: return "after_split";
+    case KillPoint::step: return "step";
+    case KillPoint::entry: return "entry";
+    case KillPoint::finish: return "finish";
+  }
+  return "unknown";
+}
+
+/// Thrown by a fired kill rule; the launcher turns it into a structured
+/// (rank, component, operation) abort.
+class FaultInjectedError : public Error {
+ public:
+  FaultInjectedError(KillPoint point, rank_t world_rank)
+      : Error(Errc::fault_injected,
+              std::string("injected kill at ") + kill_point_name(point) +
+                  " on world rank " + std::to_string(world_rank)),
+        point_(point),
+        world_rank_(world_rank) {}
+
+  [[nodiscard]] KillPoint point() const noexcept { return point_; }
+  [[nodiscard]] rank_t world_rank() const noexcept { return world_rank_; }
+
+ private:
+  KillPoint point_;
+  rank_t world_rank_;
+};
+
+/// Wildcard context for envelope matching (real contexts start at 0 and
+/// grow densely; the all-ones value is unreachable in practice).
+inline constexpr context_t any_context = ~context_t{0};
+
+/// Pattern selecting envelopes for drop/delay/truncate rules.  Every field
+/// defaults to its wildcard.
+struct EnvelopeMatch {
+  context_t context = any_context;
+  rank_t src = any_source;   ///< sender's world rank
+  rank_t dest = any_source;  ///< receiver's world rank
+  tag_t tag = any_tag;
+
+  [[nodiscard]] bool matches(const Envelope& e, rank_t dest_rank) const noexcept {
+    return (context == any_context || context == e.context) &&
+           (src == any_source || src == e.src) &&
+           (dest == any_source || dest == dest_rank) &&
+           (tag == any_tag || tag == e.tag);
+  }
+};
+
+/// One injected fault.
+struct FaultRule {
+  enum class Action { kill, drop, delay, truncate };
+  Action action = Action::kill;
+
+  // Kill rules.
+  KillPoint point = KillPoint::before_send;
+  rank_t victim = any_source;  ///< world rank, or any_source for any rank
+  std::uint64_t step = 0;      ///< for KillPoint::step: the checkpoint index
+
+  // Envelope rules.
+  EnvelopeMatch match;
+  std::chrono::milliseconds delay{0};
+  std::size_t truncate_to = 0;
+
+  /// Fire on the Nth matching visit (1-based); each rule fires once.
+  std::uint64_t hit = 1;
+};
+
+/// A record of one fired rule, for post-mortem assertions.
+struct FaultEvent {
+  std::size_t rule_index = 0;
+  rank_t world_rank = -1;  ///< victim (kill) or destination (envelope rules)
+  std::string description;
+};
+
+class FaultPlan {
+ public:
+  /// Kill `victim` the `hit`th time it reaches `point`.
+  FaultPlan& kill_at(KillPoint point, rank_t victim, std::uint64_t hit = 1);
+
+  /// Kill `victim` when it reaches application checkpoint `step`
+  /// (Comm::fault_checkpoint).
+  FaultPlan& kill_at_step(rank_t victim, std::uint64_t step);
+
+  /// Silently discard the `hit`th envelope matching `match`.
+  FaultPlan& drop(EnvelopeMatch match, std::uint64_t hit = 1);
+
+  /// Delay delivery of the `hit`th matching envelope by `by`.
+  FaultPlan& delay(EnvelopeMatch match, std::chrono::milliseconds by,
+                   std::uint64_t hit = 1);
+
+  /// Truncate the payload of the `hit`th matching envelope to `bytes`.
+  FaultPlan& truncate(EnvelopeMatch match, std::size_t bytes,
+                      std::uint64_t hit = 1);
+
+  /// Seed-deterministic single-kill plan: picks one world rank and one
+  /// communication kill-point from `seed`.  Same seed, same victim and
+  /// operation — the reproducible "random process death" of the fault
+  /// suite.
+  [[nodiscard]] static FaultPlan chaos_kill(std::uint64_t seed, int world_size);
+
+  [[nodiscard]] bool empty() const noexcept { return rules_.empty(); }
+  [[nodiscard]] const std::vector<FaultRule>& rules() const noexcept {
+    return rules_;
+  }
+
+ private:
+  std::vector<FaultRule> rules_;
+};
+
+/// Runtime state of a plan within one Job.  Thread safe: rank threads call
+/// on_point/filter concurrently.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// Kill-point hook.  Throws FaultInjectedError when a kill rule fires.
+  /// `step` is only meaningful for KillPoint::step.
+  void on_point(KillPoint point, rank_t world_rank, std::uint64_t step = 0);
+
+  enum class Filter { deliver, drop };
+
+  /// Envelope hook, called by Mailbox::deliver in the *sender's* thread
+  /// before the destination mailbox is locked.  May sleep (delay rules) and
+  /// may shrink `env.payload` (truncate rules).
+  Filter filter(Envelope& env, rank_t dest_world);
+
+  /// Everything that fired so far.
+  [[nodiscard]] std::vector<FaultEvent> events() const;
+
+ private:
+  mutable std::mutex mutex_;
+  FaultPlan plan_;
+  std::vector<std::uint64_t> visits_;  ///< per-rule matching-visit counts
+  std::vector<bool> fired_;            ///< per-rule one-shot latch
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace minimpi

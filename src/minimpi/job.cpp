@@ -1,22 +1,41 @@
 #include "src/minimpi/job.hpp"
 
+#include <algorithm>
+
 #include "src/minimpi/error.hpp"
 #include "src/util/diagnostics.hpp"
 
 namespace minimpi {
 
+std::string AbortInfo::to_string() const {
+  std::string out = "rank " + std::to_string(world_rank);
+  if (!component.empty()) out += " (" + component + ")";
+  out += " failed";
+  if (!operation.empty()) out += " in " + operation;
+  if (!detail.empty()) out += ": " + detail;
+  return out;
+}
+
 Job::Job(int world_size, JobOptions options)
-    : world_size_(world_size), options_(options) {
+    : world_size_(world_size), options_(std::move(options)) {
   if (world_size <= 0) {
     throw Error(Errc::invalid_argument,
                 "job world size must be positive, got " +
                     std::to_string(world_size));
   }
+  if (!options_.faults.empty()) {
+    faults_ = std::make_unique<FaultInjector>(options_.faults);
+  }
   mailboxes_.reserve(static_cast<std::size_t>(world_size));
   for (int i = 0; i < world_size; ++i) {
-    mailboxes_.push_back(
-        std::make_unique<Mailbox>(abort_flag_, abort_reason_));
+    mailboxes_.push_back(std::make_unique<Mailbox>(abort_flag_, abort_reason_,
+                                                   i, faults_.get()));
   }
+  rank_labels_.assign(static_cast<std::size_t>(world_size), std::string{});
+  rank_failed_ =
+      std::make_unique<std::atomic<bool>[]>(static_cast<std::size_t>(world_size));
+  for (int i = 0; i < world_size; ++i) rank_failed_[i] = false;
+  rank_domain_.assign(static_cast<std::size_t>(world_size), -1);
 }
 
 Mailbox& Job::mailbox(rank_t world_rank) {
@@ -29,14 +48,118 @@ Mailbox& Job::mailbox(rank_t world_rank) {
 }
 
 void Job::abort(const std::string& reason) {
+  AbortInfo info;
+  info.detail = reason;
+  abort(std::move(info));
+}
+
+void Job::abort(AbortInfo info) {
   {
     const std::lock_guard<std::mutex> lock(abort_mutex_);
     if (abort_flag_.load(std::memory_order_acquire)) return;
-    abort_reason_ = "job aborted: " + reason;
+    abort_reason_ =
+        "job aborted: " + (info.world_rank < 0 ? info.detail : info.to_string());
+    abort_info_ = std::move(info);
     abort_flag_.store(true, std::memory_order_release);
   }
-  MPH_DIAG_LOG(error) << "job abort: " << reason;
+  MPH_DIAG_LOG(error) << abort_reason_;
   for (auto& box : mailboxes_) box->wake_all();
+}
+
+void Job::set_rank_label(rank_t world_rank, std::string label) {
+  if (world_rank < 0 || world_rank >= world_size_) return;
+  rank_labels_[static_cast<std::size_t>(world_rank)] = std::move(label);
+}
+
+const std::string& Job::rank_label(rank_t world_rank) const {
+  static const std::string kEmpty;
+  if (world_rank < 0 || world_rank >= world_size_) return kEmpty;
+  return rank_labels_[static_cast<std::size_t>(world_rank)];
+}
+
+void Job::mark_rank_failed(rank_t world_rank) {
+  if (world_rank < 0 || world_rank >= world_size_) return;
+  rank_failed_[static_cast<std::size_t>(world_rank)].store(
+      true, std::memory_order_release);
+}
+
+bool Job::rank_failed(rank_t world_rank) const {
+  if (world_rank < 0 || world_rank >= world_size_) return false;
+  return rank_failed_[static_cast<std::size_t>(world_rank)].load(
+      std::memory_order_acquire);
+}
+
+bool Job::any_rank_failed(rank_t low, rank_t high) const {
+  for (rank_t r = low; r <= high; ++r) {
+    if (rank_failed(r)) return true;
+  }
+  return false;
+}
+
+void Job::join_domain(rank_t world_rank, int domain_id,
+                      const std::string& label) {
+  if (world_rank < 0 || world_rank >= world_size_) {
+    throw Error(Errc::invalid_rank,
+                "join_domain: world rank " + std::to_string(world_rank) +
+                    " outside job of size " + std::to_string(world_size_));
+  }
+  FailureDomain* domain = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(domains_mutex_);
+    auto& slot = domains_[domain_id];
+    if (slot == nullptr) {
+      slot = std::make_unique<FailureDomain>();
+      slot->label = label;
+    }
+    slot->ranks.push_back(world_rank);
+    rank_domain_[static_cast<std::size_t>(world_rank)] = domain_id;
+    domain = slot.get();
+  }
+  mailbox(world_rank).set_domain(&domain->flag, &domain->reason);
+}
+
+int Job::domain_of(rank_t world_rank) const {
+  if (world_rank < 0 || world_rank >= world_size_) return -1;
+  const std::lock_guard<std::mutex> lock(domains_mutex_);
+  return rank_domain_[static_cast<std::size_t>(world_rank)];
+}
+
+void Job::abort_domain(int domain_id, const AbortInfo& info) {
+  std::vector<rank_t> members;
+  {
+    const std::lock_guard<std::mutex> lock(domains_mutex_);
+    auto it = domains_.find(domain_id);
+    if (it == domains_.end()) {
+      throw Error(Errc::invalid_argument,
+                  "abort_domain: unknown domain " + std::to_string(domain_id));
+    }
+    FailureDomain& domain = *it->second;
+    if (domain.flag.load(std::memory_order_acquire)) return;
+    domain.reason = "failure domain '" + domain.label +
+                    "' aborted: " + info.to_string();
+    domain.info = info;
+    domain.flag.store(true, std::memory_order_release);
+    members = domain.ranks;
+    MPH_DIAG_LOG(error) << domain.reason;
+  }
+  for (const rank_t r : members) mailbox(r).wake_all();
+}
+
+bool Job::domain_aborted(int domain_id) const {
+  const std::lock_guard<std::mutex> lock(domains_mutex_);
+  auto it = domains_.find(domain_id);
+  return it != domains_.end() &&
+         it->second->flag.load(std::memory_order_acquire);
+}
+
+std::optional<AbortInfo> Job::domain_abort_info(int domain_id) const {
+  const std::lock_guard<std::mutex> lock(domains_mutex_);
+  auto it = domains_.find(domain_id);
+  if (it == domains_.end() ||
+      !it->second->flag.load(std::memory_order_acquire)) {
+    return std::nullopt;
+  }
+  return it->second->info;
 }
 
 void Job::control_send(rank_t src_world, rank_t dest_world, tag_t control_tag,
@@ -51,6 +174,29 @@ void Job::control_send(rank_t src_world, rank_t dest_world, tag_t control_tag,
   env.payload.assign(bytes.begin(), bytes.end());
   count_message(env.payload.size());
   mailbox(dest_world).deliver(std::move(env));
+}
+
+CommStats Job::stats() const {
+  CommStats s;
+  s.messages = messages_.load(std::memory_order_relaxed);
+  s.payload_bytes = payload_bytes_.load(std::memory_order_relaxed);
+  s.contexts_allocated =
+      next_context_.load(std::memory_order_relaxed) - (kWorldContext + 1);
+  for (const auto& box : mailboxes_) {
+    s.queue_high_water =
+        std::max<std::uint64_t>(s.queue_high_water, box->queue_high_water());
+  }
+  return s;
+}
+
+JobDrain Job::drain_all() {
+  JobDrain total;
+  for (auto& box : mailboxes_) {
+    const MailboxDrain d = box->drain();
+    total.envelopes += d.envelopes;
+    total.posted_recvs += d.posted_recvs;
+  }
+  return total;
 }
 
 }  // namespace minimpi

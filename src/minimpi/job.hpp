@@ -3,17 +3,28 @@
 // A Job is the in-process analogue of one MPMD batch job: `world_size`
 // ranks (threads) sharing one COMM_WORLD.  The Job owns every rank's
 // mailbox, hands out fresh communicator context ids, and implements the
-// job-wide abort protocol: when any rank fails, all blocked ranks are woken
-// and unwind with AbortedError instead of deadlocking — the behaviour of
-// `mpirun` killing a job when one process dies.
+// failure protocols:
+//
+//   * job-wide abort — when any rank fails, all blocked ranks are woken and
+//     unwind with AbortedError instead of deadlocking (the behaviour of
+//     `mpirun` killing a job when one process dies);
+//   * failure domains — an optional containment layer: ranks registered
+//     into a domain (e.g. one ensemble member under MPH's MIME isolation)
+//     abort *together* when one of them fails, while ranks outside the
+//     domain keep running;
+//   * structured abort — the reason carries the failing world rank, its
+//     component label, and the operation that failed, not just free text.
 #pragma once
 
 #include <atomic>
 #include <chrono>
+#include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "src/minimpi/fault.hpp"
 #include "src/minimpi/mailbox.hpp"
 #include "src/minimpi/types.hpp"
 
@@ -24,6 +35,9 @@ struct JobOptions {
   /// applications fail with Errc::timeout instead of hanging the test
   /// suite.  time_point::max() semantics (wait forever) via zero.
   std::chrono::milliseconds recv_timeout{std::chrono::seconds(120)};
+
+  /// Deterministic fault injection plan (empty = no injection).
+  FaultPlan faults;
 };
 
 /// Aggregate communication counters of one job (monotone; snapshot with
@@ -33,6 +47,27 @@ struct CommStats {
   std::uint64_t messages = 0;            ///< envelopes delivered
   std::uint64_t payload_bytes = 0;       ///< payload volume delivered
   std::uint64_t contexts_allocated = 0;  ///< communicators created job-wide
+  /// Largest unmatched-envelope backlog any single mailbox ever reached —
+  /// backpressure visibility for the unbounded queues.
+  std::uint64_t queue_high_water = 0;
+};
+
+/// Structured description of why a rank (and hence its job or failure
+/// domain) aborted.
+struct AbortInfo {
+  rank_t world_rank = -1;     ///< rank whose failure triggered the abort
+  std::string component;      ///< rank label (component/executable name)
+  std::string operation;      ///< what it was doing (kill-point, errc, ...)
+  std::string detail;         ///< the underlying exception text
+
+  /// "rank 3 (Ocean2) failed in before_send: ..." — the abort reason text.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Sum of every mailbox's teardown accounting.
+struct JobDrain {
+  std::size_t envelopes = 0;
+  std::size_t posted_recvs = 0;
 };
 
 class Job {
@@ -48,6 +83,9 @@ class Job {
   /// Mailbox of a world rank.
   [[nodiscard]] Mailbox& mailbox(rank_t world_rank);
 
+  /// The job's fault injector, or null when no plan was configured.
+  [[nodiscard]] FaultInjector* faults() const noexcept { return faults_.get(); }
+
   /// Allocate a fresh communicator context id (thread safe).  Exactly one
   /// rank of a communicator allocates; the id is then distributed to the
   /// other members collectively.
@@ -55,14 +93,66 @@ class Job {
     return next_context_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  // --- job-wide abort ------------------------------------------------------
+
   /// Abort the job: record `reason` (first caller wins) and wake every
   /// blocked rank.  Idempotent.
   void abort(const std::string& reason);
+
+  /// Structured abort: like abort(reason) but preserving the failing rank,
+  /// component label, and operation for abort_info().
+  void abort(AbortInfo info);
 
   [[nodiscard]] bool aborted() const noexcept { return abort_flag_; }
   [[nodiscard]] const std::string& abort_reason() const noexcept {
     return abort_reason_;
   }
+
+  /// Structured root cause, when the abort came through abort(AbortInfo).
+  /// Safe to call from surviving ranks while the job is still running
+  /// (e.g. Mph::failure_of), hence the copy under the abort lock.
+  [[nodiscard]] std::optional<AbortInfo> abort_info() const {
+    const std::lock_guard<std::mutex> lock(abort_mutex_);
+    return abort_info_;
+  }
+
+  // --- per-rank annotations ------------------------------------------------
+
+  /// Label a rank with its component/executable name for failure reports.
+  /// Each rank writes only its own slot (launcher at start, MPH after the
+  /// handshake); reads from other threads happen only after join.
+  void set_rank_label(rank_t world_rank, std::string label);
+  [[nodiscard]] const std::string& rank_label(rank_t world_rank) const;
+
+  /// Liveness flags consulted by MPH_ping: set when a rank's entry point
+  /// throws (root cause or domain collateral).
+  void mark_rank_failed(rank_t world_rank);
+  [[nodiscard]] bool rank_failed(rank_t world_rank) const;
+  [[nodiscard]] bool any_rank_failed(rank_t low, rank_t high) const;
+
+  // --- failure domains (containment) ---------------------------------------
+
+  /// Register `world_rank` into failure domain `domain_id` (any
+  /// application-chosen id; MPH uses the component id of an ensemble
+  /// member).  A failing domain member aborts only the domain: its ranks
+  /// unwind with AbortedError, everyone else keeps running.  Each rank
+  /// registers itself, before any member can fail (MPH: during the
+  /// handshake).
+  void join_domain(rank_t world_rank, int domain_id, const std::string& label);
+
+  /// Domain of a rank, or -1 when unregistered.
+  [[nodiscard]] int domain_of(rank_t world_rank) const;
+
+  /// Abort one domain: record the structured reason (first caller wins) and
+  /// wake only that domain's blocked ranks.  Idempotent.
+  void abort_domain(int domain_id, const AbortInfo& info);
+
+  [[nodiscard]] bool domain_aborted(int domain_id) const;
+
+  /// Structured failure of an aborted domain (empty otherwise).
+  [[nodiscard]] std::optional<AbortInfo> domain_abort_info(int domain_id) const;
+
+  // --- deadlines / control -------------------------------------------------
 
   /// Deadline for a blocking operation starting now.
   [[nodiscard]] Deadline deadline() const {
@@ -83,18 +173,24 @@ class Job {
   }
 
   /// Snapshot of the job's communication counters.
-  [[nodiscard]] CommStats stats() const noexcept {
-    CommStats s;
-    s.messages = messages_.load(std::memory_order_relaxed);
-    s.payload_bytes = payload_bytes_.load(std::memory_order_relaxed);
-    s.contexts_allocated =
-        next_context_.load(std::memory_order_relaxed) - (kWorldContext + 1);
-    return s;
-  }
+  [[nodiscard]] CommStats stats() const;
+
+  /// Discard every mailbox's leftover envelopes and posted receives,
+  /// summing what leaked — called after all rank threads joined.
+  [[nodiscard]] JobDrain drain_all();
 
  private:
+  struct FailureDomain {
+    std::string label;
+    std::vector<rank_t> ranks;
+    std::atomic<bool> flag{false};
+    std::string reason;
+    std::optional<AbortInfo> info;
+  };
+
   int world_size_;
   JobOptions options_;
+  std::unique_ptr<FaultInjector> faults_;
   std::atomic<context_t> next_context_{kWorldContext + 1};
   std::atomic<std::uint64_t> messages_{0};
   std::atomic<std::uint64_t> payload_bytes_{0};
@@ -104,9 +200,20 @@ class Job {
   // only read after observing the flag.
   std::atomic<bool> abort_flag_{false};
   std::string abort_reason_;
-  std::mutex abort_mutex_;
+  std::optional<AbortInfo> abort_info_;
+  mutable std::mutex abort_mutex_;
 
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+  // Per-rank annotations (slots written by the owning rank's thread).
+  std::vector<std::string> rank_labels_;
+  std::unique_ptr<std::atomic<bool>[]> rank_failed_;
+
+  // Failure domains.  The map never erases, so FailureDomain addresses are
+  // stable once created (mailboxes keep pointers into them).
+  mutable std::mutex domains_mutex_;
+  std::map<int, std::unique_ptr<FailureDomain>> domains_;
+  std::vector<int> rank_domain_;  ///< guarded by domains_mutex_
 };
 
 }  // namespace minimpi

@@ -1,12 +1,31 @@
 #include "src/minimpi/launcher.hpp"
 
+#include <algorithm>
 #include <mutex>
 #include <thread>
 
 #include "src/minimpi/error.hpp"
+#include "src/minimpi/fault.hpp"
 #include "src/util/diagnostics.hpp"
 
 namespace minimpi {
+
+namespace {
+
+/// Route one rank's failure: domain members abort only their domain (the
+/// failure is *contained*), everyone else takes the whole job down.
+/// Returns true when the failure was contained.
+bool record_failure(Job& job, const AbortInfo& info) {
+  const int domain = job.domain_of(info.world_rank);
+  if (domain >= 0) {
+    job.abort_domain(domain, info);
+    return true;
+  }
+  job.abort(info);
+  return false;
+}
+
+}  // namespace
 
 JobReport run_mpmd(const std::vector<ExecSpec>& specs, JobOptions options) {
   if (specs.empty()) {
@@ -43,27 +62,53 @@ JobReport run_mpmd(const std::vector<ExecSpec>& specs, JobOptions options) {
         const ExecSpec& my_spec = specs[e];
         mph::util::set_thread_label("rank " + std::to_string(world_rank) +
                                     " (" + my_spec.name + ")");
+        job->set_rank_label(world_rank, my_spec.name);
         ExecEnv env;
         env.exec_index = static_cast<int>(e);
         env.exec_name = my_spec.name;
         env.args = my_spec.args;
         env.world_rank = world_rank;
+        // The component attributed to this rank: the handshake layer may
+        // relabel the rank with its component name (e.g. an ensemble member);
+        // until then the executable name stands in.
+        const auto component = [&]() -> std::string {
+          const std::string& label = job->rank_label(world_rank);
+          return label.empty() ? my_spec.name : label;
+        };
+        const auto push = [&](std::vector<RankFailure>& into, std::string op,
+                              std::string what) {
+          const std::lock_guard<std::mutex> lock(report_mutex);
+          into.push_back(RankFailure{world_rank, static_cast<int>(e),
+                                     component(), std::move(op),
+                                     std::move(what)});
+        };
         try {
           const Comm world = Comm::world(job, world_rank);
+          world.fault_point(KillPoint::entry);
           my_spec.entry(world, env);
+          world.fault_point(KillPoint::finish);
         } catch (const AbortedError& ex) {
-          // Collateral: some other rank failed first; record quietly.
-          const std::lock_guard<std::mutex> lock(report_mutex);
-          report.failures.push_back(
-              RankFailure{world_rank, static_cast<int>(e), ex.what()});
+          // Collateral: some other rank failed first.  When the whole job
+          // aborted this is ordinary unwinding; when only this rank's
+          // failure domain aborted it is contained collateral.
+          job->mark_rank_failed(world_rank);
+          push(job->aborted() ? report.failures : report.contained,
+               std::string{}, ex.what());
+        } catch (const FaultInjectedError& ex) {
+          job->mark_rank_failed(world_rank);
+          AbortInfo info{world_rank, component(),
+                         kill_point_name(ex.point()), ex.what()};
+          const bool contained = record_failure(*job, info);
+          push(contained ? report.contained : report.failures,
+               kill_point_name(ex.point()), ex.what());
         } catch (const std::exception& ex) {
           MPH_DIAG_LOG(error) << "rank " << world_rank << " failed: "
                               << ex.what();
-          job->abort(std::string("rank ") + std::to_string(world_rank) +
-                     " (" + my_spec.name + "): " + ex.what());
-          const std::lock_guard<std::mutex> lock(report_mutex);
-          report.failures.push_back(
-              RankFailure{world_rank, static_cast<int>(e), ex.what()});
+          job->mark_rank_failed(world_rank);
+          AbortInfo info{world_rank, component(), "user code", ex.what()};
+          const bool contained = record_failure(*job, info);
+          push(contained ? report.contained : report.failures, "user code",
+               ex.what());
         }
       });
     }
@@ -75,13 +120,19 @@ JobReport run_mpmd(const std::vector<ExecSpec>& specs, JobOptions options) {
   report.ok = report.failures.empty() && !job->aborted();
   report.stats = job->stats();
   if (job->aborted()) report.abort_reason = job->abort_reason();
-  // Put the root-cause failure first: AbortedError entries ("... job
-  // aborted: ...") are collateral unwinding of other ranks.
+  report.abort = job->abort_info();
+  const JobDrain leaked = job->drain_all();
+  report.leaked_envelopes = leaked.envelopes;
+  report.leaked_posted_recvs = leaked.posted_recvs;
+  // Put the root-cause failure first: collateral entries (empty operation,
+  // "... aborted: ..." text) are other ranks unwinding.
+  const auto is_root_cause = [](const RankFailure& f) {
+    return !f.operation.empty();
+  };
   std::stable_partition(report.failures.begin(), report.failures.end(),
-                        [](const RankFailure& f) {
-                          return f.what.find("job aborted:") ==
-                                 std::string::npos;
-                        });
+                        is_root_cause);
+  std::stable_partition(report.contained.begin(), report.contained.end(),
+                        is_root_cause);
   return report;
 }
 

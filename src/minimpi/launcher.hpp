@@ -17,6 +17,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -46,15 +47,25 @@ struct ExecSpec {
 struct RankFailure {
   rank_t world_rank = -1;
   int exec_index = -1;
+  std::string component;  ///< executable name of the failed rank
+  std::string operation;  ///< kill-point / "user code" / "" for collateral
   std::string what;
 };
 
 /// Result of a completed job.
 struct JobReport {
   bool ok = false;
-  std::vector<RankFailure> failures;
-  std::string abort_reason;  ///< empty when ok
-  CommStats stats;           ///< job-wide communication counters
+  std::vector<RankFailure> failures;   ///< job-fatal (root cause first)
+  std::vector<RankFailure> contained;  ///< confined to a failure domain
+  std::string abort_reason;            ///< empty when ok
+  /// Structured root cause when the job (not just a domain) aborted.
+  std::optional<AbortInfo> abort;
+  CommStats stats;  ///< job-wide communication counters
+  /// Envelopes still queued in mailboxes after every rank returned.  Zero
+  /// for a cleanly-finished job; nonzero means messages were sent but never
+  /// received (typical after an abort cut receivers short).
+  std::uint64_t leaked_envelopes = 0;
+  std::uint64_t leaked_posted_recvs = 0;
 
   /// Convenience for tests: message of the first failure ("" when ok).
   [[nodiscard]] std::string first_error() const {
@@ -65,7 +76,9 @@ struct JobReport {
 /// Run an MPMD job to completion.  Spawns sum(nprocs) rank-threads, waits
 /// for all of them, and reports failures.  When any rank throws, the job
 /// aborts: blocked ranks unwind with AbortedError (recorded separately from
-/// the root-cause failure).
+/// the root-cause failure).  Ranks registered into a failure domain
+/// (Job::join_domain) abort only their domain: those failures land in
+/// `contained` and leave `ok` true for the rest of the job.
 JobReport run_mpmd(const std::vector<ExecSpec>& specs, JobOptions options = {});
 
 /// SPMD convenience: n ranks all running the same entry.

@@ -3,15 +3,42 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/minimpi/fault.hpp"
+
 namespace minimpi {
+
+namespace {
+
+std::string pattern_string(context_t ctx, rank_t source, tag_t tag) {
+  std::string out = "(context=" + std::to_string(ctx) + ", source=";
+  out += source == any_source ? "*" : std::to_string(source);
+  out += ", tag=";
+  out += tag == any_tag ? "*" : std::to_string(tag);
+  out += ")";
+  return out;
+}
+
+}  // namespace
+
+void Mailbox::set_domain(const std::atomic<bool>* flag,
+                         const std::string* reason) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  domain_flag_ = flag;
+  domain_reason_ = reason;
+}
 
 void Mailbox::check_abort_locked() const {
   if (abort_flag_) throw AbortedError(abort_reason_);
+  if (domain_flag_ != nullptr &&
+      domain_flag_->load(std::memory_order_acquire)) {
+    throw AbortedError(*domain_reason_);
+  }
 }
 
 template <class Pred>
 void Mailbox::wait_locked(std::unique_lock<std::mutex>& lock, Deadline deadline,
-                          Pred pred) {
+                          Pred pred, const char* operation, context_t ctx,
+                          rank_t source, tag_t tag) {
   while (!pred()) {
     check_abort_locked();
     if (deadline == Deadline::max()) {
@@ -20,8 +47,12 @@ void Mailbox::wait_locked(std::unique_lock<std::mutex>& lock, Deadline deadline,
       check_abort_locked();
       if (pred()) return;
       throw Error(Errc::timeout,
-                  "blocking receive/probe exceeded the job receive timeout "
-                  "(likely deadlock: a matching send was never issued)");
+                  std::string("blocking ") + operation +
+                      " exceeded the job receive timeout waiting for " +
+                      pattern_string(ctx, source, tag) + "; " +
+                      std::to_string(queue_.size()) +
+                      " unmatched envelope(s) queued (likely deadlock: a "
+                      "matching send was never issued)");
     }
   }
   check_abort_locked();
@@ -35,6 +66,10 @@ std::deque<Envelope>::iterator Mailbox::find_locked(context_t ctx,
 }
 
 void Mailbox::deliver(Envelope&& env) {
+  if (faults_ != nullptr &&
+      faults_->filter(env, owner_rank_) == FaultInjector::Filter::drop) {
+    return;  // injected message loss
+  }
   std::shared_ptr<RecvTicket> completed;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -64,6 +99,7 @@ void Mailbox::deliver(Envelope&& env) {
       completed = std::move(p.ticket);
     } else {
       queue_.push_back(std::move(env));
+      queue_high_water_ = std::max(queue_high_water_, queue_.size());
     }
   }
   cv_.notify_all();
@@ -74,10 +110,13 @@ Status Mailbox::recv(context_t ctx, rank_t source, tag_t tag,
                      std::span<std::byte> buffer, Deadline deadline) {
   std::unique_lock<std::mutex> lock(mutex_);
   std::deque<Envelope>::iterator it;
-  wait_locked(lock, deadline, [&] {
-    it = find_locked(ctx, source, tag);
-    return it != queue_.end();
-  });
+  wait_locked(
+      lock, deadline,
+      [&] {
+        it = find_locked(ctx, source, tag);
+        return it != queue_.end();
+      },
+      "receive", ctx, source, tag);
   if (it->payload.size() > buffer.size()) {
     throw Error(Errc::truncation,
                 "receive buffer of " + std::to_string(buffer.size()) +
@@ -98,10 +137,13 @@ std::pair<Status, std::vector<std::byte>> Mailbox::recv_take(context_t ctx,
                                                              Deadline deadline) {
   std::unique_lock<std::mutex> lock(mutex_);
   std::deque<Envelope>::iterator it;
-  wait_locked(lock, deadline, [&] {
-    it = find_locked(ctx, source, tag);
-    return it != queue_.end();
-  });
+  wait_locked(
+      lock, deadline,
+      [&] {
+        it = find_locked(ctx, source, tag);
+        return it != queue_.end();
+      },
+      "receive", ctx, source, tag);
   const Status status{it->src, it->tag, it->payload.size()};
   std::vector<std::byte> payload = std::move(it->payload);
   queue_.erase(it);
@@ -112,6 +154,9 @@ std::shared_ptr<RecvTicket> Mailbox::post_recv(context_t ctx, rank_t source,
                                                tag_t tag,
                                                std::span<std::byte> buffer) {
   auto ticket = std::make_shared<RecvTicket>();
+  ticket->context = ctx;
+  ticket->source = source;
+  ticket->tag = tag;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     auto it = find_locked(ctx, source, tag);
@@ -141,7 +186,9 @@ std::shared_ptr<RecvTicket> Mailbox::post_recv(context_t ctx, rank_t source,
 Status Mailbox::wait(const std::shared_ptr<RecvTicket>& ticket,
                      Deadline deadline) {
   std::unique_lock<std::mutex> lock(mutex_);
-  wait_locked(lock, deadline, [&] { return ticket->done; });
+  wait_locked(
+      lock, deadline, [&] { return ticket->done; }, "posted-receive wait",
+      ticket->context, ticket->source, ticket->tag);
   if (ticket->error) std::rethrow_exception(ticket->error);
   return ticket->status;
 }
@@ -164,10 +211,13 @@ Status Mailbox::probe(context_t ctx, rank_t source, tag_t tag,
                       Deadline deadline) {
   std::unique_lock<std::mutex> lock(mutex_);
   std::deque<Envelope>::iterator it;
-  wait_locked(lock, deadline, [&] {
-    it = find_locked(ctx, source, tag);
-    return it != queue_.end();
-  });
+  wait_locked(
+      lock, deadline,
+      [&] {
+        it = find_locked(ctx, source, tag);
+        return it != queue_.end();
+      },
+      "probe", ctx, source, tag);
   return Status{it->src, it->tag, it->payload.size()};
 }
 
@@ -188,6 +238,26 @@ void Mailbox::wake_all() {
 std::size_t Mailbox::queued() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return queue_.size();
+}
+
+std::size_t Mailbox::queue_high_water() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_high_water_;
+}
+
+std::size_t Mailbox::posted() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return posted_.size();
+}
+
+MailboxDrain Mailbox::drain() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MailboxDrain report;
+  report.envelopes = queue_.size();
+  report.posted_recvs = posted_.size();
+  queue_.clear();
+  posted_.clear();
+  return report;
 }
 
 }  // namespace minimpi

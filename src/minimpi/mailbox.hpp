@@ -26,6 +26,8 @@
 
 namespace minimpi {
 
+class FaultInjector;
+
 /// A message in flight: routing key plus owned payload bytes.
 /// `src` is always the *global* (world) rank of the sender; communicators
 /// translate to local ranks at the API boundary.
@@ -43,23 +45,45 @@ struct RecvTicket {
   bool done = false;
   Status status;                    ///< valid once done (source is global)
   std::exception_ptr error;         ///< set instead of status on failure
+  // Posted pattern, kept for timeout diagnostics.
+  context_t context = kWorldContext;
+  rank_t source = any_source;
+  tag_t tag = any_tag;
 };
 
 /// Deadline for blocking operations; Mailbox treats time_point::max() as
 /// "wait forever".
 using Deadline = std::chrono::steady_clock::time_point;
 
+/// What Mailbox::drain found (and discarded) at teardown.
+struct MailboxDrain {
+  std::size_t envelopes = 0;       ///< queued, never-received messages
+  std::size_t posted_recvs = 0;    ///< posted receives that never matched
+};
+
 class Mailbox {
  public:
   /// `abort_flag` / `abort_reason` belong to the owning Job; every blocking
   /// wait observes them so a failed rank unblocks the whole job.
-  Mailbox(const std::atomic<bool>& abort_flag, const std::string& abort_reason)
-      : abort_flag_(abort_flag), abort_reason_(abort_reason) {}
+  /// `owner_rank` is the world rank this mailbox belongs to and `faults`
+  /// the job's injector (null when fault injection is off); both serve the
+  /// deliver-side envelope hooks.
+  Mailbox(const std::atomic<bool>& abort_flag, const std::string& abort_reason,
+          rank_t owner_rank = 0, FaultInjector* faults = nullptr)
+      : abort_flag_(abort_flag),
+        abort_reason_(abort_reason),
+        owner_rank_(owner_rank),
+        faults_(faults) {}
 
   Mailbox(const Mailbox&) = delete;
   Mailbox& operator=(const Mailbox&) = delete;
 
+  /// Attach a failure-domain abort flag/reason (ensemble member isolation):
+  /// blocking waits then also unwind when just this rank's domain aborts.
+  void set_domain(const std::atomic<bool>* flag, const std::string* reason);
+
   /// Sender-side entry point: complete a matching posted receive or queue.
+  /// Consults the fault injector first (drop/delay/truncate rules).
   void deliver(Envelope&& env);
 
   /// Blocking receive into a caller-owned buffer.  Throws Errc::truncation
@@ -99,6 +123,16 @@ class Mailbox {
   /// Number of queued (unmatched) envelopes — for tests/diagnostics.
   [[nodiscard]] std::size_t queued() const;
 
+  /// Largest queue_ size ever observed (backpressure high-water mark).
+  [[nodiscard]] std::size_t queue_high_water() const;
+
+  /// Number of outstanding posted receives.
+  [[nodiscard]] std::size_t posted() const;
+
+  /// Discard every queued envelope and posted receive, reporting what
+  /// leaked — the finalize()/teardown accounting pass.
+  MailboxDrain drain();
+
  private:
   struct PostedRecv {
     context_t context;
@@ -115,14 +149,18 @@ class Mailbox {
            (tag == any_tag || tag == e.tag);
   }
 
-  /// Throws if the job has aborted.  Caller must hold `mutex_`.
+  /// Throws if the job (or this rank's failure domain) has aborted.
+  /// Caller must hold `mutex_`.
   void check_abort_locked() const;
 
   /// Waits on the condition variable until `pred` or deadline/abort.
-  /// Caller must hold `lock`.  Throws on timeout or abort.
+  /// Caller must hold `lock`.  Throws on timeout or abort; the timeout
+  /// error names the unmatched (context, source, tag) pattern and the
+  /// queued-envelope count so deadlocks identify the missing message.
   template <class Pred>
   void wait_locked(std::unique_lock<std::mutex>& lock, Deadline deadline,
-                   Pred pred);
+                   Pred pred, const char* operation, context_t ctx,
+                   rank_t source, tag_t tag);
 
   /// Find the first queued envelope matching the pattern. Caller holds lock.
   [[nodiscard]] std::deque<Envelope>::iterator find_locked(context_t ctx,
@@ -131,11 +169,18 @@ class Mailbox {
 
   const std::atomic<bool>& abort_flag_;
   const std::string& abort_reason_;
+  rank_t owner_rank_;
+  FaultInjector* faults_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Envelope> queue_;          ///< unmatched arrivals, in order
   std::vector<PostedRecv> posted_;      ///< outstanding posted receives
+  std::size_t queue_high_water_ = 0;    ///< max queue_ size ever seen
+
+  // Failure-domain abort channel (null until set_domain).
+  const std::atomic<bool>* domain_flag_ = nullptr;
+  const std::string* domain_reason_ = nullptr;
 };
 
 }  // namespace minimpi

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <map>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -99,6 +100,26 @@ class Directory {
   /// Names of every component, in component-id order.
   [[nodiscard]] std::vector<std::string> component_names() const;
 
+  // --- runtime failure marks ------------------------------------------------
+  // Each rank owns its Directory copy, so marks are a rank-local cache of
+  // liveness observations (written by Mph::ping) — no synchronization.
+
+  /// Remember that `component_id` was observed dead.
+  void mark_failed(int component_id) const { failed_.insert(component_id); }
+
+  [[nodiscard]] bool is_failed(int component_id) const noexcept {
+    return failed_.contains(component_id);
+  }
+
+  /// Names of every component marked dead, in component-id order.
+  [[nodiscard]] std::vector<std::string> failed_components() const {
+    std::vector<std::string> names;
+    for (const int id : failed_) {
+      names.push_back(components_[static_cast<std::size_t>(id)].name);
+    }
+    return names;
+  }
+
   /// Human-readable configuration table (the banner the Fortran MPH
   /// printed at startup): one line per executable and per component with
   /// kind, world-rank range, and arguments.
@@ -108,6 +129,7 @@ class Directory {
   std::vector<ComponentRecord> components_;
   std::vector<ExecRecord> execs_;
   std::map<std::string, int, std::less<>> by_name_;
+  mutable std::set<int> failed_;  ///< rank-local liveness cache (see above)
 };
 
 }  // namespace mph

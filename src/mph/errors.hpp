@@ -54,4 +54,38 @@ class ArgumentError : public MphError {
       : MphError("argument: " + what) {}
 };
 
+/// A peer component (or ensemble member) failed at runtime.  Thrown by
+/// Mph::require_alive when MPH_ping reports the component dead; carries the
+/// structured failure (failing world rank and operation) when known.
+class ComponentFailedError : public MphError {
+ public:
+  ComponentFailedError(std::string component, int world_rank,
+                       std::string operation, const std::string& detail)
+      : MphError("component '" + component + "' failed" +
+                 (world_rank >= 0
+                      ? " (world rank " + std::to_string(world_rank) + ")"
+                      : "") +
+                 (operation.empty() ? "" : " in " + operation) +
+                 (detail.empty() ? "" : ": " + detail)),
+        component_(std::move(component)),
+        world_rank_(world_rank),
+        operation_(std::move(operation)) {}
+
+  /// Name of the dead component.
+  [[nodiscard]] const std::string& component() const noexcept {
+    return component_;
+  }
+  /// World rank whose failure killed it, or -1 when unknown.
+  [[nodiscard]] int world_rank() const noexcept { return world_rank_; }
+  /// Operation that failed (kill-point name, "user code", ...; may be "").
+  [[nodiscard]] const std::string& operation() const noexcept {
+    return operation_;
+  }
+
+ private:
+  std::string component_;
+  int world_rank_;
+  std::string operation_;
+};
+
 }  // namespace mph

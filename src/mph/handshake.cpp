@@ -89,12 +89,53 @@ HandshakeResult handshake(const Comm& world, const Registry& registry,
       break;
     }
   }
+  if (my_run < 0) {
+    // find_runs covers every rank of the allgathered signature vector, so
+    // this indicates a substrate bug (e.g. a short allgather) — fail loudly
+    // instead of indexing runs[-1].
+    throw SetupError("world rank " + std::to_string(my_world) +
+                     " is not covered by any executable run (" +
+                     std::to_string(signatures.size()) +
+                     " signatures gathered, " + std::to_string(runs.size()) +
+                     " runs derived)");
+  }
   result.exec_index = my_run;
   const ExecutableRun& run = runs[static_cast<std::size_t>(my_run)];
   const ExecutableBlock& my_block =
       registry.blocks()[static_cast<std::size_t>(
           resolution.block_of_run[static_cast<std::size_t>(my_run)])];
   const rank_t rel = my_world - run.base;  // executable-relative rank
+
+  // Label this rank with its primary component for failure reports, and —
+  // under MIME isolation — register ensemble members into per-instance
+  // failure domains.  Both must happen before the first split: a failure
+  // during communicator creation should already be attributed (and
+  // contained) correctly.
+  {
+    const std::vector<int>& ids =
+        result.directory.execs()[static_cast<std::size_t>(my_run)]
+            .component_ids;
+    int primary = -1;
+    if (my_block.kind == BlockKind::single) {
+      primary = ids.front();
+    } else {
+      for (std::size_t i = 0; i < my_block.components.size(); ++i) {
+        const ComponentEntry& c = my_block.components[i];
+        if (rel >= c.low && rel <= c.high) {
+          primary = ids[i];
+          break;
+        }
+      }
+    }
+    if (primary >= 0) {
+      const ComponentRecord& record = result.directory.component(primary);
+      world.job().set_rank_label(my_world, record.name);
+      if (options.isolate_instances &&
+          my_block.kind == BlockKind::multi_instance) {
+        world.job().join_domain(my_world, primary, record.name);
+      }
+    }
+  }
 
   // --- Step 4 (§6.1/§6.2): create communicators. ---------------------------
   if (options.single_split_fast_path && registry.all_single_component()) {

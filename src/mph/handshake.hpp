@@ -47,6 +47,15 @@ struct HandshakeOptions {
   /// single-component.  Disabling forces the general §6.2 path (used by the
   /// bench_handshake ablation).
   bool single_split_fast_path = true;
+
+  /// MIME member isolation: register each ensemble instance of a
+  /// Multi_Instance block into its own failure domain
+  /// (minimpi::Job::join_domain).  A rank failure inside one instance then
+  /// aborts only that member — siblings and other components keep running,
+  /// and can detect the loss via Mph::ping.  Off by default: without
+  /// isolation a failure anywhere aborts the whole job promptly, which is
+  /// the friendlier behaviour for applications that never check liveness.
+  bool isolate_instances = false;
 };
 
 /// Everything a rank learns from the handshake.

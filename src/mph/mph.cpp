@@ -177,6 +177,56 @@ std::vector<std::string> Mph::my_components() const {
   return names;
 }
 
+bool Mph::ping(std::string_view component) const {
+  const ComponentRecord& record = result_.directory.component(component);
+  minimpi::Job& job = world().job();
+  const bool dead =
+      job.domain_aborted(record.component_id) ||
+      job.any_rank_failed(record.global_low, record.global_high);
+  if (dead) result_.directory.mark_failed(record.component_id);
+  return !dead;
+}
+
+std::optional<minimpi::AbortInfo> Mph::failure_of(
+    std::string_view component) const {
+  const ComponentRecord& record = result_.directory.component(component);
+  minimpi::Job& job = world().job();
+  if (auto info = job.domain_abort_info(record.component_id)) return info;
+  const std::optional<minimpi::AbortInfo>& info = job.abort_info();
+  if (info.has_value() && record.covers_world_rank(info->world_rank)) {
+    return info;
+  }
+  return std::nullopt;
+}
+
+void Mph::require_alive(std::string_view component) const {
+  if (ping(component)) return;
+  const ComponentRecord& record = result_.directory.component(component);
+  if (const auto info = failure_of(component)) {
+    throw ComponentFailedError(record.name, info->world_rank, info->operation,
+                               info->detail);
+  }
+  throw ComponentFailedError(record.name, -1, "",
+                             "a rank of the component failed");
+}
+
+std::vector<std::string> Mph::failed_components() const {
+  for (const ComponentRecord& record : result_.directory.components()) {
+    ping(record.name);  // refreshes the directory's failure marks
+  }
+  return result_.directory.failed_components();
+}
+
+Mph::FinalizeReport Mph::finalize() {
+  if (redirected_) flush_output();
+  const minimpi::MailboxDrain drained =
+      world().job().mailbox(world().rank()).drain();
+  FinalizeReport report;
+  report.drained_envelopes = drained.envelopes;
+  report.cancelled_requests = drained.posted_recvs;
+  return report;
+}
+
 const ArgumentSet& Mph::arguments() const {
   return result_.directory.component(comp_id()).args;
 }

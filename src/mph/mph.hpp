@@ -172,6 +172,43 @@ class Mph {
     return result_.directory;
   }
 
+  // ---- liveness and failure containment -------------------------------------
+
+  /// MPH_ping: true when no rank of `component` has failed.  Under MIME
+  /// isolation (HandshakeOptions::isolate_instances) a dead ensemble member
+  /// answers false while the rest of the job keeps running; the observation
+  /// is cached in the directory (failed_components()).
+  bool ping(std::string_view component) const;
+
+  /// Structured failure of `component` (the root-cause rank, kill-point /
+  /// operation, and exception text), when one is known from its failure
+  /// domain or a job-wide abort.  nullopt while alive — and for collateral
+  /// deaths whose root cause lies in another component.
+  [[nodiscard]] std::optional<minimpi::AbortInfo> failure_of(
+      std::string_view component) const;
+
+  /// Throw ComponentFailedError unless ping(component) holds.
+  void require_alive(std::string_view component) const;
+
+  /// Ping every component; names of the dead ones, in component-id order.
+  [[nodiscard]] std::vector<std::string> failed_components() const;
+
+  /// Graceful teardown accounting for one rank.
+  struct FinalizeReport {
+    std::size_t drained_envelopes = 0;   ///< sent to me but never received
+    std::size_t cancelled_requests = 0;  ///< my posted receives never matched
+    [[nodiscard]] bool clean() const noexcept {
+      return drained_envelopes == 0 && cancelled_requests == 0;
+    }
+  };
+
+  /// MPH_finalize for this rank: flush redirected output, then drain this
+  /// rank's mailbox, reporting every leaked envelope (messages addressed to
+  /// this rank that it never received) and cancelled posted receive.  A
+  /// clean() report proves this rank ended with no communication debt.
+  /// Call once, as the last MPH operation of the rank.
+  FinalizeReport finalize();
+
   // ---- instance arguments (paper §4.4) --------------------------------------
 
   /// Argument set of my (primary) component's registry line.

@@ -1,0 +1,114 @@
+// A rank throwing while its peers sit in a collective must unwind EVERY
+// other rank with AbortedError — no hang, no stranded thread — in all five
+// integration modes (SCSE, SCME, MCSE, MCME, MIME).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/minimpi/collectives.hpp"
+#include "tests/mph/mph_test_util.hpp"
+
+namespace {
+
+using minimpi::Comm;
+using minimpi::JobReport;
+using mph::Mph;
+using mph::testing::TestExec;
+
+constexpr int kThrower = 1;  ///< world rank that fails (first executable)
+
+struct ModeCase {
+  std::string name;
+  std::string registry;
+  int total_ranks;
+};
+
+const std::vector<ModeCase>& modes() {
+  static const std::vector<ModeCase> kModes = {
+      {"SCSE", "BEGIN\nocean\nEND\n", 4},
+      {"SCME", "BEGIN\natmosphere\nocean\nEND\n", 4},
+      {"MCSE",
+       "BEGIN\nMulti_Component_Begin\natmosphere 0 1\nocean 2 3\n"
+       "Multi_Component_End\nEND\n",
+       4},
+      {"MCME",
+       "BEGIN\nMulti_Component_Begin\natmosphere 0 0\nland 1 1\n"
+       "Multi_Component_End\nocean\nEND\n",
+       4},
+      {"MIME",
+       "BEGIN\nMulti_Instance_Begin\nOcean1 0 1\nOcean2 2 3\n"
+       "Multi_Instance_End\nstatistics\nEND\n",
+       5},
+  };
+  return kModes;
+}
+
+std::vector<TestExec> make_execs(const std::string& mode,
+                                 std::function<void(Mph&, const Comm&)> body) {
+  if (mode == "SCSE") return {TestExec{{"ocean"}, "", 4, body}};
+  if (mode == "SCME") {
+    return {TestExec{{"atmosphere"}, "", 2, body},
+            TestExec{{"ocean"}, "", 2, body}};
+  }
+  if (mode == "MCSE") return {TestExec{{"atmosphere", "ocean"}, "", 4, body}};
+  if (mode == "MCME") {
+    return {TestExec{{"atmosphere", "land"}, "", 2, body},
+            TestExec{{"ocean"}, "", 2, body}};
+  }
+  return {TestExec{{}, "Ocean", 4, body},
+          TestExec{{"statistics"}, "", 1, body}};  // MIME
+}
+
+/// Rank kThrower raises; everyone else enters the collective and then a
+/// receive that can only end via the abort protocol.
+std::function<void(Mph&, const Comm&)> make_body(bool use_allgather) {
+  return [use_allgather](Mph&, const Comm& world) {
+    if (world.rank() == kThrower) throw std::runtime_error("boom");
+    if (use_allgather) {
+      (void)minimpi::allgather_strings(world, "x");
+    } else {
+      minimpi::barrier(world);
+    }
+    // Backstop: kThrower never sends this, so any rank that slipped through
+    // the collective still blocks until the abort wakes it.
+    int never = 0;
+    world.recv(never, kThrower, 999);
+  };
+}
+
+void expect_all_unwound(const JobReport& report, const ModeCase& mode) {
+  EXPECT_FALSE(report.ok);
+  ASSERT_TRUE(report.abort.has_value());
+  EXPECT_EQ(report.abort->world_rank, kThrower);
+  EXPECT_EQ(report.abort->operation, "user code");
+  EXPECT_TRUE(report.contained.empty());
+  // Every rank is accounted for: one root cause plus collateral unwinds.
+  ASSERT_EQ(static_cast<int>(report.failures.size()), mode.total_ranks);
+  EXPECT_NE(report.failures.front().what.find("boom"), std::string::npos);
+  for (std::size_t i = 1; i < report.failures.size(); ++i) {
+    EXPECT_NE(report.failures[i].what.find("aborted"), std::string::npos)
+        << report.failures[i].what;
+  }
+}
+
+TEST(AbortPropagation, ThrowMidBarrierUnwindsEveryRankInEveryMode) {
+  for (const ModeCase& mode : modes()) {
+    SCOPED_TRACE(mode.name);
+    const JobReport report = mph::testing::run_mph_job(
+        mode.registry, make_execs(mode.name, make_body(false)));
+    expect_all_unwound(report, mode);
+  }
+}
+
+TEST(AbortPropagation, ThrowMidAllgatherUnwindsEveryRankInEveryMode) {
+  for (const ModeCase& mode : modes()) {
+    SCOPED_TRACE(mode.name);
+    const JobReport report = mph::testing::run_mph_job(
+        mode.registry, make_execs(mode.name, make_body(true)));
+    expect_all_unwound(report, mode);
+  }
+}
+
+}  // namespace

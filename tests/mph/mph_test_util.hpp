@@ -31,9 +31,11 @@ struct TestExec {
 };
 
 /// Launch the executables against `registry_text` and return the report.
-inline minimpi::JobReport run_mph_job(const std::string& registry_text,
-                                      std::vector<TestExec> execs,
-                                      HandshakeOptions options = {}) {
+/// `job_options` lets fault-injection tests pass a FaultPlan through.
+inline minimpi::JobReport run_mph_job(
+    const std::string& registry_text, std::vector<TestExec> execs,
+    HandshakeOptions options = {},
+    minimpi::JobOptions job_options = test_job_options()) {
   std::vector<minimpi::ExecSpec> specs;
   for (std::size_t i = 0; i < execs.size(); ++i) {
     const TestExec& exec = execs[i];
@@ -52,7 +54,7 @@ inline minimpi::JobReport run_mph_job(const std::string& registry_text,
         },
         {}});
   }
-  return minimpi::run_mpmd(specs, test_job_options());
+  return minimpi::run_mpmd(specs, std::move(job_options));
 }
 
 /// Run and assert the job succeeded.
