@@ -39,10 +39,25 @@ namespace detail {
 [[nodiscard]] inline int actual_rank(int vrank, int root, int size) noexcept {
   return (vrank + root) % size;
 }
+
+/// mpicheck instrumentation of one leaf collective: report this member's
+/// (op, root, count, element size) to the consistency checker *before* the
+/// collective draws its tag, and label any blocked waits inside with the
+/// collective's name.  Constructed at the top of every collective that
+/// calls next_collective_tag() itself.
+struct CollectiveScope {
+  ScopedCheckOp op;
+  CollectiveScope(const Comm& comm, const char* name, rank_t root,
+                  std::uint64_t count, std::uint32_t elem_size)
+      : op(name) {
+    comm.check_collective(name, root, count, elem_size);
+  }
+};
 }  // namespace detail
 
 /// Synchronize all members (dissemination barrier).
 inline void barrier(const Comm& comm) {
+  const detail::CollectiveScope scope(comm, "barrier", -1, 0, 0);
   comm.fault_point(KillPoint::before_barrier);
   const tag_t tag = comm.next_collective_tag();
   const int n = comm.size();
@@ -61,6 +76,8 @@ inline void barrier(const Comm& comm) {
 /// Broadcast `values` from `root` to all members (binomial tree).
 template <Transferable T>
 void bcast(const Comm& comm, std::span<T> values, rank_t root = 0) {
+  const detail::CollectiveScope scope(comm, "bcast", root, values.size(),
+                                      sizeof(T));
   const tag_t tag = comm.next_collective_tag();
   const int n = comm.size();
   const int vr = detail::virtual_rank(comm.rank(), root, n);
@@ -117,6 +134,8 @@ inline void bcast_string(const Comm& comm, std::string& text, rank_t root = 0) {
 template <Transferable T, class Op>
 void reduce(const Comm& comm, std::span<const T> values, std::vector<T>& result,
             Op op, rank_t root = 0) {
+  const detail::CollectiveScope scope(comm, "reduce", root, values.size(),
+                                      sizeof(T));
   const tag_t tag = comm.next_collective_tag();
   const int n = comm.size();
   const int vr = detail::virtual_rank(comm.rank(), root, n);
@@ -172,6 +191,8 @@ T allreduce_value(const Comm& comm, const T& value, Op op) {
 template <Transferable T>
 std::vector<T> gather(const Comm& comm, std::span<const T> values,
                       rank_t root = 0) {
+  const detail::CollectiveScope scope(comm, "gather", root, values.size(),
+                                      sizeof(T));
   const tag_t tag = comm.next_collective_tag();
   const int n = comm.size();
   if (comm.rank() != root) {
@@ -196,6 +217,8 @@ std::vector<T> gather(const Comm& comm, std::span<const T> values,
 template <Transferable T>
 std::vector<T> gatherv(const Comm& comm, std::span<const T> values,
                        std::vector<std::size_t>* counts, rank_t root = 0) {
+  const detail::CollectiveScope scope(comm, "gatherv", root,
+                                      Checker::kUncheckedCount, sizeof(T));
   const tag_t tag = comm.next_collective_tag();
   const int n = comm.size();
   if (comm.rank() != root) {
@@ -226,6 +249,7 @@ std::vector<T> gatherv(const Comm& comm, std::span<const T> values,
 template <Transferable T>
 std::vector<T> scatter(const Comm& comm, std::span<const T> values,
                        std::size_t block, rank_t root = 0) {
+  const detail::CollectiveScope scope(comm, "scatter", root, block, sizeof(T));
   const tag_t tag = comm.next_collective_tag();
   const int n = comm.size();
   std::vector<T> mine(block);
@@ -252,6 +276,8 @@ std::vector<T> scatter(const Comm& comm, std::span<const T> values,
 /// Allgather equal-size contributions (ring algorithm).
 template <Transferable T>
 std::vector<T> allgather(const Comm& comm, std::span<const T> values) {
+  const detail::CollectiveScope scope(comm, "allgather", -1, values.size(),
+                                      sizeof(T));
   const tag_t tag = comm.next_collective_tag();
   const int n = comm.size();
   const int r = comm.rank();
@@ -291,6 +317,8 @@ std::vector<T> allgatherv(const Comm& comm, std::span<const T> values,
   const std::uint64_t my_count = values.size();
   std::vector<std::uint64_t> counts = allgather_value(comm, my_count);
 
+  const detail::CollectiveScope scope(comm, "allgatherv", -1,
+                                      Checker::kUncheckedCount, sizeof(T));
   const tag_t tag = comm.next_collective_tag();
   const int r = comm.rank();
   std::vector<std::size_t> offsets(static_cast<std::size_t>(n) + 1, 0);
@@ -343,6 +371,7 @@ inline std::vector<std::string> allgather_strings(const Comm& comm,
 template <Transferable T>
 std::vector<T> alltoall(const Comm& comm, std::span<const T> values,
                         std::size_t block) {
+  const detail::CollectiveScope scope(comm, "alltoall", -1, block, sizeof(T));
   const tag_t tag = comm.next_collective_tag();
   const int n = comm.size();
   const int r = comm.rank();
@@ -373,6 +402,7 @@ std::vector<T> alltoall(const Comm& comm, std::span<const T> values,
 /// rank 0 receives `identity`.  Linear chain.
 template <Transferable T, class Op>
 T exscan(const Comm& comm, const T& value, Op op, T identity = T{}) {
+  const detail::CollectiveScope scope(comm, "exscan", -1, 1, sizeof(T));
   const tag_t tag = comm.next_collective_tag();
   const int n = comm.size();
   const int r = comm.rank();
@@ -412,6 +442,7 @@ std::vector<T> reduce_scatter_block(const Comm& comm,
 /// Inclusive prefix reduction (linear chain).
 template <Transferable T, class Op>
 T scan(const Comm& comm, const T& value, Op op) {
+  const detail::CollectiveScope scope(comm, "scan", -1, 1, sizeof(T));
   const tag_t tag = comm.next_collective_tag();
   const int n = comm.size();
   const int r = comm.rank();

@@ -118,6 +118,16 @@ Comm Comm::world(std::shared_ptr<Job> job, rank_t my_world_rank) {
                     my_world_rank);
 }
 
+detail::CommState::~CommState() {
+  if (job == nullptr || context == kWorldContext) return;
+  if (Checker* ck = job->checker()) {
+    if (my_rank >= 0 &&
+        my_rank < static_cast<rank_t>(to_global.size())) {
+      ck->note_comm_destroyed(to_global[static_cast<std::size_t>(my_rank)]);
+    }
+  }
+}
+
 Comm Comm::from_group(std::shared_ptr<Job> job, context_t context,
                       std::vector<rank_t> to_global, rank_t my_world_rank) {
   auto state = std::make_shared<detail::CommState>();
@@ -146,6 +156,11 @@ Comm Comm::from_group(std::shared_ptr<Job> job, context_t context,
                 "calling rank");
   }
   state->my_rank = my_local;
+  if (context != kWorldContext) {
+    if (Checker* ck = state->job->checker()) {
+      ck->note_comm_created(my_world_rank);
+    }
+  }
   return Comm(std::move(state));
 }
 
@@ -213,6 +228,21 @@ tag_t Comm::next_collective_tag() const {
   return kCollectiveTagBase + static_cast<tag_t>(seq % (1u << 23));
 }
 
+void Comm::check_collective(const char* op, rank_t root, std::uint64_t count,
+                            std::uint32_t elem_size) const {
+  detail::CommState& st = state();
+  Checker* ck = st.job->checker();
+  if (ck == nullptr || !ck->options().collectives) return;
+  // Slot key: (context, group leader, this rank's collective sequence).
+  // The leader disambiguates disjoint children of one split sharing a
+  // context; the sequence is read *before* next_collective_tag() advances
+  // it, so all members of the same invocation land on the same slot.
+  ck->on_collective(st.context, st.to_global.front(), st.collective_seq, op,
+                    root, count, elem_size,
+                    static_cast<int>(st.to_global.size()),
+                    st.to_global[static_cast<std::size_t>(st.my_rank)]);
+}
+
 void Comm::fault_point(KillPoint point) const {
   detail::CommState& st = state();
   if (FaultInjector* f = st.job->faults()) {
@@ -232,8 +262,8 @@ void Comm::fault_checkpoint(std::uint64_t step) const {
 // Point-to-point
 // ---------------------------------------------------------------------------
 
-void Comm::send_raw(std::span<const std::byte> bytes, rank_t dest,
-                    tag_t tag) const {
+void Comm::send_raw(std::span<const std::byte> bytes, rank_t dest, tag_t tag,
+                    TypeSig sig) const {
   detail::CommState& st = state();
   const rank_t dest_global = require_member_global(dest, "destination");
   fault_point(KillPoint::before_send);
@@ -241,14 +271,15 @@ void Comm::send_raw(std::span<const std::byte> bytes, rank_t dest,
   env.context = st.context;
   env.src = st.to_global[static_cast<std::size_t>(st.my_rank)];
   env.tag = tag;
+  env.sig = sig;
   env.payload.assign(bytes.begin(), bytes.end());
   st.job->count_message(env.payload.size());
   st.job->mailbox(dest_global).deliver(std::move(env));
   fault_point(KillPoint::after_send);
 }
 
-Status Comm::recv_raw(std::span<std::byte> buffer, rank_t source,
-                      tag_t tag) const {
+Status Comm::recv_raw(std::span<std::byte> buffer, rank_t source, tag_t tag,
+                      TypeSig expected) const {
   detail::CommState& st = state();
   const rank_t src_global =
       source == any_source ? any_source
@@ -256,15 +287,15 @@ Status Comm::recv_raw(std::span<std::byte> buffer, rank_t source,
   fault_point(KillPoint::before_recv);
   Mailbox& box =
       st.job->mailbox(st.to_global[static_cast<std::size_t>(st.my_rank)]);
-  Status status =
-      box.recv(st.context, src_global, tag, buffer, st.job->deadline());
+  Status status = box.recv(st.context, src_global, tag, buffer,
+                           st.job->deadline(), expected);
   fault_point(KillPoint::after_recv);
   status.source = st.to_local[static_cast<std::size_t>(status.source)];
   return status;
 }
 
 std::pair<Status, std::vector<std::byte>> Comm::recv_take_raw(
-    rank_t source, tag_t tag) const {
+    rank_t source, tag_t tag, TypeSig expected) const {
   detail::CommState& st = state();
   const rank_t src_global =
       source == any_source ? any_source
@@ -272,26 +303,26 @@ std::pair<Status, std::vector<std::byte>> Comm::recv_take_raw(
   fault_point(KillPoint::before_recv);
   Mailbox& box =
       st.job->mailbox(st.to_global[static_cast<std::size_t>(st.my_rank)]);
-  auto [status, payload] =
-      box.recv_take(st.context, src_global, tag, st.job->deadline());
+  auto [status, payload] = box.recv_take(st.context, src_global, tag,
+                                         st.job->deadline(), expected);
   fault_point(KillPoint::after_recv);
   status.source = st.to_local[static_cast<std::size_t>(status.source)];
   return {status, std::move(payload)};
 }
 
 Request Comm::isend_raw(std::span<const std::byte> bytes, rank_t dest,
-                        tag_t tag) const {
+                        tag_t tag, TypeSig sig) const {
   // Eager protocol: the payload is buffered at initiation, so the send is
   // already complete from the sender's perspective (cf. MPI_Ibsend).
-  send_raw(bytes, dest, tag);
+  send_raw(bytes, dest, tag, sig);
   Request r;
   r.immediate_done_ = true;
   r.immediate_ = Status{dest, tag, bytes.size()};
   return r;
 }
 
-Request Comm::irecv_raw(std::span<std::byte> buffer, rank_t source,
-                        tag_t tag) const {
+Request Comm::irecv_raw(std::span<std::byte> buffer, rank_t source, tag_t tag,
+                        TypeSig expected) const {
   detail::CommState& st = state();
   const rank_t src_global =
       source == any_source ? any_source
@@ -301,15 +332,16 @@ Request Comm::irecv_raw(std::span<std::byte> buffer, rank_t source,
       st.job->mailbox(st.to_global[static_cast<std::size_t>(st.my_rank)]);
   Request r;
   r.state_ = s_;
-  r.ticket_ = box.post_recv(st.context, src_global, tag, buffer);
+  r.ticket_ = box.post_recv(st.context, src_global, tag, buffer, expected);
   return r;
 }
 
 Status Comm::sendrecv_raw(std::span<const std::byte> send_bytes, rank_t dest,
                           tag_t send_tag, std::span<std::byte> recv_buffer,
-                          rank_t source, tag_t recv_tag) const {
-  Request rx = irecv_raw(recv_buffer, source, recv_tag);
-  send_raw(send_bytes, dest, send_tag);
+                          rank_t source, tag_t recv_tag, TypeSig send_sig,
+                          TypeSig recv_expected) const {
+  Request rx = irecv_raw(recv_buffer, source, recv_tag, recv_expected);
+  send_raw(send_bytes, dest, send_tag, send_sig);
   return rx.wait();
 }
 
@@ -353,6 +385,10 @@ struct SplitEntry {
 }  // namespace
 
 Comm Comm::split(int color, int key) const {
+  // Count is rank-varying by design (color/key differ per member), so only
+  // op/root consistency is checked.
+  check_collective("split", -1, Checker::kUncheckedCount, 0);
+  const ScopedCheckOp op("split");
   fault_point(KillPoint::before_split);
   Comm result = split_impl(color, key);
   fault_point(KillPoint::after_split);
@@ -438,6 +474,8 @@ Comm Comm::split_impl(int color, int key) const {
 }
 
 Comm Comm::dup() const {
+  check_collective("dup", 0, 1, sizeof(context_t));
+  const ScopedCheckOp op("dup");
   detail::CommState& st = state();
   const tag_t tag = next_collective_tag();
   const int n = static_cast<int>(st.to_global.size());

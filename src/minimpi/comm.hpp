@@ -38,6 +38,13 @@ struct CommState {
   std::vector<rank_t> to_global;      ///< local rank -> world rank
   std::vector<rank_t> to_local;       ///< world rank -> local rank, -1 absent
   std::uint32_t collective_seq = 0;   ///< advanced once per collective call
+
+  CommState() = default;
+  CommState(const CommState&) = delete;
+  CommState& operator=(const CommState&) = delete;
+  /// Releases the communicator in the leak audit (world handles are
+  /// substrate-owned and not audited).
+  ~CommState();
 };
 }  // namespace detail
 
@@ -113,7 +120,7 @@ class Comm {
   template <Transferable T>
   void send(std::span<const T> values, rank_t dest, tag_t tag) const {
     check_user_tag(tag);
-    send_raw(std::as_bytes(values), dest, tag);
+    send_raw(std::as_bytes(values), dest, tag, type_sig<T>());
   }
 
   template <Transferable T>
@@ -124,7 +131,8 @@ class Comm {
   template <Transferable T>
   Status recv(std::span<T> values, rank_t source, tag_t tag) const {
     check_user_tag_or_any(tag);
-    return recv_raw(std::as_writable_bytes(values), source, tag);
+    return recv_raw(std::as_writable_bytes(values), source, tag,
+                    type_sig<T>());
   }
 
   /// Receive a message of unknown length; element count comes from the
@@ -133,7 +141,7 @@ class Comm {
   std::vector<T> recv_vector(rank_t source, tag_t tag,
                              Status* out = nullptr) const {
     check_user_tag_or_any(tag);
-    auto [status, bytes] = recv_take_raw(source, tag);
+    auto [status, bytes] = recv_take_raw(source, tag, type_sig<T>());
     if (bytes.size() % sizeof(T) != 0) {
       throw Error(Errc::truncation,
                   "message of " + std::to_string(bytes.size()) +
@@ -154,7 +162,8 @@ class Comm {
     check_user_tag(send_tag);
     check_user_tag_or_any(recv_tag);
     return sendrecv_raw(std::as_bytes(send_values), dest, send_tag,
-                        std::as_writable_bytes(recv_values), source, recv_tag);
+                        std::as_writable_bytes(recv_values), source, recv_tag,
+                        type_sig<T>(), type_sig<T>());
   }
 
   /// In-place exchange (mirrors MPI_Sendrecv_replace): the buffer is sent
@@ -166,8 +175,9 @@ class Comm {
     // and receiving into the same storage is safe.
     check_user_tag(send_tag);
     check_user_tag_or_any(recv_tag);
-    send_raw(std::as_bytes(values), dest, send_tag);
-    return recv_raw(std::as_writable_bytes(values), source, recv_tag);
+    send_raw(std::as_bytes(values), dest, send_tag, type_sig<T>());
+    return recv_raw(std::as_writable_bytes(values), source, recv_tag,
+                    type_sig<T>());
   }
 
   // --- nonblocking --------------------------------------------------------
@@ -175,13 +185,14 @@ class Comm {
   template <Transferable T>
   Request isend(std::span<const T> values, rank_t dest, tag_t tag) const {
     check_user_tag(tag);
-    return isend_raw(std::as_bytes(values), dest, tag);
+    return isend_raw(std::as_bytes(values), dest, tag, type_sig<T>());
   }
 
   template <Transferable T>
   Request irecv(std::span<T> values, rank_t source, tag_t tag) const {
     check_user_tag_or_any(tag);
-    return irecv_raw(std::as_writable_bytes(values), source, tag);
+    return irecv_raw(std::as_writable_bytes(values), source, tag,
+                     type_sig<T>());
   }
 
   // --- probing -------------------------------------------------------------
@@ -215,22 +226,38 @@ class Comm {
       std::span<const rank_t> world_ranks) const;
 
   // --- raw byte interface (full tag range; collectives/control use this) ---
+  // The optional TypeSig parameters carry the element type of the typed
+  // wrappers down to the mailbox for mpicheck's type matching; raw callers
+  // leave them empty and stay unchecked.
 
-  void send_raw(std::span<const std::byte> bytes, rank_t dest, tag_t tag) const;
-  Status recv_raw(std::span<std::byte> buffer, rank_t source, tag_t tag) const;
-  std::pair<Status, std::vector<std::byte>> recv_take_raw(rank_t source,
-                                                          tag_t tag) const;
-  Request isend_raw(std::span<const std::byte> bytes, rank_t dest,
-                    tag_t tag) const;
-  Request irecv_raw(std::span<std::byte> buffer, rank_t source,
-                    tag_t tag) const;
+  void send_raw(std::span<const std::byte> bytes, rank_t dest, tag_t tag,
+                TypeSig sig = {}) const;
+  Status recv_raw(std::span<std::byte> buffer, rank_t source, tag_t tag,
+                  TypeSig expected = {}) const;
+  std::pair<Status, std::vector<std::byte>> recv_take_raw(
+      rank_t source, tag_t tag, TypeSig expected = {}) const;
+  Request isend_raw(std::span<const std::byte> bytes, rank_t dest, tag_t tag,
+                    TypeSig sig = {}) const;
+  Request irecv_raw(std::span<std::byte> buffer, rank_t source, tag_t tag,
+                    TypeSig expected = {}) const;
   Status sendrecv_raw(std::span<const std::byte> send_bytes, rank_t dest,
                       tag_t send_tag, std::span<std::byte> recv_buffer,
-                      rank_t source, tag_t recv_tag) const;
+                      rank_t source, tag_t recv_tag, TypeSig send_sig = {},
+                      TypeSig recv_expected = {}) const;
 
   /// Fresh tag for one collective invocation; every member calls this the
   /// same number of times in the same order, so tags agree job-wide.
   [[nodiscard]] tag_t next_collective_tag() const;
+
+  /// mpicheck hook: report this rank's next collective invocation
+  /// (`op`, root as a *local* rank or -1 for rootless, element `count`
+  /// or Checker::kUncheckedCount for rank-varying counts, element size)
+  /// against the communicator's collective-consistency slot.  Must run
+  /// *before* the matching next_collective_tag() call so the sequence
+  /// numbers line up.  Throws CollectiveMismatchError on divergence;
+  /// no-op when no checker is active.
+  void check_collective(const char* op, rank_t root, std::uint64_t count,
+                        std::uint32_t elem_size) const;
 
   // --- fault injection hooks ----------------------------------------------
 

@@ -20,6 +20,10 @@ enum class Errc {
   timeout,           ///< blocking operation exceeded the job's receive timeout
   aborted,           ///< job aborted (another rank raised)
   fault_injected,    ///< a FaultPlan kill rule fired on this rank
+  deadlock,          ///< mpicheck found a wait-for cycle across ranks
+  type_mismatch,     ///< mpicheck: send/recv element types disagree
+  collective_mismatch,  ///< mpicheck: inconsistent collective invocation
+  leak,              ///< mpicheck: rank finished with communication debt
   internal,          ///< substrate invariant violation (a bug in minimpi)
 };
 
@@ -33,6 +37,10 @@ enum class Errc {
     case Errc::timeout: return "timeout";
     case Errc::aborted: return "aborted";
     case Errc::fault_injected: return "fault_injected";
+    case Errc::deadlock: return "deadlock";
+    case Errc::type_mismatch: return "type_mismatch";
+    case Errc::collective_mismatch: return "collective_mismatch";
+    case Errc::leak: return "leak";
     case Errc::internal: return "internal";
   }
   return "unknown";

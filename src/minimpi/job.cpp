@@ -26,16 +26,27 @@ Job::Job(int world_size, JobOptions options)
   if (!options_.faults.empty()) {
     faults_ = std::make_unique<FaultInjector>(options_.faults);
   }
+  options_.check = options_.check.merged_with_env();
+  if (options_.check.any()) {
+    checker_ = std::make_unique<Checker>(options_.check, world_size);
+  }
   mailboxes_.reserve(static_cast<std::size_t>(world_size));
   for (int i = 0; i < world_size; ++i) {
-    mailboxes_.push_back(std::make_unique<Mailbox>(abort_flag_, abort_reason_,
-                                                   i, faults_.get()));
+    mailboxes_.push_back(std::make_unique<Mailbox>(
+        abort_flag_, abort_reason_, i, faults_.get(), checker_.get()));
   }
   rank_labels_.assign(static_cast<std::size_t>(world_size), std::string{});
   rank_failed_ =
       std::make_unique<std::atomic<bool>[]>(static_cast<std::size_t>(world_size));
   for (int i = 0; i < world_size; ++i) rank_failed_[i] = false;
   rank_domain_.assign(static_cast<std::size_t>(world_size), -1);
+  if (checker_ != nullptr) checker_->bind(this);
+}
+
+Job::~Job() {
+  // Park the watcher before any member it reaches (mailboxes, labels,
+  // abort state) goes away.
+  if (checker_ != nullptr) checker_->stop();
 }
 
 Mailbox& Job::mailbox(rank_t world_rank) {
@@ -68,12 +79,13 @@ void Job::abort(AbortInfo info) {
 
 void Job::set_rank_label(rank_t world_rank, std::string label) {
   if (world_rank < 0 || world_rank >= world_size_) return;
+  const std::lock_guard<std::mutex> lock(labels_mutex_);
   rank_labels_[static_cast<std::size_t>(world_rank)] = std::move(label);
 }
 
-const std::string& Job::rank_label(rank_t world_rank) const {
-  static const std::string kEmpty;
-  if (world_rank < 0 || world_rank >= world_size_) return kEmpty;
+std::string Job::rank_label(rank_t world_rank) const {
+  if (world_rank < 0 || world_rank >= world_size_) return {};
+  const std::lock_guard<std::mutex> lock(labels_mutex_);
   return rank_labels_[static_cast<std::size_t>(world_rank)];
 }
 
@@ -191,10 +203,14 @@ CommStats Job::stats() const {
 
 JobDrain Job::drain_all() {
   JobDrain total;
-  for (auto& box : mailboxes_) {
-    const MailboxDrain d = box->drain();
+  for (std::size_t r = 0; r < mailboxes_.size(); ++r) {
+    const MailboxDrain d = mailboxes_[r]->drain();
     total.envelopes += d.envelopes;
     total.posted_recvs += d.posted_recvs;
+    if (checker_ != nullptr) {
+      checker_->record_drain(static_cast<rank_t>(r), d.envelopes,
+                             d.posted_recvs);
+    }
   }
   return total;
 }

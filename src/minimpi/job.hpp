@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "src/minimpi/check.hpp"
 #include "src/minimpi/fault.hpp"
 #include "src/minimpi/mailbox.hpp"
 #include "src/minimpi/types.hpp"
@@ -38,6 +39,10 @@ struct JobOptions {
 
   /// Deterministic fault injection plan (empty = no injection).
   FaultPlan faults;
+
+  /// mpicheck correctness checkers (all off by default).  Unioned with the
+  /// MINIMPI_CHECK environment variable at job construction.
+  CheckOptions check;
 };
 
 /// Aggregate communication counters of one job (monotone; snapshot with
@@ -73,6 +78,7 @@ struct JobDrain {
 class Job {
  public:
   explicit Job(int world_size, JobOptions options = {});
+  ~Job();
 
   Job(const Job&) = delete;
   Job& operator=(const Job&) = delete;
@@ -85,6 +91,9 @@ class Job {
 
   /// The job's fault injector, or null when no plan was configured.
   [[nodiscard]] FaultInjector* faults() const noexcept { return faults_.get(); }
+
+  /// The job's mpicheck registry, or null when every checker is off.
+  [[nodiscard]] Checker* checker() const noexcept { return checker_.get(); }
 
   /// Allocate a fresh communicator context id (thread safe).  Exactly one
   /// rank of a communicator allocates; the id is then distributed to the
@@ -120,9 +129,10 @@ class Job {
 
   /// Label a rank with its component/executable name for failure reports.
   /// Each rank writes only its own slot (launcher at start, MPH after the
-  /// handshake); reads from other threads happen only after join.
+  /// handshake); mutex-guarded (returning a copy) because the mpicheck
+  /// watcher thread reads labels while ranks are still relabelling.
   void set_rank_label(rank_t world_rank, std::string label);
-  [[nodiscard]] const std::string& rank_label(rank_t world_rank) const;
+  [[nodiscard]] std::string rank_label(rank_t world_rank) const;
 
   /// Liveness flags consulted by MPH_ping: set when a rank's entry point
   /// throws (root cause or domain collateral).
@@ -191,6 +201,9 @@ class Job {
   int world_size_;
   JobOptions options_;
   std::unique_ptr<FaultInjector> faults_;
+  // Declared before the mailboxes: every Mailbox holds a raw Checker*, so
+  // the checker must outlive them (members destroy in reverse order).
+  std::unique_ptr<Checker> checker_;
   std::atomic<context_t> next_context_{kWorldContext + 1};
   std::atomic<std::uint64_t> messages_{0};
   std::atomic<std::uint64_t> payload_bytes_{0};
@@ -205,7 +218,9 @@ class Job {
 
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
 
-  // Per-rank annotations (slots written by the owning rank's thread).
+  // Per-rank annotations (slots written by the owning rank's thread; the
+  // mutex serialises those writes against checker-thread reads).
+  mutable std::mutex labels_mutex_;
   std::vector<std::string> rank_labels_;
   std::unique_ptr<std::atomic<bool>[]> rank_failed_;
 

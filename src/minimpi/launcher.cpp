@@ -72,7 +72,7 @@ JobReport run_mpmd(const std::vector<ExecSpec>& specs, JobOptions options) {
         // relabel the rank with its component name (e.g. an ensemble member);
         // until then the executable name stands in.
         const auto component = [&]() -> std::string {
-          const std::string& label = job->rank_label(world_rank);
+          std::string label = job->rank_label(world_rank);
           return label.empty() ? my_spec.name : label;
         };
         const auto push = [&](std::vector<RankFailure>& into, std::string op,
@@ -101,6 +101,14 @@ JobReport run_mpmd(const std::vector<ExecSpec>& specs, JobOptions options) {
           const bool contained = record_failure(*job, info);
           push(contained ? report.contained : report.failures,
                kill_point_name(ex.point()), ex.what());
+        } catch (const DeadlockError& ex) {
+          // mpicheck upgraded a blocked receive into a cycle report; keep
+          // it distinct from generic user-code failures.
+          job->mark_rank_failed(world_rank);
+          AbortInfo info{world_rank, component(), "deadlock", ex.what()};
+          const bool contained = record_failure(*job, info);
+          push(contained ? report.contained : report.failures, "deadlock",
+               ex.what());
         } catch (const std::exception& ex) {
           MPH_DIAG_LOG(error) << "rank " << world_rank << " failed: "
                               << ex.what();
@@ -124,6 +132,13 @@ JobReport run_mpmd(const std::vector<ExecSpec>& specs, JobOptions options) {
   const JobDrain leaked = job->drain_all();
   report.leaked_envelopes = leaked.envelopes;
   report.leaked_posted_recvs = leaked.posted_recvs;
+  if (Checker* checker = job->checker()) {
+    checker->stop();  // quiesce the watcher before snapshotting
+    report.check = checker->report();
+    if (!report.check->clean()) {
+      MPH_DIAG_LOG(info) << "mpicheck " << report.check->to_string();
+    }
+  }
   // Put the root-cause failure first: collateral entries (empty operation,
   // "... aborted: ..." text) are other ranks unwinding.
   const auto is_root_cause = [](const RankFailure& f) {

@@ -66,6 +66,8 @@ struct JobReport {
   /// received (typical after an abort cut receivers short).
   std::uint64_t leaked_envelopes = 0;
   std::uint64_t leaked_posted_recvs = 0;
+  /// mpicheck findings, present when any checker was enabled for the job.
+  std::optional<CheckReport> check;
 
   /// Convenience for tests: message of the first failure ("" when ok).
   [[nodiscard]] std::string first_error() const {

@@ -39,13 +39,45 @@ template <class Pred>
 void Mailbox::wait_locked(std::unique_lock<std::mutex>& lock, Deadline deadline,
                           Pred pred, const char* operation, context_t ctx,
                           rank_t source, tag_t tag) {
+  // While blocked, this rank's wait-for edge lives in the checker's graph.
+  // The edge is registered after the first failed predicate check and its
+  // seen-epoch refreshed after every later one — both under `mutex_`, the
+  // same mutex deliver() bumps the epoch under, so "seen == epoch" proves
+  // the waiter examined every delivery and matched nothing.
+  struct BlockedScope {
+    Checker* checker;
+    rank_t owner;
+    bool registered = false;
+    void blocked(rank_t waits_on, const char* op, context_t c, tag_t t) {
+      if (checker == nullptr) return;
+      if (registered) {
+        checker->refresh(owner);
+      } else {
+        checker->block(owner, waits_on, op, c, t);
+        registered = true;
+      }
+    }
+    ~BlockedScope() {
+      if (checker != nullptr && registered) checker->unblock(owner);
+    }
+  } scope{checker_, owner_rank_};
+
   while (!pred()) {
     check_abort_locked();
+    scope.blocked(source, operation, ctx, tag);
     if (deadline == Deadline::max()) {
       cv_.wait(lock);
     } else if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
       check_abort_locked();
       if (pred()) return;
+      scope.blocked(source, operation, ctx, tag);
+      // Upgrade: when this rank sits on a confirmed wait-for cycle, report
+      // the whole cycle instead of a bare timeout.
+      if (checker_ != nullptr) {
+        if (auto cycle = checker_->deadlock_cycle(owner_rank_)) {
+          throw DeadlockError(*cycle);
+        }
+      }
       throw Error(Errc::timeout,
                   std::string("blocking ") + operation +
                       " exceeded the job receive timeout waiting for " +
@@ -65,6 +97,24 @@ std::deque<Envelope>::iterator Mailbox::find_locked(context_t ctx,
   });
 }
 
+std::exception_ptr Mailbox::check_types_locked(const Envelope& env,
+                                               const TypeSig& expected,
+                                               std::size_t buffer_bytes) const {
+  if (checker_ == nullptr) return nullptr;
+  const auto mismatch =
+      checker_->type_mismatch(env.sig, env.payload.size(), expected,
+                              buffer_bytes, env.src, owner_rank_, env.context,
+                              env.tag);
+  if (!mismatch) return nullptr;
+  return std::make_exception_ptr(TypeMismatchError(*mismatch));
+}
+
+void Mailbox::account_consumed_locked(RecvTicket& ticket) const {
+  if (ticket.accounted) return;
+  ticket.accounted = true;
+  if (checker_ != nullptr) checker_->note_request_consumed(owner_rank_);
+}
+
 void Mailbox::deliver(Envelope&& env) {
   if (faults_ != nullptr &&
       faults_->filter(env, owner_rank_) == FaultInjector::Filter::drop) {
@@ -73,6 +123,10 @@ void Mailbox::deliver(Envelope&& env) {
   std::shared_ptr<RecvTicket> completed;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
+    // Epoch bump under the same mutex the owner's wait predicate runs
+    // under: a blocked waiter whose seen-epoch equals the current epoch has
+    // provably examined this (and every earlier) delivery.
+    if (checker_ != nullptr) checker_->note_delivery(owner_rank_);
     // Try to complete the earliest-posted matching receive.
     auto it = std::find_if(posted_.begin(), posted_.end(),
                            [&](const PostedRecv& p) {
@@ -81,7 +135,10 @@ void Mailbox::deliver(Envelope&& env) {
     if (it != posted_.end()) {
       PostedRecv p = std::move(*it);
       posted_.erase(it);
-      if (env.payload.size() > p.buffer.size()) {
+      if (std::exception_ptr bad =
+              check_types_locked(env, p.expected, p.buffer.size())) {
+        p.ticket->error = std::move(bad);
+      } else if (env.payload.size() > p.buffer.size()) {
         p.ticket->error = std::make_exception_ptr(Error(
             Errc::truncation, "posted receive buffer of " +
                                   std::to_string(p.buffer.size()) +
@@ -107,7 +164,8 @@ void Mailbox::deliver(Envelope&& env) {
 }
 
 Status Mailbox::recv(context_t ctx, rank_t source, tag_t tag,
-                     std::span<std::byte> buffer, Deadline deadline) {
+                     std::span<std::byte> buffer, Deadline deadline,
+                     TypeSig expected) {
   std::unique_lock<std::mutex> lock(mutex_);
   std::deque<Envelope>::iterator it;
   wait_locked(
@@ -116,7 +174,12 @@ Status Mailbox::recv(context_t ctx, rank_t source, tag_t tag,
         it = find_locked(ctx, source, tag);
         return it != queue_.end();
       },
-      "receive", ctx, source, tag);
+      "recv", ctx, source, tag);
+  if (std::exception_ptr bad =
+          check_types_locked(*it, expected, buffer.size())) {
+    queue_.erase(it);
+    std::rethrow_exception(bad);
+  }
   if (it->payload.size() > buffer.size()) {
     throw Error(Errc::truncation,
                 "receive buffer of " + std::to_string(buffer.size()) +
@@ -131,10 +194,9 @@ Status Mailbox::recv(context_t ctx, rank_t source, tag_t tag,
   return status;
 }
 
-std::pair<Status, std::vector<std::byte>> Mailbox::recv_take(context_t ctx,
-                                                             rank_t source,
-                                                             tag_t tag,
-                                                             Deadline deadline) {
+std::pair<Status, std::vector<std::byte>> Mailbox::recv_take(
+    context_t ctx, rank_t source, tag_t tag, Deadline deadline,
+    TypeSig expected) {
   std::unique_lock<std::mutex> lock(mutex_);
   std::deque<Envelope>::iterator it;
   wait_locked(
@@ -143,7 +205,12 @@ std::pair<Status, std::vector<std::byte>> Mailbox::recv_take(context_t ctx,
         it = find_locked(ctx, source, tag);
         return it != queue_.end();
       },
-      "receive", ctx, source, tag);
+      "recv", ctx, source, tag);
+  if (std::exception_ptr bad =
+          check_types_locked(*it, expected, it->payload.size())) {
+    queue_.erase(it);
+    std::rethrow_exception(bad);
+  }
   const Status status{it->src, it->tag, it->payload.size()};
   std::vector<std::byte> payload = std::move(it->payload);
   queue_.erase(it);
@@ -152,16 +219,21 @@ std::pair<Status, std::vector<std::byte>> Mailbox::recv_take(context_t ctx,
 
 std::shared_ptr<RecvTicket> Mailbox::post_recv(context_t ctx, rank_t source,
                                                tag_t tag,
-                                               std::span<std::byte> buffer) {
+                                               std::span<std::byte> buffer,
+                                               TypeSig expected) {
   auto ticket = std::make_shared<RecvTicket>();
   ticket->context = ctx;
   ticket->source = source;
   ticket->tag = tag;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
+    if (checker_ != nullptr) checker_->note_request_posted(owner_rank_);
     auto it = find_locked(ctx, source, tag);
     if (it != queue_.end()) {
-      if (it->payload.size() > buffer.size()) {
+      if (std::exception_ptr bad =
+              check_types_locked(*it, expected, buffer.size())) {
+        ticket->error = std::move(bad);
+      } else if (it->payload.size() > buffer.size()) {
         ticket->error = std::make_exception_ptr(Error(
             Errc::truncation, "posted receive buffer of " +
                                   std::to_string(buffer.size()) +
@@ -177,7 +249,8 @@ std::shared_ptr<RecvTicket> Mailbox::post_recv(context_t ctx, rank_t source,
       ticket->done = true;
       queue_.erase(it);
     } else {
-      posted_.push_back(PostedRecv{ctx, source, tag, buffer, ticket});
+      posted_.push_back(
+          PostedRecv{ctx, source, tag, buffer, ticket, expected});
     }
   }
   return ticket;
@@ -187,8 +260,9 @@ Status Mailbox::wait(const std::shared_ptr<RecvTicket>& ticket,
                      Deadline deadline) {
   std::unique_lock<std::mutex> lock(mutex_);
   wait_locked(
-      lock, deadline, [&] { return ticket->done; }, "posted-receive wait",
+      lock, deadline, [&] { return ticket->done; }, "wait",
       ticket->context, ticket->source, ticket->tag);
+  account_consumed_locked(*ticket);
   if (ticket->error) std::rethrow_exception(ticket->error);
   return ticket->status;
 }
@@ -196,6 +270,7 @@ Status Mailbox::wait(const std::shared_ptr<RecvTicket>& ticket,
 bool Mailbox::test(const std::shared_ptr<RecvTicket>& ticket, Status* out) {
   const std::lock_guard<std::mutex> lock(mutex_);
   if (!ticket->done) return false;
+  account_consumed_locked(*ticket);
   if (ticket->error) std::rethrow_exception(ticket->error);
   if (out != nullptr) *out = ticket->status;
   return true;
@@ -203,6 +278,7 @@ bool Mailbox::test(const std::shared_ptr<RecvTicket>& ticket, Status* out) {
 
 void Mailbox::cancel(const std::shared_ptr<RecvTicket>& ticket) {
   const std::lock_guard<std::mutex> lock(mutex_);
+  account_consumed_locked(*ticket);
   std::erase_if(posted_,
                 [&](const PostedRecv& p) { return p.ticket == ticket; });
 }

@@ -21,6 +21,7 @@
 #include <span>
 #include <vector>
 
+#include "src/minimpi/check.hpp"
 #include "src/minimpi/error.hpp"
 #include "src/minimpi/types.hpp"
 
@@ -36,6 +37,9 @@ struct Envelope {
   rank_t src = any_source;
   tag_t tag = any_tag;
   std::vector<std::byte> payload;
+  /// Element-type signature of a typed send (empty for raw/control traffic);
+  /// verified against the receive side when type checking is on.
+  TypeSig sig{};
 };
 
 /// Completion state of a posted (nonblocking) receive.  Shared between the
@@ -49,6 +53,9 @@ struct RecvTicket {
   context_t context = kWorldContext;
   rank_t source = any_source;
   tag_t tag = any_tag;
+  /// Leak audit: flips when the request is waited/tested-done/cancelled, so
+  /// each request is counted consumed at most once.
+  bool accounted = false;
 };
 
 /// Deadline for blocking operations; Mailbox treats time_point::max() as
@@ -67,13 +74,17 @@ class Mailbox {
   /// wait observes them so a failed rank unblocks the whole job.
   /// `owner_rank` is the world rank this mailbox belongs to and `faults`
   /// the job's injector (null when fault injection is off); both serve the
-  /// deliver-side envelope hooks.
+  /// deliver-side envelope hooks.  `checker` is the job's mpicheck registry
+  /// (null when no checker is enabled): blocked waits register wait-for
+  /// edges there and matched envelopes get their type signatures verified.
   Mailbox(const std::atomic<bool>& abort_flag, const std::string& abort_reason,
-          rank_t owner_rank = 0, FaultInjector* faults = nullptr)
+          rank_t owner_rank = 0, FaultInjector* faults = nullptr,
+          Checker* checker = nullptr)
       : abort_flag_(abort_flag),
         abort_reason_(abort_reason),
         owner_rank_(owner_rank),
-        faults_(faults) {}
+        faults_(faults),
+        checker_(checker) {}
 
   Mailbox(const Mailbox&) = delete;
   Mailbox& operator=(const Mailbox&) = delete;
@@ -87,20 +98,24 @@ class Mailbox {
   void deliver(Envelope&& env);
 
   /// Blocking receive into a caller-owned buffer.  Throws Errc::truncation
-  /// if the matched payload exceeds `buffer.size()`.
+  /// if the matched payload exceeds `buffer.size()`.  `expected` is the
+  /// receive's element-type signature for the type checker (empty = raw).
   Status recv(context_t ctx, rank_t source, tag_t tag,
-              std::span<std::byte> buffer, Deadline deadline);
+              std::span<std::byte> buffer, Deadline deadline,
+              TypeSig expected = {});
 
   /// Blocking receive that takes ownership of the payload (used when the
   /// receiver does not know the size in advance).
   std::pair<Status, std::vector<std::byte>> recv_take(context_t ctx,
                                                       rank_t source, tag_t tag,
-                                                      Deadline deadline);
+                                                      Deadline deadline,
+                                                      TypeSig expected = {});
 
   /// Post an asynchronous receive.  The buffer must stay valid until the
   /// ticket completes.  May complete immediately if a message is queued.
   std::shared_ptr<RecvTicket> post_recv(context_t ctx, rank_t source,
-                                        tag_t tag, std::span<std::byte> buffer);
+                                        tag_t tag, std::span<std::byte> buffer,
+                                        TypeSig expected = {});
 
   /// Block until `ticket` completes; rethrows any delivery error.
   Status wait(const std::shared_ptr<RecvTicket>& ticket, Deadline deadline);
@@ -140,6 +155,7 @@ class Mailbox {
     tag_t tag;
     std::span<std::byte> buffer;
     std::shared_ptr<RecvTicket> ticket;
+    TypeSig expected{};  ///< receive-side type signature (empty = raw)
   };
 
   /// True when the (ctx,source,tag) pattern matches envelope `e`.
@@ -167,10 +183,21 @@ class Mailbox {
                                                            rank_t source,
                                                            tag_t tag);
 
+  /// Verify a matched envelope's type signature against `expected`;
+  /// returns the TypeMismatchError to raise, or null when compatible.
+  /// Caller holds `mutex_`.
+  [[nodiscard]] std::exception_ptr check_types_locked(
+      const Envelope& env, const TypeSig& expected,
+      std::size_t buffer_bytes) const;
+
+  /// Consume `ticket` for the leak audit exactly once. Caller holds `mutex_`.
+  void account_consumed_locked(RecvTicket& ticket) const;
+
   const std::atomic<bool>& abort_flag_;
   const std::string& abort_reason_;
   rank_t owner_rank_;
   FaultInjector* faults_;
+  Checker* checker_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "src/minimpi/collectives.hpp"
+#include "src/util/diagnostics.hpp"
 
 namespace mph {
 
@@ -219,11 +220,26 @@ std::vector<std::string> Mph::failed_components() const {
 
 Mph::FinalizeReport Mph::finalize() {
   if (redirected_) flush_output();
+  const minimpi::rank_t my_world = world().global_of(world().rank());
   const minimpi::MailboxDrain drained =
-      world().job().mailbox(world().rank()).drain();
+      world().job().mailbox(my_world).drain();
   FinalizeReport report;
   report.drained_envelopes = drained.envelopes;
   report.cancelled_requests = drained.posted_recvs;
+  if (minimpi::Checker* checker = world().job().checker()) {
+    checker->record_drain(my_world, drained.envelopes, drained.posted_recvs);
+    if (checker->options().leaks) {
+      const minimpi::CheckReport::RankLeak leak = checker->rank_leak(my_world);
+      MPH_DIAG_LOG(info) << "MPH_finalize audit: " << leak.to_string();
+      // Communicators held by this Mph handle are still alive here, so the
+      // per-rank finalize verdict covers only message/request debt; live
+      // communicator handles are audited job-wide in JobReport::check.
+      if (leak.envelopes > 0 || leak.posted_recvs > 0 ||
+          leak.outstanding_requests > 0) {
+        throw minimpi::LeakError("MPH_finalize on " + leak.to_string());
+      }
+    }
+  }
   return report;
 }
 

@@ -207,6 +207,11 @@ class Mph {
   /// this rank that it never received) and cancelled posted receive.  A
   /// clean() report proves this rank ended with no communication debt.
   /// Call once, as the last MPH operation of the rank.
+  ///
+  /// With mpicheck's leak audit enabled (JobOptions::check.leaks or
+  /// MINIMPI_CHECK=leaks), the drain is folded into the job's CheckReport,
+  /// the per-rank audit goes to the diagnostics channel, and a rank that
+  /// finished with communication debt throws minimpi::LeakError.
   FinalizeReport finalize();
 
   // ---- instance arguments (paper §4.4) --------------------------------------

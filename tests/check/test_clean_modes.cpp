@@ -1,0 +1,103 @@
+// With EVERY mpicheck checker enabled, a correct application must run
+// unbothered in all five integration modes of the paper (SCSE, SCME, MCSE,
+// MCME, MIME): no deadlock report, no type or collective mismatch, and a
+// debt-free leak audit through per-rank MPH_finalize.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/minimpi/check.hpp"
+#include "src/minimpi/collectives.hpp"
+#include "tests/mph/mph_test_util.hpp"
+
+namespace {
+
+using minimpi::Comm;
+using minimpi::JobOptions;
+using minimpi::JobReport;
+using mph::Mph;
+using mph::testing::TestExec;
+
+struct ModeCase {
+  std::string name;
+  std::string registry;
+};
+
+const std::vector<ModeCase>& modes() {
+  static const std::vector<ModeCase> kModes = {
+      {"SCSE", "BEGIN\nocean\nEND\n"},
+      {"SCME", "BEGIN\natmosphere\nocean\nEND\n"},
+      {"MCSE",
+       "BEGIN\nMulti_Component_Begin\natmosphere 0 1\nocean 2 3\n"
+       "Multi_Component_End\nEND\n"},
+      {"MCME",
+       "BEGIN\nMulti_Component_Begin\natmosphere 0 0\nland 1 1\n"
+       "Multi_Component_End\nocean\nEND\n"},
+      {"MIME",
+       "BEGIN\nMulti_Instance_Begin\nOcean1 0 1\nOcean2 2 3\n"
+       "Multi_Instance_End\nstatistics\nEND\n"},
+  };
+  return kModes;
+}
+
+std::vector<TestExec> make_execs(const std::string& mode,
+                                 std::function<void(Mph&, const Comm&)> body) {
+  if (mode == "SCSE") return {TestExec{{"ocean"}, "", 4, body}};
+  if (mode == "SCME") {
+    return {TestExec{{"atmosphere"}, "", 2, body},
+            TestExec{{"ocean"}, "", 2, body}};
+  }
+  if (mode == "MCSE") return {TestExec{{"atmosphere", "ocean"}, "", 4, body}};
+  if (mode == "MCME") {
+    return {TestExec{{"atmosphere", "land"}, "", 2, body},
+            TestExec{{"ocean"}, "", 2, body}};
+  }
+  return {TestExec{{}, "Ocean", 4, body},
+          TestExec{{"statistics"}, "", 1, body}};  // MIME
+}
+
+/// Typed world-ring exchange, component-communicator collectives with
+/// rank-varying counts, then a per-rank MPH_finalize — every checker gets
+/// something to look at, and none of it is wrong.
+void clean_body(Mph& handle, const Comm& world) {
+  const int n = world.size();
+  const minimpi::rank_t next = (world.rank() + 1) % n;
+  const minimpi::rank_t prev = (world.rank() + n - 1) % n;
+  const int value = world.rank();
+  world.send(value, next, 11);
+  int got = -1;
+  world.recv(got, prev, 11);
+  EXPECT_EQ(got, prev);
+
+  const Comm& comp = handle.comp_comm();
+  minimpi::barrier(comp);
+  const std::vector<double> varying(
+      static_cast<std::size_t>(comp.rank()) + 1, 1.5);
+  std::vector<std::size_t> counts;
+  (void)minimpi::gatherv(comp, std::span<const double>(varying), &counts, 0);
+
+  const Mph::FinalizeReport finalized = handle.finalize();
+  EXPECT_TRUE(finalized.clean());
+}
+
+TEST(CleanModes, AllCheckersStaySilentInEveryMode) {
+  JobOptions options;
+  options.recv_timeout = std::chrono::seconds(30);
+  options.check = minimpi::CheckOptions::all();
+
+  for (const ModeCase& mode : modes()) {
+    SCOPED_TRACE(mode.name);
+    const JobReport report = mph::testing::run_mph_job(
+        mode.registry, make_execs(mode.name, clean_body), {}, options);
+    EXPECT_TRUE(report.ok) << report.abort_reason << " / "
+                           << report.first_error();
+    ASSERT_TRUE(report.check.has_value());
+    EXPECT_TRUE(report.check->clean()) << report.check->to_string();
+    EXPECT_EQ(report.leaked_envelopes, 0u);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,131 @@
+// mpicheck collective consistency: members of one communicator invoking
+// different operations, roots, or counts for the same collective slot must
+// raise CollectiveMismatchError naming both reporters — while a clean run
+// through the whole collective repertoire (including the rank-varying
+// gatherv/allgatherv counts and split/dup) stays silent.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/minimpi/collectives.hpp"
+#include "src/minimpi/launcher.hpp"
+
+namespace {
+
+using minimpi::Comm;
+using minimpi::ExecEnv;
+using minimpi::JobOptions;
+using minimpi::JobReport;
+
+JobOptions collective_check_options() {
+  JobOptions options;
+  options.recv_timeout = std::chrono::seconds(30);
+  options.check.collectives = true;
+  return options;
+}
+
+TEST(CollectiveCheck, DivergentOperationsRaise) {
+  const JobReport report = minimpi::run_spmd(
+      2,
+      [](const Comm& world, const ExecEnv&) {
+        if (world.rank() == 0) {
+          minimpi::barrier(world);
+        } else {
+          int value = 0;
+          minimpi::bcast_value(world, value, 0);  // split-brain collective
+        }
+      },
+      collective_check_options());
+
+  EXPECT_FALSE(report.ok);
+  ASSERT_TRUE(report.check.has_value());
+  ASSERT_EQ(report.check->collective_mismatches.size(), 1u);
+  const std::string& mismatch = report.check->collective_mismatches.front();
+  EXPECT_NE(mismatch.find("diverges"), std::string::npos) << mismatch;
+  EXPECT_NE(mismatch.find("barrier"), std::string::npos) << mismatch;
+  EXPECT_NE(mismatch.find("bcast"), std::string::npos) << mismatch;
+  EXPECT_NE(report.first_error().find("collective_mismatch"),
+            std::string::npos)
+      << report.first_error();
+}
+
+TEST(CollectiveCheck, DivergentRootsRaise) {
+  const JobReport report = minimpi::run_spmd(
+      2,
+      [](const Comm& world, const ExecEnv&) {
+        int value = world.rank();
+        minimpi::bcast_value(world, value, /*root=*/world.rank());
+      },
+      collective_check_options());
+
+  EXPECT_FALSE(report.ok);
+  ASSERT_TRUE(report.check.has_value());
+  ASSERT_EQ(report.check->collective_mismatches.size(), 1u);
+  EXPECT_NE(report.check->collective_mismatches.front().find("root="),
+            std::string::npos)
+      << report.check->collective_mismatches.front();
+}
+
+TEST(CollectiveCheck, DivergentCountsRaise) {
+  const JobReport report = minimpi::run_spmd(
+      2,
+      [](const Comm& world, const ExecEnv&) {
+        std::vector<int> values(world.rank() == 0 ? 3 : 4, 0);
+        minimpi::bcast(world, std::span<int>(values), 0);
+      },
+      collective_check_options());
+
+  EXPECT_FALSE(report.ok);
+  ASSERT_TRUE(report.check.has_value());
+  ASSERT_EQ(report.check->collective_mismatches.size(), 1u);
+  EXPECT_NE(report.check->collective_mismatches.front().find("count="),
+            std::string::npos)
+      << report.check->collective_mismatches.front();
+}
+
+TEST(CollectiveCheck, ConsistentRepertoireStaysSilent) {
+  const JobReport report = minimpi::run_spmd(
+      4,
+      [](const Comm& world, const ExecEnv&) {
+        minimpi::barrier(world);
+        int value = world.rank() == 1 ? 17 : 0;
+        minimpi::bcast_value(world, value, 1);
+        EXPECT_EQ(value, 17);
+
+        const int sum = minimpi::allreduce_value(
+            world, world.rank(), [](int a, int b) { return a + b; });
+        EXPECT_EQ(sum, 0 + 1 + 2 + 3);
+
+        const int mine = world.rank() * 10;
+        (void)minimpi::gather(world, std::span<const int>(&mine, 1), 0);
+
+        // Rank-varying counts are legal for gatherv/allgather_strings: the
+        // checker must not flag them.
+        const std::vector<int> varying(
+            static_cast<std::size_t>(world.rank()) + 1, world.rank());
+        std::vector<std::size_t> counts;
+        (void)minimpi::gatherv(world, std::span<const int>(varying), &counts,
+                               2);
+        (void)minimpi::allgather_strings(
+            world, std::string(static_cast<std::size_t>(world.rank()), 'x'));
+
+        (void)minimpi::scan(world, 1, [](int a, int b) { return a + b; });
+
+        // Communicator creation is itself collective; child communicators
+        // get their own consistency slots.
+        const Comm half = world.split(world.rank() % 2, 0);
+        minimpi::barrier(half);
+        const Comm copy = world.dup();
+        minimpi::barrier(copy);
+      },
+      collective_check_options());
+
+  EXPECT_TRUE(report.ok) << report.first_error();
+  ASSERT_TRUE(report.check.has_value());
+  EXPECT_TRUE(report.check->clean()) << report.check->to_string();
+}
+
+}  // namespace

@@ -1,0 +1,185 @@
+// mpicheck resource-leak audit: envelopes sent but never received,
+// posted receives the user abandoned, and communicator handles still live
+// at job end must each surface as a RankLeak in JobReport::check — and a
+// rank that calls Mph::finalize() with communication debt must get a
+// structured LeakError.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "src/minimpi/check.hpp"
+#include "src/minimpi/collectives.hpp"
+#include "src/minimpi/launcher.hpp"
+#include "tests/mph/mph_test_util.hpp"
+
+namespace {
+
+using minimpi::CheckReport;
+using minimpi::Comm;
+using minimpi::ExecEnv;
+using minimpi::JobOptions;
+using minimpi::JobReport;
+using mph::Mph;
+using mph::testing::TestExec;
+
+JobOptions leak_check_options() {
+  JobOptions options;
+  options.recv_timeout = std::chrono::seconds(30);
+  options.check.leaks = true;
+  return options;
+}
+
+const CheckReport::RankLeak* leak_of(const JobReport& report,
+                                     minimpi::rank_t world_rank) {
+  if (!report.check.has_value()) return nullptr;
+  for (const CheckReport::RankLeak& leak : report.check->leaks) {
+    if (leak.world_rank == world_rank) return &leak;
+  }
+  return nullptr;
+}
+
+TEST(LeakCheck, UnreceivedEnvelopeIsChargedToItsReceiver) {
+  const JobReport report = minimpi::run_spmd(
+      2,
+      [](const Comm& world, const ExecEnv&) {
+        if (world.rank() == 0) {
+          const int value = 5;
+          world.send(value, 1, 9);  // nobody ever receives this
+        }
+        minimpi::barrier(world);
+      },
+      leak_check_options());
+
+  EXPECT_TRUE(report.ok) << report.first_error();
+  ASSERT_TRUE(report.check.has_value());
+  EXPECT_FALSE(report.check->clean());
+  const CheckReport::RankLeak* leak = leak_of(report, 1);
+  ASSERT_NE(leak, nullptr) << report.check->to_string();
+  EXPECT_EQ(leak->envelopes, 1u);
+  EXPECT_EQ(leak_of(report, 0), nullptr) << report.check->to_string();
+}
+
+TEST(LeakCheck, AbandonedPostedReceiveIsReported) {
+  const JobReport report = minimpi::run_spmd(
+      2,
+      [](const Comm& world, const ExecEnv&) {
+        if (world.rank() == 0) {
+          int never = 0;
+          // Posted, then dropped on the floor: never waited, never
+          // cancelled, never matched.
+          minimpi::Request forgotten =
+              world.irecv(std::span<int>(&never, 1), 1, 9);
+          (void)forgotten;
+        }
+        minimpi::barrier(world);
+      },
+      leak_check_options());
+
+  EXPECT_TRUE(report.ok) << report.first_error();
+  const CheckReport::RankLeak* leak = leak_of(report, 0);
+  ASSERT_NE(leak, nullptr);
+  EXPECT_EQ(leak->posted_recvs, 1u);
+  EXPECT_EQ(leak->outstanding_requests, 1u);
+}
+
+TEST(LeakCheck, ConsumedRequestsAreNotReported) {
+  const JobReport report = minimpi::run_spmd(
+      2,
+      [](const Comm& world, const ExecEnv&) {
+        int got = 0;
+        minimpi::Request request =
+            world.irecv(std::span<int>(&got, 1),
+                        (world.rank() + 1) % world.size(), 2);
+        const int value = world.rank();
+        world.send(value, (world.rank() + 1) % world.size(), 2);
+        request.wait();
+      },
+      leak_check_options());
+
+  EXPECT_TRUE(report.ok) << report.first_error();
+  ASSERT_TRUE(report.check.has_value());
+  EXPECT_TRUE(report.check->clean()) << report.check->to_string();
+}
+
+TEST(LeakCheck, LiveCommunicatorHandleIsReported) {
+  // The handle escapes the rank body, so its CommState is still alive when
+  // the job's leak audit runs.
+  std::mutex held_mutex;
+  std::vector<Comm> held;
+
+  const JobReport report = minimpi::run_spmd(
+      2,
+      [&](const Comm& world, const ExecEnv&) {
+        Comm copy = world.dup();
+        const std::lock_guard<std::mutex> lock(held_mutex);
+        held.push_back(std::move(copy));
+      },
+      leak_check_options());
+
+  EXPECT_TRUE(report.ok) << report.first_error();
+  ASSERT_TRUE(report.check.has_value());
+  for (minimpi::rank_t rank = 0; rank < 2; ++rank) {
+    const CheckReport::RankLeak* leak = leak_of(report, rank);
+    ASSERT_NE(leak, nullptr) << report.check->to_string();
+    EXPECT_EQ(leak->live_comms, 1u);
+  }
+  held.clear();  // releases the states (the job outlives via shared_ptr)
+}
+
+TEST(LeakCheck, MphFinalizeThrowsLeakErrorOnCommunicationDebt) {
+  const std::string registry = "BEGIN\natmosphere\nocean\nEND\n";
+  const auto atm_body = [](Mph& handle, const Comm& world) {
+    const int value = 3;
+    world.send(value, 1, 9);  // ocean never receives it
+    minimpi::barrier(world);  // ensures delivery precedes ocean's finalize
+    handle.finalize();        // atmosphere itself is debt-free
+  };
+  const auto ocn_body = [](Mph& handle, const Comm& world) {
+    minimpi::barrier(world);
+    handle.finalize();  // must throw: one unreceived envelope
+  };
+  const JobReport report = mph::testing::run_mph_job(
+      registry,
+      {TestExec{{"atmosphere"}, "", 1, atm_body},
+       TestExec{{"ocean"}, "", 1, ocn_body}},
+      {}, leak_check_options());
+
+  EXPECT_FALSE(report.ok);
+  ASSERT_TRUE(report.abort.has_value());
+  EXPECT_EQ(report.abort->world_rank, 1);
+  const std::string error = report.first_error();
+  EXPECT_NE(error.find("[leak]"), std::string::npos) << error;
+  EXPECT_NE(error.find("MPH_finalize"), std::string::npos) << error;
+  const CheckReport::RankLeak* leak = leak_of(report, 1);
+  ASSERT_NE(leak, nullptr);
+  EXPECT_GE(leak->envelopes, 1u);
+}
+
+TEST(LeakCheck, MphFinalizeIsSilentWithoutDebt) {
+  const std::string registry = "BEGIN\natmosphere\nocean\nEND\n";
+  const auto atm_body = [](Mph& handle, const Comm& world) {
+    const int value = 3;
+    world.send(value, 1, 9);
+    handle.finalize();
+  };
+  const auto ocn_body = [](Mph& handle, const Comm& world) {
+    int got = 0;
+    world.recv(got, 0, 9);
+    EXPECT_EQ(got, 3);
+    handle.finalize();
+  };
+  const JobReport report = mph::testing::run_mph_job(
+      registry,
+      {TestExec{{"atmosphere"}, "", 1, atm_body},
+       TestExec{{"ocean"}, "", 1, ocn_body}},
+      {}, leak_check_options());
+
+  EXPECT_TRUE(report.ok) << report.first_error();
+  ASSERT_TRUE(report.check.has_value());
+  EXPECT_TRUE(report.check->clean()) << report.check->to_string();
+}
+
+}  // namespace

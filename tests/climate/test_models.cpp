@@ -84,8 +84,8 @@ TEST(Atmosphere, DeterministicAcrossRankCounts) {
   run_ok(3, [&](const Comm& world) {
     Atmosphere model(cfg, world);
     for (int s = 0; s < 30; ++s) model.step();
-    if (world.rank() == 0) mean3 = model.global_mean();
-    else model.global_mean();  // collective: every rank participates
+    const double mean = model.global_mean();  // collective: all participate
+    if (world.rank() == 0) mean3 = mean;
   });
   EXPECT_NEAR(mean1, mean3, 1e-9);
 }

@@ -65,7 +65,9 @@ TEST(Decomp, OwnerAndTranslationRoundTrip) {
       EXPECT_EQ(d.to_global(owner, l), g);
       // Non-owners report -1.
       for (int r = 0; r < d.nranks(); ++r) {
-        if (r != owner) EXPECT_EQ(d.to_local(r, g), -1);
+        if (r != owner) {
+          EXPECT_EQ(d.to_local(r, g), -1);
+        }
       }
     }
   }

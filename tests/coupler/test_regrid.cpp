@@ -56,7 +56,7 @@ TEST(Regrid1D, RefinementCopiesExactMultiples) {
 
 TEST(Regrid1D, ConservesIntegralOnRandomFields) {
   mph::util::Rng rng(31);
-  for (const auto [n_src, n_dst] :
+  for (const auto& [n_src, n_dst] :
        {std::pair{10, 7}, std::pair{7, 10}, std::pair{48, 36},
         std::pair{3, 17}}) {
     const Regrid1D map(n_src, n_dst);

@@ -123,7 +123,7 @@ TEST(MimeIsolation, KilledMemberIsContainedAndSurvivorsComplete) {
   EXPECT_EQ(report.contained.front().operation, "step");
 
   // The three surviving members ran every interval.
-  for (const std::string& name : {"Ocean1", "Ocean2", "Ocean4"}) {
+  for (const std::string name : {"Ocean1", "Ocean2", "Ocean4"}) {
     ASSERT_TRUE(observed.member_intervals.contains(name)) << name;
     EXPECT_EQ(observed.member_intervals.at(name),
               static_cast<std::size_t>(kIntervals))

@@ -15,8 +15,14 @@
 //   mph_inspect generate-ensemble <prefix> <instances> <ranks_each>
 //       Emit a Multi_Instance registration file for an ensemble.
 //
-// Exit status: 0 on success, 1 on validation/plan failure, 2 on usage.
+//   mph_inspect check <processors_map.in>     (also: --check)
+//       Static pre-launch lint: flags overlapping rank ranges (error for
+//       Multi_Instance siblings, warning for Multi_Component overlap),
+//       duplicate component names, and processors no component can reach.
+//
+// Exit status: 0 on success, 1 on validation/plan/check failure, 2 on usage.
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -34,7 +40,8 @@ int usage() {
                "       mph_inspect plan <file> <names[,names]:<nprocs> | "
                "I:<prefix>:<nprocs>>...\n"
                "       mph_inspect generate-ensemble <prefix> <instances> "
-               "<ranks_each>\n");
+               "<ranks_each>\n"
+               "       mph_inspect check <file>\n");
   return 2;
 }
 
@@ -105,6 +112,89 @@ int cmd_plan(const std::string& path, const std::vector<std::string>& specs) {
   return 0;
 }
 
+int cmd_check(const std::string& path) {
+  int errors = 0;
+  int warnings = 0;
+  const auto finding = [&](bool is_error, const std::string& text) {
+    std::printf("%s: %s: %s\n", path.c_str(), is_error ? "error" : "warning",
+                text.c_str());
+    (is_error ? errors : warnings) += 1;
+  };
+  const auto summary = [&] {
+    std::printf("%s: %d error(s), %d warning(s)\n", path.c_str(), errors,
+                warnings);
+    return errors > 0 ? 1 : 0;
+  };
+
+  std::optional<mph::Registry> registry;
+  try {
+    registry.emplace(mph::Registry::load(path));
+  } catch (const std::exception& e) {
+    // The parser already rejects duplicate component names, malformed
+    // ranges, and broken block structure; surface those as check findings.
+    finding(true, e.what());
+    return summary();
+  }
+
+  const auto describe = [](const mph::ComponentEntry& c) {
+    std::string out = "'" + c.name + "'";
+    if (c.has_range()) {
+      out += " (" + std::to_string(c.low) + ".." + std::to_string(c.high) + ")";
+    }
+    return out;
+  };
+
+  for (const mph::ExecutableBlock& block : registry->blocks()) {
+    const char* kind = mph::block_kind_name(block.kind);
+
+    // Overlapping rank ranges between sibling components of one executable.
+    // Multi_Instance members must be disjoint (each instance owns its
+    // processors exclusively); Multi_Component overlap is legal by the
+    // paper's §4.2 embedded-component layout but worth a warning.
+    for (std::size_t i = 0; i < block.components.size(); ++i) {
+      const mph::ComponentEntry& a = block.components[i];
+      if (!a.has_range()) continue;
+      for (std::size_t j = i + 1; j < block.components.size(); ++j) {
+        const mph::ComponentEntry& b = block.components[j];
+        if (!b.has_range()) continue;
+        if (a.low <= b.high && b.low <= a.high) {
+          const bool is_error =
+              block.kind == mph::BlockKind::multi_instance;
+          finding(is_error,
+                  std::string(kind) + " entries " + describe(a) + " and " +
+                      describe(b) + " claim overlapping processors" +
+                      (is_error ? "" : " (legal for embedded components — "
+                                       "verify this is intended)"));
+        }
+      }
+    }
+
+    // Processors of the executable that no component claims: ranks a
+    // launcher must provide but nothing can ever address ("unreachable").
+    const int size = block.required_size();
+    if (size > 0) {
+      std::vector<bool> covered(static_cast<std::size_t>(size), false);
+      for (const mph::ComponentEntry& c : block.components) {
+        if (!c.has_range()) continue;
+        for (int p = c.low; p <= c.high && p < size; ++p) {
+          covered[static_cast<std::size_t>(p)] = true;
+        }
+      }
+      for (int p = 0; p < size; ++p) {
+        if (covered[static_cast<std::size_t>(p)]) continue;
+        int q = p;
+        while (q + 1 < size && !covered[static_cast<std::size_t>(q) + 1]) ++q;
+        finding(true, "processors " + std::to_string(p) + ".." +
+                          std::to_string(q) + " of a " + kind +
+                          " executable of size " + std::to_string(size) +
+                          " are unreachable (no component claims them)");
+        p = q;
+      }
+    }
+  }
+  return summary();
+}
+
 int cmd_generate(const std::string& prefix, const std::string& count,
                  const std::string& ranks) {
   const auto instances = mph::util::parse_int(count);
@@ -132,6 +222,9 @@ int main(int argc, char** argv) {
     }
     if (args.size() == 4 && args[0] == "generate-ensemble") {
       return cmd_generate(args[1], args[2], args[3]);
+    }
+    if (args.size() == 2 && (args[0] == "check" || args[0] == "--check")) {
+      return cmd_check(args[1]);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mph_inspect: %s\n", e.what());
