@@ -1,5 +1,6 @@
 #include "src/minimpi/check.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <sstream>
 #include <utility>
@@ -140,6 +141,8 @@ void Checker::block(rank_t waiter, rank_t waits_on, const char* op,
   edge.context = ctx;
   edge.tag = tag;
   edge.seen_epoch = epochs_[waiter].load(std::memory_order_acquire);
+  edge.soft = false;
+  edge.spins = 0;
 }
 
 void Checker::refresh(rank_t waiter) noexcept {
@@ -159,6 +162,52 @@ void Checker::unblock(rank_t waiter) {
   edges_[static_cast<std::size_t>(waiter)].active = false;
 }
 
+void Checker::iprobe_miss(rank_t owner, rank_t src, const char* op,
+                          context_t ctx, tag_t tag) {
+  if (!options_.deadlock) return;
+  if (owner < 0 || owner >= world_size_) return;
+  const std::lock_guard<std::mutex> lock(graph_mutex_);
+  BlockedEdge& edge = edges_[static_cast<std::size_t>(owner)];
+  const bool same_pattern = edge.active && edge.soft && edge.waits_on == src &&
+                            edge.context == ctx && edge.tag == tag &&
+                            std::string_view(edge.op) == op;
+  if (same_pattern) {
+    edge.spins += 1;
+  } else {
+    edge.active = true;
+    edge.soft = true;
+    edge.waits_on = src;
+    edge.op = op;
+    edge.context = ctx;
+    edge.tag = tag;
+    edge.spins = 1;
+  }
+  // Same critical section as the failed match check (the caller holds the
+  // owner's mailbox mutex), so the epoch-confirmation argument for hard
+  // edges carries over to soft ones.
+  edge.seen_epoch = epochs_[owner].load(std::memory_order_acquire);
+  edge.last_spin = std::chrono::steady_clock::now();
+}
+
+void Checker::iprobe_hit(rank_t owner) {
+  if (!options_.deadlock) return;
+  if (owner < 0 || owner >= world_size_) return;
+  const std::lock_guard<std::mutex> lock(graph_mutex_);
+  BlockedEdge& edge = edges_[static_cast<std::size_t>(owner)];
+  if (edge.active && edge.soft) edge.active = false;
+}
+
+void Checker::note_send(rank_t src) {
+  if (!options_.deadlock) return;
+  if (src < 0 || src >= world_size_) return;
+  const std::lock_guard<std::mutex> lock(graph_mutex_);
+  BlockedEdge& edge = edges_[static_cast<std::size_t>(src)];
+  // A sender is visibly making progress; whatever it was spin-probing for,
+  // it is not stuck in that loop *now*.  Hard (blocking) edges are immune:
+  // a blocked rank cannot be sending.
+  if (edge.active && edge.soft) edge.active = false;
+}
+
 std::vector<rank_t> Checker::find_cycle_locked(rank_t start) const {
   // The wait-for graph is functional (each rank is one thread, so at most
   // one blocked wait and one out-edge per rank): cycle detection is a chain
@@ -167,6 +216,9 @@ std::vector<rank_t> Checker::find_cycle_locked(rank_t start) const {
   // can never be *proved* deadlocked.
   std::vector<rank_t> chain;
   rank_t current = start;
+  const auto now = std::chrono::steady_clock::now();
+  const auto soft_staleness_bound =
+      std::max(std::chrono::milliseconds(100), 4 * options_.watch_interval);
   for (int hop = 0; hop <= world_size_; ++hop) {
     const BlockedEdge& edge = edges_[static_cast<std::size_t>(current)];
     if (!edge.active || edge.waits_on == any_source) return {};
@@ -176,6 +228,15 @@ std::vector<rank_t> Checker::find_cycle_locked(rank_t start) const {
     // queue and the "cycle" would resolve itself.
     if (edge.seen_epoch !=
         epochs_[current].load(std::memory_order_acquire)) {
+      return {};
+    }
+    // Soft (iprobe/test spin) edges prove far less than blocking ones: the
+    // rank is free to do something else after a miss.  Accept one only when
+    // it has missed the identical pattern at least twice (a spin loop, not
+    // a glance) and missed *recently* — a rank that wandered off to compute
+    // may be about to send, which would break the "cycle".
+    if (edge.soft &&
+        (edge.spins < 2 || now - edge.last_spin > soft_staleness_bound)) {
       return {};
     }
     chain.push_back(current);
@@ -215,6 +276,7 @@ std::string Checker::describe_edge(rank_t waiter,
     out << edge.tag;
   }
   out << ")";
+  if (edge.soft) out << " [spinning, " << edge.spins << " misses]";
   return out.str();
 }
 

@@ -284,6 +284,26 @@ class Checker {
   /// Remove `waiter`'s edge (wait completed or unwound).
   void unblock(rank_t waiter);
 
+  /// Register a nonblocking miss — iprobe with no matching message, or
+  /// test() on an incomplete request — as a *soft* wait-for edge.  Soft
+  /// edges only participate in cycle detection once the owner has missed
+  /// the same pattern at least twice in a row (it is spinning, not merely
+  /// glancing) and the miss is recent; they are invalidated by any send
+  /// the owner issues (note_send), by a hit, and by ordinary blocking.
+  /// This is how probe/test spin loops get reported as deadlock cycles
+  /// instead of timing out.  `op` labels the edge ("iprobe"/"test").
+  void iprobe_miss(rank_t owner, rank_t src, const char* op, context_t ctx,
+                   tag_t tag);
+
+  /// The owner's nonblocking probe/test found something: clear its soft
+  /// edge.
+  void iprobe_hit(rank_t owner);
+
+  /// `src` delivered a message somewhere: it is making progress, so any
+  /// soft (spin) edge it holds is stale.  Called under the destination
+  /// mailbox's mutex on every delivery.
+  void note_send(rank_t src);
+
   /// Confirmed wait-for cycle through `rank`, formatted; nullopt when the
   /// graph has none (or deadlock checking is off).
   [[nodiscard]] std::optional<std::string> deadlock_cycle(rank_t rank);
@@ -335,6 +355,13 @@ class Checker {
     context_t context = kWorldContext;
     tag_t tag = any_tag;
     std::uint64_t seen_epoch = 0;
+    /// Soft edges come from nonblocking misses (iprobe/test spin loops);
+    /// they join cycles only with spins >= 2, a current epoch, and a recent
+    /// last_spin — a rank that merely glanced once, or went off to compute,
+    /// must not be reported as deadlocked.
+    bool soft = false;
+    std::uint64_t spins = 0;
+    std::chrono::steady_clock::time_point last_spin{};
   };
 
   /// Descriptor of the first report of one collective slot.

@@ -414,7 +414,7 @@ Comm Comm::split_impl(int color, int key) const {
       recv_raw(std::as_writable_bytes(std::span<SplitEntry>(&e, 1)), r, tag);
       entries[static_cast<std::size_t>(r)] = e;
     }
-    const context_t child_context = st.job->allocate_context();
+    const context_t child_context = st.job->allocate_context(my_world);
 
     // Build each member's reply: [context, group size, ordered world ranks].
     // A child group contains the members sharing that color, ordered by
@@ -482,7 +482,7 @@ Comm Comm::dup() const {
   const rank_t my_world = st.to_global[static_cast<std::size_t>(st.my_rank)];
   context_t ctx = 0;
   if (st.my_rank == 0) {
-    ctx = st.job->allocate_context();
+    ctx = st.job->allocate_context(my_world);
     for (int r = 1; r < n; ++r) {
       send_raw(std::as_bytes(std::span<const context_t>(&ctx, 1)), r, tag);
     }
@@ -523,7 +523,7 @@ Comm Comm::create_ordered_world(std::span<const rank_t> world_ranks) const {
 
   context_t ctx = 0;
   if (my_world == leader) {
-    ctx = st.job->allocate_context();
+    ctx = st.job->allocate_context(my_world);
     for (rank_t member : world_ranks.subspan(1)) {
       st.job->control_send(
           my_world, member, ctx_tag,

@@ -38,11 +38,13 @@ FaultPlan& FaultPlan::drop(EnvelopeMatch match, std::uint64_t hit) {
 }
 
 FaultPlan& FaultPlan::delay(EnvelopeMatch match, std::chrono::milliseconds by,
-                            std::uint64_t hit) {
+                            std::uint64_t hit,
+                            std::chrono::milliseconds jitter) {
   FaultRule rule;
   rule.action = FaultRule::Action::delay;
   rule.match = match;
   rule.delay = by;
+  rule.delay_jitter = jitter;
   rule.hit = hit;
   rules_.push_back(rule);
   return *this;
@@ -81,8 +83,9 @@ FaultPlan FaultPlan::chaos_kill(std::uint64_t seed, int world_size) {
   return plan;
 }
 
-FaultInjector::FaultInjector(FaultPlan plan)
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
     : plan_(std::move(plan)),
+      rng_(seed),
       visits_(plan_.rules().size(), 0),
       fired_(plan_.rules().size(), false) {}
 
@@ -135,13 +138,19 @@ FaultInjector::Filter FaultInjector::filter(Envelope& env, rank_t dest_world) {
               "drop envelope src=" + std::to_string(env.src) +
                   " tag=" + std::to_string(env.tag)});
           break;
-        case FaultRule::Action::delay:
-          sleep_for += rule.delay;
+        case FaultRule::Action::delay: {
+          std::chrono::milliseconds total = rule.delay;
+          if (rule.delay_jitter.count() > 0) {
+            total += std::chrono::milliseconds(rng_.range(
+                0, static_cast<std::int64_t>(rule.delay_jitter.count())));
+          }
+          sleep_for += total;
           events_.push_back(FaultEvent{
               i, dest_world,
               "delay envelope src=" + std::to_string(env.src) + " by " +
-                  std::to_string(rule.delay.count()) + "ms"});
+                  std::to_string(total.count()) + "ms"});
           break;
+        }
         case FaultRule::Action::truncate:
           if (env.payload.size() > rule.truncate_to) {
             env.payload.resize(rule.truncate_to);
@@ -158,7 +167,12 @@ FaultInjector::Filter FaultInjector::filter(Envelope& env, rank_t dest_world) {
     }
   }
   // Sleep outside the lock so a delay rule never stalls other injections.
-  if (sleep_for.count() > 0) std::this_thread::sleep_for(sleep_for);
+  // Under virtual time (schedule verification) the delay is recorded but
+  // not slept: message ordering is the explorer's job, not the clock's.
+  if (sleep_for.count() > 0 &&
+      !virtual_time_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(sleep_for);
+  }
   return verdict;
 }
 

@@ -16,6 +16,7 @@
 // randomized robustness sweeps.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -26,6 +27,7 @@
 #include "src/minimpi/error.hpp"
 #include "src/minimpi/mailbox.hpp"
 #include "src/minimpi/types.hpp"
+#include "src/util/rng.hpp"
 
 namespace minimpi {
 
@@ -115,6 +117,10 @@ struct FaultRule {
   // Envelope rules.
   EnvelopeMatch match;
   std::chrono::milliseconds delay{0};
+  /// Upper bound of a uniformly-drawn random addition to `delay`, taken
+  /// from the injector's job-seeded stream (0 = no jitter).  The same job
+  /// seed reproduces the same jitter sequence.
+  std::chrono::milliseconds delay_jitter{0};
   std::size_t truncate_to = 0;
 
   /// Fire on the Nth matching visit (1-based); each rule fires once.
@@ -140,9 +146,12 @@ class FaultPlan {
   /// Silently discard the `hit`th envelope matching `match`.
   FaultPlan& drop(EnvelopeMatch match, std::uint64_t hit = 1);
 
-  /// Delay delivery of the `hit`th matching envelope by `by`.
+  /// Delay delivery of the `hit`th matching envelope by `by`, plus a
+  /// uniformly random addition in [0, jitter] drawn from the job-seeded
+  /// stream when `jitter` is nonzero.
   FaultPlan& delay(EnvelopeMatch match, std::chrono::milliseconds by,
-                   std::uint64_t hit = 1);
+                   std::uint64_t hit = 1,
+                   std::chrono::milliseconds jitter = {});
 
   /// Truncate the payload of the `hit`th matching envelope to `bytes`.
   FaultPlan& truncate(EnvelopeMatch match, std::size_t bytes,
@@ -167,7 +176,19 @@ class FaultPlan {
 /// on_point/filter concurrently.
 class FaultInjector {
  public:
-  explicit FaultInjector(FaultPlan plan);
+  /// `seed` feeds the injector's private random stream (delay jitter);
+  /// the Job passes its resolved job seed so a replayed seed reproduces
+  /// the exact same jitter values.
+  explicit FaultInjector(FaultPlan plan, std::uint64_t seed = 0);
+
+  /// Virtual-time mode: delay rules fire (and are recorded in events())
+  /// but never actually sleep.  The verify scheduler enables this — under
+  /// systematic exploration, timing is decided by the explorer, not by
+  /// wall-clock sleeps, and real sleeps would only slow every schedule
+  /// down without changing which matchings are reachable.
+  void set_virtual_time(bool on) noexcept {
+    virtual_time_.store(on, std::memory_order_release);
+  }
 
   /// Kill-point hook.  Throws FaultInjectedError when a kill rule fires.
   /// `step` is only meaningful for KillPoint::step.
@@ -186,6 +207,8 @@ class FaultInjector {
  private:
   mutable std::mutex mutex_;
   FaultPlan plan_;
+  mph::util::Rng rng_;                 ///< jitter stream (guarded by mutex_)
+  std::atomic<bool> virtual_time_{false};
   std::vector<std::uint64_t> visits_;  ///< per-rule matching-visit counts
   std::vector<bool> fired_;            ///< per-rule one-shot latch
   std::vector<FaultEvent> events_;

@@ -4,6 +4,7 @@
 
 #include "src/minimpi/error.hpp"
 #include "src/util/diagnostics.hpp"
+#include "src/util/rng.hpp"
 
 namespace minimpi {
 
@@ -23,17 +24,31 @@ Job::Job(int world_size, JobOptions options)
                 "job world size must be positive, got " +
                     std::to_string(world_size));
   }
+  Scheduler* sched = options_.scheduler.get();
+  verify_ = sched != nullptr && sched->verifying();
+  // All job-owned randomness flows from one seed so verification runs
+  // replay byte-identically; drawing a fresh OS seed throws while the
+  // entropy ban is armed (a verify run forgot to pin the seed).
+  seed_ = options_.seed != 0 ? options_.seed : mph::util::fresh_entropy_seed();
   if (!options_.faults.empty()) {
-    faults_ = std::make_unique<FaultInjector>(options_.faults);
+    faults_ = std::make_unique<FaultInjector>(options_.faults, seed_);
+    if (verify_) faults_->set_virtual_time(true);
   }
   options_.check = options_.check.merged_with_env();
   if (options_.check.any()) {
     checker_ = std::make_unique<Checker>(options_.check, world_size);
   }
+  if (verify_) {
+    rank_next_context_ = std::make_unique<std::atomic<context_t>[]>(
+        static_cast<std::size_t>(world_size));
+    for (int i = 0; i < world_size; ++i) {
+      rank_next_context_[i].store(0, std::memory_order_relaxed);
+    }
+  }
   mailboxes_.reserve(static_cast<std::size_t>(world_size));
   for (int i = 0; i < world_size; ++i) {
     mailboxes_.push_back(std::make_unique<Mailbox>(
-        abort_flag_, abort_reason_, i, faults_.get(), checker_.get()));
+        abort_flag_, abort_reason_, i, faults_.get(), checker_.get(), sched));
   }
   rank_labels_.assign(static_cast<std::size_t>(world_size), std::string{});
   rank_failed_ =
@@ -41,12 +56,30 @@ Job::Job(int world_size, JobOptions options)
   for (int i = 0; i < world_size; ++i) rank_failed_[i] = false;
   rank_domain_.assign(static_cast<std::size_t>(world_size), -1);
   if (checker_ != nullptr) checker_->bind(this);
+  if (sched != nullptr) sched->bind(this);
 }
 
 Job::~Job() {
-  // Park the watcher before any member it reaches (mailboxes, labels,
-  // abort state) goes away.
+  // Park the scheduler's monitor before the mailboxes it queries go away,
+  // then the checker's watcher before any member *it* reaches (mailboxes,
+  // labels, abort state).
+  if (options_.scheduler != nullptr) options_.scheduler->stop();
   if (checker_ != nullptr) checker_->stop();
+}
+
+context_t Job::allocate_context(rank_t allocator) noexcept {
+  contexts_allocated_.fetch_add(1, std::memory_order_relaxed);
+  if (verify_ && allocator >= 0 && allocator < world_size_) {
+    // Disjoint per-rank id spaces: 20 bits of per-rank counter under a
+    // rank prefix.  Ids are then a pure function of the allocating rank's
+    // program order — identical across schedules, so decision traces that
+    // record context ids replay exactly.
+    const auto base = static_cast<context_t>(allocator + 1) << 20U;
+    return base +
+           rank_next_context_[allocator].fetch_add(1,
+                                                   std::memory_order_relaxed);
+  }
+  return next_context_.fetch_add(1, std::memory_order_relaxed);
 }
 
 Mailbox& Job::mailbox(rank_t world_rank) {
@@ -192,8 +225,7 @@ CommStats Job::stats() const {
   CommStats s;
   s.messages = messages_.load(std::memory_order_relaxed);
   s.payload_bytes = payload_bytes_.load(std::memory_order_relaxed);
-  s.contexts_allocated =
-      next_context_.load(std::memory_order_relaxed) - (kWorldContext + 1);
+  s.contexts_allocated = contexts_allocated_.load(std::memory_order_relaxed);
   for (const auto& box : mailboxes_) {
     s.queue_high_water =
         std::max<std::uint64_t>(s.queue_high_water, box->queue_high_water());

@@ -43,6 +43,18 @@ struct JobOptions {
   /// mpicheck correctness checkers (all off by default).  Unioned with the
   /// MINIMPI_CHECK environment variable at job construction.
   CheckOptions check;
+
+  /// Seed of the job's deterministic random stream (fault-injection delay
+  /// jitter and any library randomness).  0 = draw a fresh seed from the
+  /// OS — which throws while schedule verification has armed the entropy
+  /// ban, forcing all randomness through a replayable seed.
+  std::uint64_t seed = 0;
+
+  /// Scheduler every communication decision point yields to (null =
+  /// pass-through, zero overhead).  The verify engine installs a
+  /// VerifyScheduler here; shared_ptr because the engine also keeps a
+  /// handle across the job's lifetime.
+  std::shared_ptr<Scheduler> scheduler;
 };
 
 /// Aggregate communication counters of one job (monotone; snapshot with
@@ -95,12 +107,23 @@ class Job {
   /// The job's mpicheck registry, or null when every checker is off.
   [[nodiscard]] Checker* checker() const noexcept { return checker_.get(); }
 
-  /// Allocate a fresh communicator context id (thread safe).  Exactly one
-  /// rank of a communicator allocates; the id is then distributed to the
-  /// other members collectively.
-  [[nodiscard]] context_t allocate_context() noexcept {
-    return next_context_.fetch_add(1, std::memory_order_relaxed);
+  /// The job's scheduler, or null (pass-through).
+  [[nodiscard]] Scheduler* scheduler() const noexcept {
+    return options_.scheduler.get();
   }
+
+  /// The resolved job seed (JobOptions::seed, or the fresh OS seed drawn
+  /// when that was 0).  All job-owned randomness derives from it.
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Allocate a fresh communicator context id (thread safe).  Exactly one
+  /// rank of a communicator allocates — `allocator` is its world rank —
+  /// and the id is then distributed to the other members collectively.
+  /// Under schedule verification each rank draws from its own disjoint id
+  /// space, so context ids depend only on the allocating rank's program
+  /// order, never on cross-rank allocation races: traces stay byte-
+  /// identical across schedules and replays.
+  [[nodiscard]] context_t allocate_context(rank_t allocator) noexcept;
 
   // --- job-wide abort ------------------------------------------------------
 
@@ -199,12 +222,20 @@ class Job {
   };
 
   int world_size_;
+  // Declared before the mailboxes: options_ holds the scheduler and every
+  // Mailbox a raw Scheduler*, so it must outlive them (members destroy in
+  // reverse order).
   JobOptions options_;
+  std::uint64_t seed_ = 0;  ///< resolved job seed (see seed())
+  bool verify_ = false;     ///< scheduler present and verifying
   std::unique_ptr<FaultInjector> faults_;
-  // Declared before the mailboxes: every Mailbox holds a raw Checker*, so
-  // the checker must outlive them (members destroy in reverse order).
+  // Likewise declared before the mailboxes: every Mailbox holds a raw
+  // Checker*, so the checker must outlive them.
   std::unique_ptr<Checker> checker_;
   std::atomic<context_t> next_context_{kWorldContext + 1};
+  /// Verify mode: per-rank context counters (disjoint id spaces).
+  std::unique_ptr<std::atomic<context_t>[]> rank_next_context_;
+  std::atomic<std::uint64_t> contexts_allocated_{0};
   std::atomic<std::uint64_t> messages_{0};
   std::atomic<std::uint64_t> payload_bytes_{0};
 

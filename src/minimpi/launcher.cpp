@@ -82,6 +82,19 @@ JobReport run_mpmd(const std::vector<ExecSpec>& specs, JobOptions options) {
                                      component(), std::move(op),
                                      std::move(what)});
         };
+        // Scheduler lifecycle brackets, RAII so a throwing entry point still
+        // counts as finished — a finished rank can never send again, which
+        // is what the verify scheduler's quiescence detection relies on.
+        struct SchedScope {
+          Scheduler* sched;
+          rank_t rank;
+          SchedScope(Scheduler* s, rank_t r) : sched(s), rank(r) {
+            if (sched != nullptr) sched->rank_started(rank);
+          }
+          ~SchedScope() {
+            if (sched != nullptr) sched->rank_finished(rank);
+          }
+        } sched_scope{job->scheduler(), world_rank};
         try {
           const Comm world = Comm::world(job, world_rank);
           world.fault_point(KillPoint::entry);
@@ -124,6 +137,10 @@ JobReport run_mpmd(const std::vector<ExecSpec>& specs, JobOptions options) {
   }
 
   for (std::thread& t : threads) t.join();
+
+  // Every rank joined: park the scheduler's monitor before reporting (the
+  // job object may outlive this call inside a verify run's engine loop).
+  if (Scheduler* sched = job->scheduler()) sched->stop();
 
   report.ok = report.failures.empty() && !job->aborted();
   report.stats = job->stats();

@@ -39,28 +39,33 @@ template <class Pred>
 void Mailbox::wait_locked(std::unique_lock<std::mutex>& lock, Deadline deadline,
                           Pred pred, const char* operation, context_t ctx,
                           rank_t source, tag_t tag) {
-  // While blocked, this rank's wait-for edge lives in the checker's graph.
-  // The edge is registered after the first failed predicate check and its
-  // seen-epoch refreshed after every later one — both under `mutex_`, the
-  // same mutex deliver() bumps the epoch under, so "seen == epoch" proves
-  // the waiter examined every delivery and matched nothing.
+  // While blocked, this rank's wait-for edge lives in the checker's graph
+  // and its blocked state in the scheduler.  Both are registered after the
+  // first failed predicate check and refreshed after every later one — all
+  // under `mutex_`, the same mutex deliver() bumps the epochs under, so
+  // "seen == epoch" proves the waiter examined every delivery and matched
+  // nothing.
   struct BlockedScope {
     Checker* checker;
+    Scheduler* sched;
     rank_t owner;
     bool registered = false;
     void blocked(rank_t waits_on, const char* op, context_t c, tag_t t) {
-      if (checker == nullptr) return;
       if (registered) {
-        checker->refresh(owner);
-      } else {
-        checker->block(owner, waits_on, op, c, t);
-        registered = true;
+        if (checker != nullptr) checker->refresh(owner);
+        if (sched != nullptr) sched->note_still_blocked(owner);
+        return;
       }
+      if (checker != nullptr) checker->block(owner, waits_on, op, c, t);
+      if (sched != nullptr) sched->note_blocked(owner, waits_on, op, c, t);
+      registered = true;
     }
     ~BlockedScope() {
-      if (checker != nullptr && registered) checker->unblock(owner);
+      if (!registered) return;
+      if (checker != nullptr) checker->unblock(owner);
+      if (sched != nullptr) sched->note_unblocked(owner);
     }
-  } scope{checker_, owner_rank_};
+  } scope{checker_, sched_, owner_rank_};
 
   while (!pred()) {
     check_abort_locked();
@@ -115,24 +120,50 @@ void Mailbox::account_consumed_locked(RecvTicket& ticket) const {
   if (checker_ != nullptr) checker_->note_request_consumed(owner_rank_);
 }
 
+rank_t Mailbox::fence_wildcard(context_t ctx, rank_t source, tag_t tag,
+                               const char* operation) {
+  if (!verify_ || source != any_source) return source;
+  // Hold the rank at the scheduler (no mailbox mutex held: the monitor
+  // thread inspects this mailbox to enumerate candidates) until the
+  // exploration engine picks the sender this wildcard must match.  The
+  // subsequent exact-source match is deterministic: MPI non-overtaking
+  // plus single-threaded senders fix the envelope a (src, tag) pattern
+  // matches.
+  return sched_->resolve_wildcard(owner_rank_, ctx, tag, operation);
+}
+
 void Mailbox::deliver(Envelope&& env) {
   if (faults_ != nullptr &&
       faults_->filter(env, owner_rank_) == FaultInjector::Filter::drop) {
     return;  // injected message loss
   }
+  // Vector-clock stamp for the send event (null unless verifying); taken
+  // in the sender's thread before the destination mailbox is locked.
+  if (sched_ != nullptr) {
+    env.vc = sched_->on_send(env.src, owner_rank_, env.context, env.tag);
+  }
   std::shared_ptr<RecvTicket> completed;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    // Epoch bump under the same mutex the owner's wait predicate runs
+    // Epoch bumps under the same mutex the owner's wait predicate runs
     // under: a blocked waiter whose seen-epoch equals the current epoch has
-    // provably examined this (and every earlier) delivery.
-    if (checker_ != nullptr) checker_->note_delivery(owner_rank_);
+    // provably examined this (and every earlier) delivery.  note_send
+    // additionally invalidates any iprobe-spin edge the *sender* held — it
+    // is visibly making progress.
+    if (checker_ != nullptr) {
+      checker_->note_delivery(owner_rank_);
+      checker_->note_send(env.src);
+    }
+    if (sched_ != nullptr) sched_->note_delivery(owner_rank_);
     // Try to complete the earliest-posted matching receive.
     auto it = std::find_if(posted_.begin(), posted_.end(),
                            [&](const PostedRecv& p) {
                              return matches(p.context, p.source, p.tag, env);
                            });
     if (it != posted_.end()) {
+      if (sched_ != nullptr) {
+        sched_->on_match(owner_rank_, env.src, env.context, env.tag, env.vc);
+      }
       PostedRecv p = std::move(*it);
       posted_.erase(it);
       if (std::exception_ptr bad =
@@ -166,6 +197,7 @@ void Mailbox::deliver(Envelope&& env) {
 Status Mailbox::recv(context_t ctx, rank_t source, tag_t tag,
                      std::span<std::byte> buffer, Deadline deadline,
                      TypeSig expected) {
+  source = fence_wildcard(ctx, source, tag, "recv");
   std::unique_lock<std::mutex> lock(mutex_);
   std::deque<Envelope>::iterator it;
   wait_locked(
@@ -175,6 +207,9 @@ Status Mailbox::recv(context_t ctx, rank_t source, tag_t tag,
         return it != queue_.end();
       },
       "recv", ctx, source, tag);
+  if (sched_ != nullptr) {
+    sched_->on_match(owner_rank_, it->src, ctx, it->tag, it->vc);
+  }
   if (std::exception_ptr bad =
           check_types_locked(*it, expected, buffer.size())) {
     queue_.erase(it);
@@ -197,6 +232,7 @@ Status Mailbox::recv(context_t ctx, rank_t source, tag_t tag,
 std::pair<Status, std::vector<std::byte>> Mailbox::recv_take(
     context_t ctx, rank_t source, tag_t tag, Deadline deadline,
     TypeSig expected) {
+  source = fence_wildcard(ctx, source, tag, "recv");
   std::unique_lock<std::mutex> lock(mutex_);
   std::deque<Envelope>::iterator it;
   wait_locked(
@@ -206,6 +242,9 @@ std::pair<Status, std::vector<std::byte>> Mailbox::recv_take(
         return it != queue_.end();
       },
       "recv", ctx, source, tag);
+  if (sched_ != nullptr) {
+    sched_->on_match(owner_rank_, it->src, ctx, it->tag, it->vc);
+  }
   if (std::exception_ptr bad =
           check_types_locked(*it, expected, it->payload.size())) {
     queue_.erase(it);
@@ -221,6 +260,15 @@ std::shared_ptr<RecvTicket> Mailbox::post_recv(context_t ctx, rank_t source,
                                                tag_t tag,
                                                std::span<std::byte> buffer,
                                                TypeSig expected) {
+  if (verify_ && source == any_source) {
+    // A posted wildcard receive would be matched by arrival order inside
+    // deliver(), outside the scheduler's decision points.  Exploration
+    // would silently miss schedules; refuse instead (documented limit).
+    throw Error(Errc::invalid_argument,
+                "schedule verification does not support nonblocking wildcard "
+                "receives (irecv with source=ANY_SOURCE); use a blocking "
+                "recv or an exact source");
+  }
   auto ticket = std::make_shared<RecvTicket>();
   ticket->context = ctx;
   ticket->source = source;
@@ -230,6 +278,9 @@ std::shared_ptr<RecvTicket> Mailbox::post_recv(context_t ctx, rank_t source,
     if (checker_ != nullptr) checker_->note_request_posted(owner_rank_);
     auto it = find_locked(ctx, source, tag);
     if (it != queue_.end()) {
+      if (sched_ != nullptr) {
+        sched_->on_match(owner_rank_, it->src, ctx, it->tag, it->vc);
+      }
       if (std::exception_ptr bad =
               check_types_locked(*it, expected, buffer.size())) {
         ticket->error = std::move(bad);
@@ -269,7 +320,22 @@ Status Mailbox::wait(const std::shared_ptr<RecvTicket>& ticket,
 
 bool Mailbox::test(const std::shared_ptr<RecvTicket>& ticket, Status* out) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  if (!ticket->done) return false;
+  // Like iprobe: a test-spin loop must observe a job abort (e.g. the
+  // deadlock checker reporting the very cycle this spin is part of), or
+  // the spinning rank outlives the abort and the job never joins.
+  check_abort_locked();
+  if (!ticket->done) {
+    // A test miss is a poll: register a *soft* wait-for edge (a spinning
+    // wait_any loop deadlocks exactly like a blocking wait would) and tell
+    // the scheduler the rank may be spinning rather than blocking.
+    if (checker_ != nullptr) {
+      checker_->iprobe_miss(owner_rank_, ticket->source, "test",
+                            ticket->context, ticket->tag);
+    }
+    if (sched_ != nullptr) sched_->note_polling(owner_rank_);
+    return false;
+  }
+  if (checker_ != nullptr) checker_->iprobe_hit(owner_rank_);
   account_consumed_locked(*ticket);
   if (ticket->error) std::rethrow_exception(ticket->error);
   if (out != nullptr) *out = ticket->status;
@@ -285,6 +351,7 @@ void Mailbox::cancel(const std::shared_ptr<RecvTicket>& ticket) {
 
 Status Mailbox::probe(context_t ctx, rank_t source, tag_t tag,
                       Deadline deadline) {
+  source = fence_wildcard(ctx, source, tag, "probe");
   std::unique_lock<std::mutex> lock(mutex_);
   std::deque<Envelope>::iterator it;
   wait_locked(
@@ -300,9 +367,57 @@ Status Mailbox::probe(context_t ctx, rank_t source, tag_t tag,
 std::optional<Status> Mailbox::iprobe(context_t ctx, rank_t source, tag_t tag) {
   const std::lock_guard<std::mutex> lock(mutex_);
   check_abort_locked();
+  if (verify_ && source == any_source) {
+    // Nonblocking wildcard probe: cannot fence (iprobe must not block), but
+    // the *choice among currently-queued senders* is still a decision the
+    // engine must control and record.  A miss stays a miss.
+    std::vector<rank_t> srcs;
+    for (const Envelope& e : queue_) {
+      if (matches(ctx, any_source, tag, e) &&
+          std::find(srcs.begin(), srcs.end(), e.src) == srcs.end()) {
+        srcs.push_back(e.src);
+      }
+    }
+    if (!srcs.empty()) {
+      std::sort(srcs.begin(), srcs.end());
+      const rank_t chosen =
+          srcs.size() == 1 ? srcs.front()
+                           : sched_->resolve_immediate(owner_rank_, ctx, tag,
+                                                       srcs);
+      source = chosen;
+    }
+  }
   auto it = find_locked(ctx, source, tag);
-  if (it == queue_.end()) return std::nullopt;
+  if (it == queue_.end()) {
+    // Register a soft wait-for edge: an iprobe spin loop whose peer is
+    // blocked waiting on *us* is a deadlock, and should be reported as a
+    // cycle instead of timing out (or hanging).
+    if (checker_ != nullptr) {
+      checker_->iprobe_miss(owner_rank_, source, "iprobe", ctx, tag);
+    }
+    if (sched_ != nullptr) sched_->note_polling(owner_rank_);
+    return std::nullopt;
+  }
+  if (checker_ != nullptr) checker_->iprobe_hit(owner_rank_);
   return Status{it->src, it->tag, it->payload.size()};
+}
+
+std::vector<Mailbox::WildcardCandidate> Mailbox::wildcard_candidates(
+    context_t ctx, tag_t tag) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<WildcardCandidate> out;
+  for (const Envelope& e : queue_) {
+    if (!matches(ctx, any_source, tag, e)) continue;
+    const bool seen =
+        std::any_of(out.begin(), out.end(),
+                    [&](const WildcardCandidate& c) { return c.src == e.src; });
+    if (!seen) out.push_back(WildcardCandidate{e.src, e.tag, e.vc});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const WildcardCandidate& a, const WildcardCandidate& b) {
+              return a.src < b.src;
+            });
+  return out;
 }
 
 void Mailbox::wake_all() {

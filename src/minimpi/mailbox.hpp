@@ -23,6 +23,7 @@
 
 #include "src/minimpi/check.hpp"
 #include "src/minimpi/error.hpp"
+#include "src/minimpi/schedule.hpp"
 #include "src/minimpi/types.hpp"
 
 namespace minimpi {
@@ -40,6 +41,9 @@ struct Envelope {
   /// Element-type signature of a typed send (empty for raw/control traffic);
   /// verified against the receive side when type checking is on.
   TypeSig sig{};
+  /// Sender's vector clock at send time (null unless a verifying scheduler
+  /// is active); drives the wildcard-race classification.
+  ClockStamp vc;
 };
 
 /// Completion state of a posted (nonblocking) receive.  Shared between the
@@ -77,14 +81,19 @@ class Mailbox {
   /// deliver-side envelope hooks.  `checker` is the job's mpicheck registry
   /// (null when no checker is enabled): blocked waits register wait-for
   /// edges there and matched envelopes get their type signatures verified.
+  /// `sched` is the job's scheduler (null = pass-through): decision points
+  /// yield to it, and when it is *verifying* wildcard matches are resolved
+  /// through explicit scheduler decisions instead of arrival order.
   Mailbox(const std::atomic<bool>& abort_flag, const std::string& abort_reason,
           rank_t owner_rank = 0, FaultInjector* faults = nullptr,
-          Checker* checker = nullptr)
+          Checker* checker = nullptr, Scheduler* sched = nullptr)
       : abort_flag_(abort_flag),
         abort_reason_(abort_reason),
         owner_rank_(owner_rank),
         faults_(faults),
-        checker_(checker) {}
+        checker_(checker),
+        sched_(sched),
+        verify_(sched != nullptr && sched->verifying()) {}
 
   Mailbox(const Mailbox&) = delete;
   Mailbox& operator=(const Mailbox&) = delete;
@@ -144,6 +153,22 @@ class Mailbox {
   /// Number of outstanding posted receives.
   [[nodiscard]] std::size_t posted() const;
 
+  /// One matchable sender for a held wildcard receive: the first queued
+  /// envelope from `src` matching the pattern (MPI non-overtaking makes it
+  /// the only one that receive could match from that sender).
+  struct WildcardCandidate {
+    rank_t src = any_source;
+    tag_t tag = any_tag;
+    ClockStamp vc;  ///< the candidate send's vector clock (may be null)
+  };
+
+  /// Candidates of the wildcard pattern (ctx, ANY_SOURCE, tag): the first
+  /// matching queued envelope of every distinct sender, ascending by sender
+  /// rank.  Called by the verify scheduler's monitor thread while the owner
+  /// rank is held at the wildcard fence.
+  [[nodiscard]] std::vector<WildcardCandidate> wildcard_candidates(
+      context_t ctx, tag_t tag) const;
+
   /// Discard every queued envelope and posted receive, reporting what
   /// leaked — the finalize()/teardown accounting pass.
   MailboxDrain drain();
@@ -193,11 +218,19 @@ class Mailbox {
   /// Consume `ticket` for the leak audit exactly once. Caller holds `mutex_`.
   void account_consumed_locked(RecvTicket& ticket) const;
 
+  /// Verify-mode wildcard fence: when the pattern is ANY_SOURCE, hold the
+  /// owner at the scheduler until a sender is chosen and return the exact
+  /// source to match; otherwise return `source` unchanged.
+  [[nodiscard]] rank_t fence_wildcard(context_t ctx, rank_t source, tag_t tag,
+                                      const char* operation);
+
   const std::atomic<bool>& abort_flag_;
   const std::string& abort_reason_;
   rank_t owner_rank_;
   FaultInjector* faults_;
   Checker* checker_;
+  Scheduler* sched_;
+  bool verify_;  ///< sched_ != null and it serializes match decisions
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;

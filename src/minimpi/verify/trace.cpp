@@ -1,0 +1,247 @@
+#include "src/minimpi/verify/trace.hpp"
+
+#include <cctype>
+#include <cstddef>
+#include <sstream>
+#include <string_view>
+
+#include "src/minimpi/error.hpp"
+
+namespace minimpi::verify {
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+std::string Trace::to_json() const {
+  std::ostringstream out;
+  out << "{\n  \"version\": 1,\n  \"seed\": " << seed
+      << ",\n  \"decisions\": [";
+  for (std::size_t i = 0; i < decisions.size(); ++i) {
+    const Decision& d = decisions[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"step\": " << i << ", \"rank\": " << d.rank << ", \"op\": \""
+        << d.op << "\", \"context\": " << d.context << ", \"tag\": " << d.tag
+        << ", \"chose\": " << d.chose << ", \"candidates\": [";
+    for (std::size_t c = 0; c < d.candidates.size(); ++c) {
+      if (c != 0) out << ", ";
+      out << d.candidates[c];
+    }
+    out << "], \"immediate\": " << (d.immediate ? "true" : "false") << "}";
+  }
+  out << (decisions.empty() ? "]" : "\n  ]") << "\n}\n";
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Parser — a recursive-descent reader for exactly the JSON subset the
+// writer produces (objects, arrays, strings without escapes, integers,
+// booleans), tolerant of whitespace and key order.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  [[nodiscard]] Trace parse() {
+    Trace trace;
+    expect('{');
+    bool first = true;
+    while (!peek_is('}')) {
+      if (!first) expect(',');
+      first = false;
+      const std::string key = parse_string();
+      expect(':');
+      if (key == "seed") {
+        trace.seed = static_cast<std::uint64_t>(parse_int());
+      } else if (key == "version") {
+        const std::int64_t version = parse_int();
+        if (version != 1) {
+          fail("unsupported trace version " + std::to_string(version));
+        }
+      } else if (key == "decisions") {
+        trace.decisions = parse_decisions();
+      } else {
+        fail("unknown key \"" + key + "\"");
+      }
+    }
+    expect('}');
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after trace");
+    return trace;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw Error(Errc::invalid_argument,
+                "trace parse error at offset " + std::to_string(pos_) + ": " +
+                    why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool peek_is(char c) {
+    skip_ws();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  [[nodiscard]] std::string parse_string() {
+    expect('"');
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') fail("escape sequences are not supported");
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) fail("unterminated string");
+    std::string out(text_.substr(start, pos_ - start));
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  [[nodiscard]] std::int64_t parse_int() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      fail("expected an integer");
+    }
+    std::int64_t value = 0;
+    const bool negative = text_[start] == '-';
+    for (std::size_t i = start + (negative ? 1 : 0); i < pos_; ++i) {
+      value = value * 10 + (text_[i] - '0');
+    }
+    return negative ? -value : value;
+  }
+
+  [[nodiscard]] bool parse_bool() {
+    skip_ws();
+    if (text_.substr(pos_, 4) == "true") {
+      pos_ += 4;
+      return true;
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      pos_ += 5;
+      return false;
+    }
+    fail("expected true/false");
+  }
+
+  [[nodiscard]] std::vector<rank_t> parse_rank_array() {
+    std::vector<rank_t> out;
+    expect('[');
+    while (!peek_is(']')) {
+      if (!out.empty()) expect(',');
+      out.push_back(static_cast<rank_t>(parse_int()));
+    }
+    expect(']');
+    return out;
+  }
+
+  [[nodiscard]] Decision parse_decision() {
+    Decision d;
+    expect('{');
+    bool first = true;
+    while (!peek_is('}')) {
+      if (!first) expect(',');
+      first = false;
+      const std::string key = parse_string();
+      expect(':');
+      if (key == "step") {
+        (void)parse_int();  // informational; order in the array is binding
+      } else if (key == "rank") {
+        d.rank = static_cast<rank_t>(parse_int());
+      } else if (key == "op") {
+        d.op = parse_string();
+      } else if (key == "context") {
+        d.context = static_cast<context_t>(parse_int());
+      } else if (key == "tag") {
+        d.tag = static_cast<tag_t>(parse_int());
+      } else if (key == "chose") {
+        d.chose = static_cast<rank_t>(parse_int());
+      } else if (key == "candidates") {
+        d.candidates = parse_rank_array();
+      } else if (key == "immediate") {
+        d.immediate = parse_bool();
+      } else {
+        fail("unknown decision key \"" + key + "\"");
+      }
+    }
+    expect('}');
+    return d;
+  }
+
+  [[nodiscard]] std::vector<Decision> parse_decisions() {
+    std::vector<Decision> out;
+    expect('[');
+    while (!peek_is(']')) {
+      if (!out.empty()) expect(',');
+      out.push_back(parse_decision());
+    }
+    expect(']');
+    return out;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Trace Trace::from_json(const std::string& text) {
+  return Parser(text).parse();
+}
+
+// ---------------------------------------------------------------------------
+// Human-readable rendering
+// ---------------------------------------------------------------------------
+
+std::string Trace::to_string(
+    const std::function<std::string(rank_t)>& label) const {
+  const auto name = [&](rank_t r) {
+    std::string who = label ? label(r) : std::string{};
+    if (who.empty()) who = "rank";
+    return who + "[" + std::to_string(r) + "]";
+  };
+  std::ostringstream out;
+  out << "decision trace (" << decisions.size() << " step(s), seed " << seed
+      << ")";
+  for (std::size_t i = 0; i < decisions.size(); ++i) {
+    const Decision& d = decisions[i];
+    out << "\n  #" << i << " " << name(d.rank) << " " << d.op << " <- "
+        << name(d.chose) << " (context=" << d.context << ", tag=";
+    if (d.tag == any_tag) {
+      out << "*";
+    } else {
+      out << d.tag;
+    }
+    out << ") candidates={";
+    for (std::size_t c = 0; c < d.candidates.size(); ++c) {
+      if (c != 0) out << ",";
+      out << d.candidates[c];
+    }
+    out << "}";
+    if (d.immediate) out << " [immediate]";
+  }
+  return out.str();
+}
+
+}  // namespace minimpi::verify

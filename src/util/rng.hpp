@@ -77,4 +77,37 @@ class Rng {
   std::uint64_t s_[4];
 };
 
+// ---------------------------------------------------------------------------
+// Entropy guard
+// ---------------------------------------------------------------------------
+// All nondeterminism in a job is supposed to flow from one seed (JobOptions::
+// seed) so that verification runs replay byte-identically.  Code that wants a
+// fresh, non-reproducible seed must draw it through fresh_entropy_seed();
+// while the guard is armed (mph_verify arms it for the whole exploration)
+// that call throws instead of silently breaking replay determinism.
+
+/// Arm or disarm the process-wide fresh-entropy ban.
+void forbid_fresh_entropy(bool forbid) noexcept;
+
+/// True while fresh (non-reproducible) entropy is banned.
+[[nodiscard]] bool fresh_entropy_forbidden() noexcept;
+
+/// The sanctioned source of non-reproducible seeds (std::random_device).
+/// Throws std::runtime_error while the ban is armed.
+[[nodiscard]] std::uint64_t fresh_entropy_seed();
+
+/// RAII arm/restore of the fresh-entropy ban.
+class ScopedEntropyBan {
+ public:
+  ScopedEntropyBan() : previous_(fresh_entropy_forbidden()) {
+    forbid_fresh_entropy(true);
+  }
+  ScopedEntropyBan(const ScopedEntropyBan&) = delete;
+  ScopedEntropyBan& operator=(const ScopedEntropyBan&) = delete;
+  ~ScopedEntropyBan() { forbid_fresh_entropy(previous_); }
+
+ private:
+  bool previous_;
+};
+
 }  // namespace mph::util

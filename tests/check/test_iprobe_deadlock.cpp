@@ -1,0 +1,144 @@
+// Probe-spin deadlocks: ranks polling with iprobe/test participate in the
+// wait-for graph through *soft* edges, so a spin loop whose peer can never
+// send is reported as a cycle instead of hanging until the receive timeout
+// — while a poll that is eventually satisfied must never be flagged.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "src/minimpi/launcher.hpp"
+
+namespace {
+
+using minimpi::Comm;
+using minimpi::ExecEnv;
+using minimpi::ExecSpec;
+using minimpi::JobOptions;
+using minimpi::JobReport;
+
+constexpr minimpi::tag_t kTag = 7;
+
+JobOptions check_options() {
+  JobOptions options;
+  options.recv_timeout = std::chrono::seconds(30);
+  options.check.deadlock = true;
+  return options;
+}
+
+/// Spin on iprobe until a message from `source` appears (or the job
+/// aborts, which iprobe surfaces as an exception).
+void spin_for(const Comm& world, minimpi::rank_t source) {
+  while (!world.iprobe(source, kTag).has_value()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+TEST(IprobeDeadlock, MutualProbeSpinReportedAsCycle) {
+  // Both ranks poll for a message the other never sends: no rank is ever
+  // *blocked*, yet no progress is possible.  The soft edges must close the
+  // cycle.
+  const std::vector<ExecSpec> specs = {
+      ExecSpec{"atm", 1,
+               [](const Comm& world, const ExecEnv&) { spin_for(world, 1); },
+               {}},
+      ExecSpec{"ocn", 1,
+               [](const Comm& world, const ExecEnv&) { spin_for(world, 0); },
+               {}},
+  };
+  const JobReport report = minimpi::run_mpmd(specs, check_options());
+
+  EXPECT_FALSE(report.ok);
+  ASSERT_TRUE(report.abort.has_value());
+  EXPECT_EQ(report.abort->operation, "deadlock");
+  ASSERT_TRUE(report.check.has_value());
+  ASSERT_EQ(report.check->deadlocks.size(), 1u);
+  const std::string& cycle = report.check->deadlocks.front();
+  EXPECT_NE(cycle.find("atm[0] iprobe<-ocn[1]"), std::string::npos) << cycle;
+  EXPECT_NE(cycle.find("ocn[1] iprobe<-atm[0]"), std::string::npos) << cycle;
+  // The report says these edges are polls, not blocking waits.
+  EXPECT_NE(cycle.find("spinning"), std::string::npos) << cycle;
+}
+
+TEST(IprobeDeadlock, MixedProbeSpinAndBlockingRecvCycle) {
+  // One soft edge (rank 0 polls for rank 1) plus one hard edge (rank 1
+  // blocks on rank 0): still a cycle.
+  const std::vector<ExecSpec> specs = {
+      ExecSpec{"atm", 1,
+               [](const Comm& world, const ExecEnv&) { spin_for(world, 1); },
+               {}},
+      ExecSpec{"ocn", 1,
+               [](const Comm& world, const ExecEnv&) {
+                 int value = 0;
+                 world.recv(value, 0, kTag);  // never satisfied
+               },
+               {}},
+  };
+  const JobReport report = minimpi::run_mpmd(specs, check_options());
+
+  EXPECT_FALSE(report.ok);
+  ASSERT_TRUE(report.check.has_value());
+  ASSERT_EQ(report.check->deadlocks.size(), 1u);
+  const std::string& cycle = report.check->deadlocks.front();
+  EXPECT_NE(cycle.find("atm[0] iprobe<-ocn[1]"), std::string::npos) << cycle;
+  EXPECT_NE(cycle.find("ocn[1] recv<-atm[0]"), std::string::npos) << cycle;
+}
+
+TEST(IprobeDeadlock, SatisfiedPollIsNotADeadlock) {
+  // Rank 1 sends after a delay long enough for many probe misses: the spin
+  // must complete normally, with no deadlock report.
+  const std::vector<ExecSpec> specs = {
+      ExecSpec{"atm", 1,
+               [](const Comm& world, const ExecEnv&) {
+                 spin_for(world, 1);
+                 int value = 0;
+                 world.recv(value, 1, kTag);
+                 if (value != 5) throw std::runtime_error("bad payload");
+               },
+               {}},
+      ExecSpec{"ocn", 1,
+               [](const Comm& world, const ExecEnv&) {
+                 std::this_thread::sleep_for(
+                     std::chrono::milliseconds(200));
+                 world.send(5, 0, kTag);
+               },
+               {}},
+  };
+  const JobReport report = minimpi::run_mpmd(specs, check_options());
+  EXPECT_TRUE(report.ok) << report.first_error();
+  ASSERT_TRUE(report.check.has_value());
+  EXPECT_TRUE(report.check->deadlocks.empty());
+}
+
+TEST(IprobeDeadlock, TestSpinOnRequestReportedAsCycle) {
+  // The same soft-edge machinery covers Request::test polling loops.
+  const std::vector<ExecSpec> specs = {
+      ExecSpec{"atm", 1,
+               [](const Comm& world, const ExecEnv&) {
+                 int value = 0;
+                 minimpi::Request req =
+                     world.irecv(std::span<int>(&value, 1), 1, kTag);
+                 while (!req.test()) {
+                   std::this_thread::sleep_for(
+                       std::chrono::milliseconds(1));
+                 }
+               },
+               {}},
+      ExecSpec{"ocn", 1,
+               [](const Comm& world, const ExecEnv&) {
+                 int value = 0;
+                 world.recv(value, 0, kTag);  // never satisfied
+               },
+               {}},
+  };
+  const JobReport report = minimpi::run_mpmd(specs, check_options());
+
+  EXPECT_FALSE(report.ok);
+  ASSERT_TRUE(report.check.has_value());
+  ASSERT_EQ(report.check->deadlocks.size(), 1u);
+  const std::string& cycle = report.check->deadlocks.front();
+  EXPECT_NE(cycle.find("test<-"), std::string::npos) << cycle;
+}
+
+}  // namespace

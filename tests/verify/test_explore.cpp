@@ -1,0 +1,191 @@
+// The exploration engine: exhaustive DFS over wildcard match decisions,
+// sound budget accounting ("explored N of >= M", never silent truncation),
+// and the vector-clock classification of wildcard races.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstddef>
+
+#include "src/minimpi/launcher.hpp"
+#include "src/minimpi/verify/verify.hpp"
+
+namespace {
+
+using minimpi::Comm;
+using minimpi::ExecEnv;
+using minimpi::JobOptions;
+using minimpi::JobReport;
+using minimpi::verify::VerifyOptions;
+using minimpi::verify::VerifyReport;
+
+constexpr minimpi::tag_t kTag = 7;
+
+VerifyOptions base_options() {
+  VerifyOptions options;
+  options.job.recv_timeout = std::chrono::seconds(20);
+  return options;
+}
+
+/// n-rank fan-in: ranks 1..n-1 each send their rank to rank 0, which sums
+/// n-1 ANY_SOURCE receives.  Every interleaving is a permutation of the
+/// senders, so the full tree has (n-1)! schedules.
+minimpi::verify::JobRunner fan_in(int n) {
+  return [n](const JobOptions& options) {
+    return minimpi::run_spmd(
+        n,
+        [n](const Comm& world, const ExecEnv&) {
+          if (world.rank() == 0) {
+            long long sum = 0;
+            for (int i = 1; i < n; ++i) {
+              int value = 0;
+              world.recv(value, minimpi::any_source, kTag);
+              sum += value;
+            }
+            if (sum != static_cast<long long>(n) * (n - 1) / 2) {
+              throw std::runtime_error("bad sum");
+            }
+          } else {
+            world.send(world.rank(), 0, kTag);
+          }
+        },
+        options);
+  };
+}
+
+TEST(VerifyExplore, ThreeSendersExploreExactlySixSchedules) {
+  const VerifyReport report =
+      minimpi::verify::verify(fan_in(4), base_options());
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_TRUE(report.complete);
+  EXPECT_EQ(report.schedules_run, 6u);
+  // Complete exploration: the lower bound is exact.
+  EXPECT_EQ(report.frontier_lower_bound, 6u);
+  EXPECT_EQ(report.max_decision_depth, 3u);
+  EXPECT_TRUE(report.failures.empty());
+}
+
+TEST(VerifyExplore, ScheduleBudgetReportsSoundFrontier) {
+  VerifyOptions options = base_options();
+  options.max_schedules = 2;
+  const VerifyReport report = minimpi::verify::verify(fan_in(4), options);
+  EXPECT_FALSE(report.complete);
+  EXPECT_TRUE(report.schedule_budget_exhausted);
+  EXPECT_EQ(report.schedules_run, 2u);
+  // Sound and strict: more work remains (true total is 6), and the bound
+  // never exceeds the true total.
+  EXPECT_GT(report.frontier_lower_bound, report.schedules_run);
+  EXPECT_LE(report.frontier_lower_bound, 6u);
+  // The report never pretends completeness.
+  EXPECT_NE(report.to_string().find("of >="), std::string::npos);
+}
+
+TEST(VerifyExplore, TimeBudgetStopsExploration) {
+  VerifyOptions options = base_options();
+  options.max_schedules = 0;  // unlimited
+  options.budget = std::chrono::milliseconds(1);
+  const VerifyReport report = minimpi::verify::verify(fan_in(5), options);
+  // 4! = 24 schedules cannot fit in 1ms of wall clock.
+  EXPECT_FALSE(report.complete);
+  EXPECT_TRUE(report.time_budget_exhausted);
+  EXPECT_GT(report.frontier_lower_bound, report.schedules_run);
+}
+
+TEST(VerifyExplore, ConcurrentSendersFlaggedAsRace) {
+  const VerifyReport report =
+      minimpi::verify::verify(fan_in(3), base_options());
+  ASSERT_EQ(report.races.size(), 1u);
+  const minimpi::verify::RaceRecord& race = report.races.front();
+  EXPECT_EQ(race.owner, 0);
+  EXPECT_EQ(race.tag, kTag);
+  EXPECT_EQ(race.candidates, (std::vector<minimpi::rank_t>{1, 2}));
+  // Independent senders: causally unordered, a true race.
+  EXPECT_TRUE(race.concurrent);
+}
+
+TEST(VerifyExplore, CausallyOrderedSendersNotFlaggedConcurrent) {
+  // Rank 1 sends to rank 0, then pokes rank 2, which only then sends to
+  // rank 0: the two candidate sends are causally ordered through the poke,
+  // and the vector clocks must prove it.
+  const auto runner = [](const JobOptions& options) {
+    return minimpi::run_spmd(
+        3,
+        [](const Comm& world, const ExecEnv&) {
+          int value = 0;
+          switch (world.rank()) {
+            case 1:
+              world.send(1, 0, kTag);
+              world.send(0, 2, kTag + 1);  // happens-before rank 2's send
+              break;
+            case 2:
+              world.recv(value, 1, kTag + 1);
+              world.send(2, 0, kTag);
+              break;
+            default:
+              world.recv(value, minimpi::any_source, kTag);
+              world.recv(value, minimpi::any_source, kTag);
+          }
+        },
+        options);
+  };
+  const VerifyReport report =
+      minimpi::verify::verify(runner, base_options());
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  ASSERT_GE(report.races.size(), 1u);
+  // Still a matching race (MPI non-overtaking does not order cross-sender
+  // messages) but NOT causally concurrent.
+  EXPECT_FALSE(report.races.front().concurrent);
+}
+
+TEST(VerifyExplore, NoWildcardsMeansOneSchedule) {
+  // Exact-source receives are deterministic: one schedule, no decisions.
+  const auto runner = [](const JobOptions& options) {
+    return minimpi::run_spmd(
+        3,
+        [](const Comm& world, const ExecEnv&) {
+          if (world.rank() == 0) {
+            int value = 0;
+            world.recv(value, 1, kTag);
+            world.recv(value, 2, kTag);
+          } else {
+            world.send(world.rank(), 0, kTag);
+          }
+        },
+        options);
+  };
+  const VerifyReport report =
+      minimpi::verify::verify(runner, base_options());
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_TRUE(report.complete);
+  EXPECT_EQ(report.schedules_run, 1u);
+  EXPECT_EQ(report.max_decision_depth, 0u);
+  EXPECT_TRUE(report.races.empty());
+}
+
+TEST(VerifyExplore, WildcardIrecvRefusedInVerifyMode) {
+  // Nonblocking wildcard receives would be matched by arrival order inside
+  // deliver(), outside the engine's decision points — refused, not
+  // silently under-explored.
+  const auto runner = [](const JobOptions& options) {
+    return minimpi::run_spmd(
+        2,
+        [](const Comm& world, const ExecEnv&) {
+          if (world.rank() == 0) {
+            int value = 0;
+            minimpi::Request req = world.irecv(
+                std::span<int>(&value, 1), minimpi::any_source, kTag);
+            req.wait();
+          } else {
+            world.send(1, 0, kTag);
+          }
+        },
+        options);
+  };
+  const VerifyReport report =
+      minimpi::verify::verify(runner, base_options());
+  ASSERT_FALSE(report.failures.empty());
+  EXPECT_NE(report.failures.front().reason.find("wildcard"),
+            std::string::npos)
+      << report.failures.front().reason;
+}
+
+}  // namespace

@@ -1,0 +1,71 @@
+// The decision-trace format: JSON round-trips, parse errors are diagnosed
+// with an offset, and the human rendering names components.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/minimpi/error.hpp"
+#include "src/minimpi/verify/trace.hpp"
+
+namespace {
+
+using minimpi::verify::Decision;
+using minimpi::verify::Trace;
+
+Trace sample_trace() {
+  Trace trace;
+  trace.seed = 42;
+  trace.decisions.push_back(
+      Decision{0, "recv", 3, 7, 2, {1, 2, 5}, false});
+  trace.decisions.push_back(Decision{4, "probe", 0, -1, 1, {1}, false});
+  trace.decisions.push_back(Decision{0, "iprobe", 3, 7, 5, {2, 5}, true});
+  return trace;
+}
+
+TEST(VerifyTrace, JsonRoundTripPreservesEverything) {
+  const Trace trace = sample_trace();
+  const Trace parsed = Trace::from_json(trace.to_json());
+  EXPECT_EQ(parsed, trace);
+  EXPECT_EQ(parsed.seed, 42u);
+  ASSERT_EQ(parsed.decisions.size(), 3u);
+  EXPECT_EQ(parsed.decisions[0].candidates,
+            (std::vector<minimpi::rank_t>{1, 2, 5}));
+  EXPECT_TRUE(parsed.decisions[2].immediate);
+  // Serialization is canonical: a second round trip is byte-identical.
+  EXPECT_EQ(parsed.to_json(), trace.to_json());
+}
+
+TEST(VerifyTrace, EmptyTraceRoundTrips) {
+  Trace trace;
+  trace.seed = 1;
+  const Trace parsed = Trace::from_json(trace.to_json());
+  EXPECT_EQ(parsed, trace);
+  EXPECT_TRUE(parsed.decisions.empty());
+}
+
+TEST(VerifyTrace, ParseErrorsNameTheOffset) {
+  try {
+    (void)Trace::from_json("{\"version\": 1, \"seed\": oops}");
+    FAIL() << "expected a parse error";
+  } catch (const minimpi::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("trace parse error at offset"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(VerifyTrace, RejectsUnknownVersion) {
+  EXPECT_THROW((void)Trace::from_json("{\"version\": 9, \"seed\": 1, "
+                                      "\"decisions\": []}"),
+               minimpi::Error);
+}
+
+TEST(VerifyTrace, HumanRenderingUsesLabels) {
+  const std::string text = sample_trace().to_string(
+      [](minimpi::rank_t rank) { return rank == 0 ? "coupler" : "ocean"; });
+  EXPECT_NE(text.find("coupler[0]"), std::string::npos) << text;
+  EXPECT_NE(text.find("ocean[2]"), std::string::npos) << text;
+  EXPECT_NE(text.find("[immediate]"), std::string::npos) << text;
+}
+
+}  // namespace
