@@ -142,4 +142,4 @@ BENCHMARK(BM_Coupled_MCSE)->UseManualTime()
 BENCHMARK(BM_Coupled_MCME)->UseManualTime()
     ->Unit(benchmark::kMillisecond)->Iterations(5);
 
-BENCHMARK_MAIN();
+MPH_BENCH_MAIN();

@@ -97,4 +97,4 @@ BENCHMARK(BM_Allgather)
 BENCHMARK(BM_AllgatherStrings)->Arg(4)->Arg(16)->Arg(64)->UseManualTime()
     ->Unit(benchmark::kMicrosecond)->Iterations(5);
 
-BENCHMARK_MAIN();
+MPH_BENCH_MAIN();

@@ -158,4 +158,4 @@ BENCHMARK(BM_EnsembleKSeparateJobs)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(3);
 
-BENCHMARK_MAIN();
+MPH_BENCH_MAIN();

@@ -149,4 +149,4 @@ BENCHMARK(BM_LaunchOnly)
     ->Unit(benchmark::kMicrosecond)
     ->Iterations(8);
 
-BENCHMARK_MAIN();
+MPH_BENCH_MAIN();

@@ -73,4 +73,4 @@ BENCHMARK(BM_CommJoin)
     ->Unit(benchmark::kMicrosecond)
     ->Iterations(5);
 
-BENCHMARK_MAIN();
+MPH_BENCH_MAIN();

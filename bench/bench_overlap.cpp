@@ -66,4 +66,4 @@ BENCHMARK(BM_MultiComponentSetup)
     ->Unit(benchmark::kMicrosecond)
     ->Iterations(10);
 
-BENCHMARK_MAIN();
+MPH_BENCH_MAIN();

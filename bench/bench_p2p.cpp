@@ -73,4 +73,4 @@ BENCHMARK(BM_PingPong)
     ->Unit(benchmark::kMicrosecond)
     ->Iterations(3);
 
-BENCHMARK_MAIN();
+MPH_BENCH_MAIN();

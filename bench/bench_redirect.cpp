@@ -86,4 +86,4 @@ BENCHMARK(BM_CombinedLogContended)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(3);
 
-BENCHMARK_MAIN();
+MPH_BENCH_MAIN();

@@ -6,6 +6,7 @@
 
 #include <string>
 
+#include "bench/bench_util.hpp"
 #include "src/mph/registry.hpp"
 
 namespace {
@@ -72,4 +73,4 @@ BENCHMARK(BM_ParseSCME)->Arg(4)->Arg(64)->Arg(512)->Arg(4096);
 BENCHMARK(BM_ParseEnsembleWithArguments)->Arg(4)->Arg(64)->Arg(512)->Arg(4096);
 BENCHMARK(BM_RoundTripSerialize)->Arg(64)->Arg(1024);
 
-BENCHMARK_MAIN();
+MPH_BENCH_MAIN();

@@ -124,4 +124,4 @@ BENCHMARK(BM_RouterScheduleConstruction)
     ->Unit(benchmark::kMicrosecond)
     ->Iterations(3);
 
-BENCHMARK_MAIN();
+MPH_BENCH_MAIN();

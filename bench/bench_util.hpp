@@ -11,7 +11,9 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/minimpi/launcher.hpp"
@@ -88,4 +90,46 @@ inline void require_ok(const minimpi::JobReport& report, const char* what) {
   }
 }
 
+/// Entry point shared by every benchmark binary (via MPH_BENCH_MAIN): the
+/// standard Google Benchmark main, plus a `--json <file>` (or
+/// `--json=<file>`) convenience flag expanded to
+/// `--benchmark_out=<file> --benchmark_out_format=json` — the machine
+/// readable reporter consumed by scripts/check_bench_regression.py and the
+/// perf-smoke CI job.
+inline int run_bench_main(int argc, char** argv) {
+  std::vector<std::string> storage;
+  storage.reserve(static_cast<std::size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    constexpr const char* kJsonEq = "--json=";
+    if (arg == "--json" && i + 1 < argc) {
+      storage.push_back("--benchmark_out=" + std::string(argv[++i]));
+      storage.emplace_back("--benchmark_out_format=json");
+    } else if (arg.rfind(kJsonEq, 0) == 0) {
+      storage.push_back("--benchmark_out=" + arg.substr(std::strlen(kJsonEq)));
+      storage.emplace_back("--benchmark_out_format=json");
+    } else {
+      storage.push_back(arg);
+    }
+  }
+  std::vector<char*> args;
+  args.reserve(storage.size());
+  for (std::string& s : storage) args.push_back(s.data());
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
 }  // namespace mph::bench
+
+/// Drop-in replacement for BENCHMARK_MAIN() adding the `--json` flag.
+#define MPH_BENCH_MAIN()                           \
+  int main(int argc, char** argv) {                \
+    return mph::bench::run_bench_main(argc, argv); \
+  }                                                \
+  int main(int argc, char** argv)

@@ -8,10 +8,14 @@
 // Executable 3: coupler             (1 rank)
 //
 // Run:   ./ccsm_coupled [intervals]
-// Logs:  ./atmosphere.log ./ocean.log ./land.log ./ice.log ./coupler.log
-//        plus mph_combined.log for non-root ranks.
+// Logs:  logs/atmosphere.log logs/ocean.log logs/land.log logs/ice.log
+//        logs/coupler.log plus logs/mph_combined.log for non-root ranks.
+// Trace: logs/ccsm_trace.json — an mph_trace timeline with one named track
+//        per component rank (load it in Perfetto / chrome://tracing, or
+//        summarize with `mph_inspect trace logs/ccsm_trace.json`).
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 
 #include "src/climate/scenario.hpp"
@@ -48,7 +52,7 @@ void component_main(const minimpi::Comm& world,
                     const std::vector<std::string>& names, int intervals) {
   mph::Mph h = mph::Mph::components_setup(
       world, mph::RegistrySource::from_text(kRegistry), names);
-  h.redirect_output(".");
+  h.redirect_output();  // default "logs/"
   h.out() << h.comp_name() << " up: " << h.comp_comm().size()
           << " processes, world ranks " << h.exe_low_proc_limit() << ".."
           << h.exe_up_proc_limit() << std::endl;
@@ -82,7 +86,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "usage: %s [intervals>0]\n", argv[0]);
     return 2;
   }
-  const minimpi::JobReport report = minimpi::run_mpmd({
+  minimpi::JobOptions options;
+  options.trace.enabled = true;  // MINIMPI_TRACE can still raise capacity
+  const minimpi::JobReport report = minimpi::run_mpmd(
+      {
       {"atm-land", 4,
        [&](const minimpi::Comm& w, const minimpi::ExecEnv&) {
          component_main(w, {"atmosphere", "land"}, intervals);
@@ -98,10 +105,20 @@ int main(int argc, char** argv) {
          component_main(w, {"coupler"}, intervals);
        },
        {}},
-  });
+      },
+      options);
   if (!report.ok) {
     std::fprintf(stderr, "job failed: %s\n", report.abort_reason.c_str());
     return 1;
+  }
+  if (report.trace.has_value()) {
+    const std::string trace_path = "logs/ccsm_trace.json";
+    std::ofstream out(trace_path);
+    out << report.trace->to_chrome_json();
+    if (out) {
+      std::printf("trace written to %s (Perfetto/chrome://tracing)\n",
+                  trace_path.c_str());
+    }
   }
   std::printf("ccsm_coupled: OK (%d coupling intervals)\n", intervals);
   return 0;

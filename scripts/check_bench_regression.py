@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Compare Google Benchmark JSON results against a pinned baseline.
+
+Used by the perf-smoke CI job: benchmarks run with the `--json <file>`
+reporter (see bench/bench_util.hpp), and this script fails the build when
+any benchmark's reported time regresses by more than the allowed factor
+against BENCH_baseline.json.
+
+Usage:
+    check_bench_regression.py check    <baseline.json> <result.json>... \
+        [--max-ratio 2.0]
+    check_bench_regression.py baseline <out.json> <result.json>...
+
+`baseline` merges one or more result files into a compact baseline mapping
+benchmark name -> {real_time, time_unit} (taking the median entry of any
+repetitions).  `check` compares the same statistic and prints a table.
+
+Only the Python standard library is used.
+"""
+
+import argparse
+import json
+import sys
+from statistics import median
+
+# Aggregate entries ("_mean", "_median", ...) from --benchmark_repetitions
+# runs; prefer the median aggregate when present, else the raw iterations.
+_AGGREGATE_SUFFIXES = ("_mean", "_median", "_stddev", "_cv", "_min", "_max")
+
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_times(paths):
+    """benchmark name -> representative real_time in nanoseconds."""
+    raw = {}
+    medians = {}
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        for bench in doc.get("benchmarks", []):
+            name = bench.get("name", "")
+            if bench.get("run_type") == "aggregate":
+                if bench.get("aggregate_name") == "median":
+                    base = name
+                    for suffix in _AGGREGATE_SUFFIXES:
+                        if base.endswith(suffix):
+                            base = base[: -len(suffix)]
+                            break
+                    medians[base] = to_ns(bench)
+                continue
+            raw.setdefault(name, []).append(to_ns(bench))
+    times = {name: median(values) for name, values in raw.items()}
+    times.update(medians)  # aggregate medians win over raw medians
+    return times
+
+
+def to_ns(bench):
+    unit = _UNIT_NS.get(bench.get("time_unit", "ns"), 1.0)
+    return float(bench["real_time"]) * unit
+
+
+def cmd_baseline(args):
+    times = load_times(args.results)
+    if not times:
+        print("check_bench_regression: no benchmarks in input", file=sys.stderr)
+        return 1
+    baseline = {
+        "comment": "pinned perf-smoke baseline; regenerate with "
+        "scripts/check_bench_regression.py baseline",
+        "benchmarks": {
+            name: {"real_time_ns": round(ns, 3)}
+            for name, ns in sorted(times.items())
+        },
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(baseline, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {len(times)} baseline entries to {args.out}")
+    return 0
+
+
+def cmd_check(args):
+    with open(args.baseline, "r", encoding="utf-8") as fh:
+        baseline = json.load(fh)["benchmarks"]
+    current = load_times(args.results)
+
+    failures = []
+    missing = []
+    width = max((len(n) for n in baseline), default=20)
+    print(f"{'benchmark':<{width}} {'baseline':>12} {'current':>12} "
+          f"{'ratio':>7}")
+    for name in sorted(baseline):
+        base_ns = float(baseline[name]["real_time_ns"])
+        if name not in current:
+            missing.append(name)
+            print(f"{name:<{width}} {base_ns:>12.0f} {'MISSING':>12}")
+            continue
+        cur_ns = current[name]
+        ratio = cur_ns / base_ns if base_ns > 0 else float("inf")
+        flag = "  FAIL" if ratio > args.max_ratio else ""
+        print(f"{name:<{width}} {base_ns:>12.0f} {cur_ns:>12.0f} "
+              f"{ratio:>6.2f}x{flag}")
+        if ratio > args.max_ratio:
+            failures.append((name, ratio))
+
+    new = sorted(set(current) - set(baseline))
+    for name in new:
+        print(f"{name:<{width}} {'(new)':>12} {current[name]:>12.0f}")
+
+    if missing:
+        print(f"\nwarning: {len(missing)} baseline benchmark(s) missing from "
+              "results", file=sys.stderr)
+    if failures:
+        print(f"\nFAIL: {len(failures)} benchmark(s) regressed beyond "
+              f"{args.max_ratio:.1f}x:", file=sys.stderr)
+        for name, ratio in failures:
+            print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+        return 1
+    print(f"\nOK: no benchmark regressed beyond {args.max_ratio:.1f}x")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_check = sub.add_parser("check", help="compare results to a baseline")
+    p_check.add_argument("baseline")
+    p_check.add_argument("results", nargs="+")
+    p_check.add_argument("--max-ratio", type=float, default=2.0,
+                         help="fail when current/baseline exceeds this "
+                         "(default: 2.0)")
+    p_check.set_defaults(func=cmd_check)
+
+    p_base = sub.add_parser("baseline", help="write a merged baseline file")
+    p_base.add_argument("out")
+    p_base.add_argument("results", nargs="+")
+    p_base.set_defaults(func=cmd_baseline)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -47,9 +47,12 @@ namespace detail {
 /// calls next_collective_tag() itself.
 struct CollectiveScope {
   ScopedCheckOp op;
+  TraceSpan span;
   CollectiveScope(const Comm& comm, const char* name, rank_t root,
                   std::uint64_t count, std::uint32_t elem_size)
-      : op(name) {
+      : op(name),
+        span(comm.job().tracer(), comm.global_of(comm.rank()),
+             TraceOp::collective, name) {
     comm.check_collective(name, root, count, elem_size);
   }
 };

@@ -160,6 +160,11 @@ Comm Comm::from_group(std::shared_ptr<Job> job, context_t context,
     if (Checker* ck = state->job->checker()) {
       ck->note_comm_created(my_world_rank);
     }
+    if (Tracer* tr = state->job->tracer()) {
+      tr->instant(my_world_rank, TraceOp::comm_create, "comm_create",
+                  any_source, context, any_tag,
+                  state->to_global.size());
+    }
   }
   return Comm(std::move(state));
 }
@@ -274,6 +279,10 @@ void Comm::send_raw(std::span<const std::byte> bytes, rank_t dest, tag_t tag,
   env.sig = sig;
   env.payload.assign(bytes.begin(), bytes.end());
   st.job->count_message(env.payload.size());
+  if (Tracer* tr = st.job->tracer()) {
+    tr->instant(env.src, TraceOp::send, "send", dest_global, st.context, tag,
+                env.payload.size());
+  }
   st.job->mailbox(dest_global).deliver(std::move(env));
   fault_point(KillPoint::after_send);
 }
@@ -389,6 +398,10 @@ Comm Comm::split(int color, int key) const {
   // op/root consistency is checked.
   check_collective("split", -1, Checker::kUncheckedCount, 0);
   const ScopedCheckOp op("split");
+  const TraceSpan span(state().job->tracer(),
+                       state().to_global[static_cast<std::size_t>(
+                           state().my_rank)],
+                       TraceOp::collective, "split");
   fault_point(KillPoint::before_split);
   Comm result = split_impl(color, key);
   fault_point(KillPoint::after_split);
@@ -477,6 +490,10 @@ Comm Comm::dup() const {
   check_collective("dup", 0, 1, sizeof(context_t));
   const ScopedCheckOp op("dup");
   detail::CommState& st = state();
+  const TraceSpan span(
+      st.job->tracer(),
+      st.to_global[static_cast<std::size_t>(st.my_rank)],
+      TraceOp::collective, "dup");
   const tag_t tag = next_collective_tag();
   const int n = static_cast<int>(st.to_global.size());
   const rank_t my_world = st.to_global[static_cast<std::size_t>(st.my_rank)];

@@ -113,6 +113,9 @@ void FaultInjector::on_point(KillPoint point, rank_t world_rank,
     }
   }
   if (fire_index < rules.size()) {
+    if (tracer_ != nullptr) {
+      tracer_->instant(world_rank, TraceOp::fault, kill_point_name(point));
+    }
     throw FaultInjectedError(point, world_rank);
   }
 }
@@ -137,6 +140,10 @@ FaultInjector::Filter FaultInjector::filter(Envelope& env, rank_t dest_world) {
               i, dest_world,
               "drop envelope src=" + std::to_string(env.src) +
                   " tag=" + std::to_string(env.tag)});
+          if (tracer_ != nullptr) {
+            tracer_->instant(env.src, TraceOp::fault, "drop", dest_world,
+                             env.context, env.tag, env.payload.size());
+          }
           break;
         case FaultRule::Action::delay: {
           std::chrono::milliseconds total = rule.delay;
@@ -149,6 +156,11 @@ FaultInjector::Filter FaultInjector::filter(Envelope& env, rank_t dest_world) {
               i, dest_world,
               "delay envelope src=" + std::to_string(env.src) + " by " +
                   std::to_string(total.count()) + "ms"});
+          if (tracer_ != nullptr) {
+            tracer_->instant(env.src, TraceOp::fault, "delay", dest_world,
+                             env.context, env.tag,
+                             static_cast<std::uint64_t>(total.count()));
+          }
           break;
         }
         case FaultRule::Action::truncate:
@@ -159,6 +171,10 @@ FaultInjector::Filter FaultInjector::filter(Envelope& env, rank_t dest_world) {
               i, dest_world,
               "truncate envelope src=" + std::to_string(env.src) + " to " +
                   std::to_string(rule.truncate_to) + " bytes"});
+          if (tracer_ != nullptr) {
+            tracer_->instant(env.src, TraceOp::fault, "truncate", dest_world,
+                             env.context, env.tag, rule.truncate_to);
+          }
           break;
         case FaultRule::Action::kill:
           break;

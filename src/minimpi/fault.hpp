@@ -181,6 +181,11 @@ class FaultInjector {
   /// the exact same jitter values.
   explicit FaultInjector(FaultPlan plan, std::uint64_t seed = 0);
 
+  /// Attach the job's event tracer (null = off): fired rules additionally
+  /// record fault instants on the victim/sender rank's timeline.  Called
+  /// once at Job construction, before any rank thread starts.
+  void set_tracer(Tracer* tracer) noexcept { tracer_ = tracer; }
+
   /// Virtual-time mode: delay rules fire (and are recorded in events())
   /// but never actually sleep.  The verify scheduler enables this — under
   /// systematic exploration, timing is decided by the explorer, not by
@@ -207,6 +212,7 @@ class FaultInjector {
  private:
   mutable std::mutex mutex_;
   FaultPlan plan_;
+  Tracer* tracer_ = nullptr;  ///< job's event tracer (null = tracing off)
   mph::util::Rng rng_;                 ///< jitter stream (guarded by mutex_)
   std::atomic<bool> virtual_time_{false};
   std::vector<std::uint64_t> visits_;  ///< per-rule matching-visit counts

@@ -38,6 +38,11 @@ Job::Job(int world_size, JobOptions options)
   if (options_.check.any()) {
     checker_ = std::make_unique<Checker>(options_.check, world_size);
   }
+  options_.trace = options_.trace.merged_with_env();
+  if (options_.trace.enabled) {
+    tracer_ = std::make_unique<Tracer>(world_size, options_.trace);
+    if (faults_ != nullptr) faults_->set_tracer(tracer_.get());
+  }
   if (verify_) {
     rank_next_context_ = std::make_unique<std::atomic<context_t>[]>(
         static_cast<std::size_t>(world_size));
@@ -48,7 +53,8 @@ Job::Job(int world_size, JobOptions options)
   mailboxes_.reserve(static_cast<std::size_t>(world_size));
   for (int i = 0; i < world_size; ++i) {
     mailboxes_.push_back(std::make_unique<Mailbox>(
-        abort_flag_, abort_reason_, i, faults_.get(), checker_.get(), sched));
+        abort_flag_, abort_reason_, i, faults_.get(), checker_.get(), sched,
+        tracer_.get()));
   }
   rank_labels_.assign(static_cast<std::size_t>(world_size), std::string{});
   rank_failed_ =
@@ -218,6 +224,10 @@ void Job::control_send(rank_t src_world, rank_t dest_world, tag_t control_tag,
   env.tag = control_tag;
   env.payload.assign(bytes.begin(), bytes.end());
   count_message(env.payload.size());
+  if (tracer_ != nullptr) {
+    tracer_->instant(src_world, TraceOp::send, "control_send", dest_world,
+                     kWorldContext, control_tag, env.payload.size());
+  }
   mailbox(dest_world).deliver(std::move(env));
 }
 
@@ -226,11 +236,49 @@ CommStats Job::stats() const {
   s.messages = messages_.load(std::memory_order_relaxed);
   s.payload_bytes = payload_bytes_.load(std::memory_order_relaxed);
   s.contexts_allocated = contexts_allocated_.load(std::memory_order_relaxed);
+  std::map<context_t, std::uint64_t> by_context;
   for (const auto& box : mailboxes_) {
     s.queue_high_water =
         std::max<std::uint64_t>(s.queue_high_water, box->queue_high_water());
+    s.wildcard_recvs += box->wildcard_recvs();
+    for (const auto& [ctx, count] : box->delivered_by_context()) {
+      by_context[ctx] += count;
+    }
   }
+  s.messages_by_context.assign(by_context.begin(), by_context.end());
   return s;
+}
+
+TraceReport Job::trace_report() const {
+  TraceReport report;
+  const CommStats s = stats();
+  report.messages_by_context = s.messages_by_context;
+  report.wildcard_recvs = s.wildcard_recvs;
+  if (tracer_ == nullptr) return report;
+  report.ranks.reserve(static_cast<std::size_t>(world_size_));
+  for (rank_t r = 0; r < world_size_; ++r) {
+    const auto i = static_cast<std::size_t>(r);
+    RankTrace rank;
+    rank.world_rank = r;
+    {
+      const std::lock_guard<std::mutex> lock(tracer_->meta_mutex_);
+      rank.track = tracer_->track_names_[i];
+      rank.counters = tracer_->counters_[i];
+    }
+    if (rank.track.empty()) {
+      // Unnamed (non-MPH job or pre-handshake abort): executable label
+      // plus world rank, same shape as the handshake's component:rank.
+      const std::string label = rank_label(r);
+      rank.track =
+          (label.empty() ? "rank" : label) + ":" + std::to_string(r);
+    }
+    TraceRing::Snapshot snap = tracer_->ring(i).snapshot();
+    rank.events = std::move(snap.events);
+    rank.dropped = snap.dropped;
+    rank.queue_high_water = mailboxes_[i]->queue_high_water();
+    report.ranks.push_back(std::move(rank));
+  }
+  return report;
 }
 
 JobDrain Job::drain_all() {

@@ -27,6 +27,7 @@
 #include "src/minimpi/check.hpp"
 #include "src/minimpi/fault.hpp"
 #include "src/minimpi/mailbox.hpp"
+#include "src/minimpi/trace.hpp"
 #include "src/minimpi/types.hpp"
 
 namespace minimpi {
@@ -43,6 +44,11 @@ struct JobOptions {
   /// mpicheck correctness checkers (all off by default).  Unioned with the
   /// MINIMPI_CHECK environment variable at job construction.
   CheckOptions check;
+
+  /// mph_trace event tracing (off by default).  Unioned with the
+  /// MINIMPI_TRACE environment variable at job construction; when off,
+  /// Job::tracer() is null and every trace point costs one null check.
+  TraceOptions trace;
 
   /// Seed of the job's deterministic random stream (fault-injection delay
   /// jitter and any library randomness).  0 = draw a fresh seed from the
@@ -67,6 +73,13 @@ struct CommStats {
   /// Largest unmatched-envelope backlog any single mailbox ever reached —
   /// backpressure visibility for the unbounded queues.
   std::uint64_t queue_high_water = 0;
+  /// Messages delivered per communicator context id, ascending by context —
+  /// how traffic splits across COMM_WORLD and derived communicators.
+  std::vector<std::pair<context_t, std::uint64_t>> messages_by_context;
+  /// Wildcard (ANY_SOURCE) receive operations issued: blocking receives,
+  /// probes, and posted receives with an unspecified source (nonblocking
+  /// probes count on a hit, so spin loops do not inflate the number).
+  std::uint64_t wildcard_recvs = 0;
 };
 
 /// Structured description of why a rank (and hence its job or failure
@@ -106,6 +119,10 @@ class Job {
 
   /// The job's mpicheck registry, or null when every checker is off.
   [[nodiscard]] Checker* checker() const noexcept { return checker_.get(); }
+
+  /// The job's event tracer, or null when tracing is off — every
+  /// instrumentation point branches on this pointer and nothing else.
+  [[nodiscard]] Tracer* tracer() const noexcept { return tracer_.get(); }
 
   /// The job's scheduler, or null (pass-through).
   [[nodiscard]] Scheduler* scheduler() const noexcept {
@@ -208,6 +225,12 @@ class Job {
   /// Snapshot of the job's communication counters.
   [[nodiscard]] CommStats stats() const;
 
+  /// Drain the trace rings into a report (empty ranks when tracing is
+  /// off).  Tracks default to "label:world_rank" until someone (the MPH
+  /// handshake) names them.  Normally called once, after every rank thread
+  /// joined; safe — but approximate — while ranks are still recording.
+  [[nodiscard]] TraceReport trace_report() const;
+
   /// Discard every mailbox's leftover envelopes and posted receives,
   /// summing what leaked — called after all rank threads joined.
   [[nodiscard]] JobDrain drain_all();
@@ -232,6 +255,8 @@ class Job {
   // Likewise declared before the mailboxes: every Mailbox holds a raw
   // Checker*, so the checker must outlive them.
   std::unique_ptr<Checker> checker_;
+  // Likewise: every Mailbox (and the fault injector) holds a raw Tracer*.
+  std::unique_ptr<Tracer> tracer_;
   std::atomic<context_t> next_context_{kWorldContext + 1};
   /// Verify mode: per-rank context counters (disjoint id spaces).
   std::unique_ptr<std::atomic<context_t>[]> rank_next_context_;

@@ -144,6 +144,10 @@ JobReport run_mpmd(const std::vector<ExecSpec>& specs, JobOptions options) {
 
   report.ok = report.failures.empty() && !job->aborted();
   report.stats = job->stats();
+  // Drain the trace rings while the mailboxes still hold their counters
+  // (drain_all below clears queues, not counters, but keep the order
+  // obvious): every rank thread has joined, so the rings are quiescent.
+  if (job->tracer() != nullptr) report.trace = job->trace_report();
   if (job->aborted()) report.abort_reason = job->abort_reason();
   report.abort = job->abort_info();
   const JobDrain leaked = job->drain_all();

@@ -68,6 +68,10 @@ struct JobReport {
   std::uint64_t leaked_posted_recvs = 0;
   /// mpicheck findings, present when any checker was enabled for the job.
   std::optional<CheckReport> check;
+  /// mph_trace timelines + metrics, present when tracing was enabled
+  /// (JobOptions::trace / MINIMPI_TRACE); export with
+  /// TraceReport::to_chrome_json().
+  std::optional<TraceReport> trace;
 
   /// Convenience for tests: message of the first failure ("" when ok).
   [[nodiscard]] std::string first_error() const {

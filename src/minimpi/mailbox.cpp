@@ -48,24 +48,45 @@ void Mailbox::wait_locked(std::unique_lock<std::mutex>& lock, Deadline deadline,
   struct BlockedScope {
     Checker* checker;
     Scheduler* sched;
+    Tracer* tracer;
     rank_t owner;
+    rank_t waits_on = any_source;
+    context_t ctx = kWorldContext;
+    tag_t tag = any_tag;
+    const char* label = "";
+    std::uint64_t t0 = 0;
     bool registered = false;
-    void blocked(rank_t waits_on, const char* op, context_t c, tag_t t) {
+    void blocked(rank_t on, const char* op, context_t c, tag_t t) {
       if (registered) {
         if (checker != nullptr) checker->refresh(owner);
         if (sched != nullptr) sched->note_still_blocked(owner);
         return;
       }
-      if (checker != nullptr) checker->block(owner, waits_on, op, c, t);
-      if (sched != nullptr) sched->note_blocked(owner, waits_on, op, c, t);
+      if (checker != nullptr) checker->block(owner, on, op, c, t);
+      if (sched != nullptr) sched->note_blocked(owner, on, op, c, t);
+      if (tracer != nullptr) {
+        // Blocked spans take the enclosing collective's label when one is
+        // active ("barrier", "bcast", ...), the raw operation otherwise —
+        // that label drives the recv-wait vs collective-wait breakdown.
+        const char* scoped = ScopedCheckOp::current();
+        label = scoped != nullptr ? scoped : op;
+        waits_on = on;
+        ctx = c;
+        tag = t;
+        t0 = tracer->now_ns();
+      }
       registered = true;
     }
     ~BlockedScope() {
       if (!registered) return;
       if (checker != nullptr) checker->unblock(owner);
       if (sched != nullptr) sched->note_unblocked(owner);
+      if (tracer != nullptr) {
+        tracer->span_end(owner, TraceOp::blocked, label, t0, waits_on, ctx,
+                         tag);
+      }
     }
-  } scope{checker_, sched_, owner_rank_};
+  } scope{checker_, sched_, tracer_, owner_rank_};
 
   while (!pred()) {
     check_abort_locked();
@@ -155,6 +176,7 @@ void Mailbox::deliver(Envelope&& env) {
       checker_->note_send(env.src);
     }
     if (sched_ != nullptr) sched_->note_delivery(owner_rank_);
+    count_context_locked(env.context);
     // Try to complete the earliest-posted matching receive.
     auto it = std::find_if(posted_.begin(), posted_.end(),
                            [&](const PostedRecv& p) {
@@ -163,6 +185,12 @@ void Mailbox::deliver(Envelope&& env) {
     if (it != posted_.end()) {
       if (sched_ != nullptr) {
         sched_->on_match(owner_rank_, env.src, env.context, env.tag, env.vc);
+      }
+      if (tracer_ != nullptr) {
+        // Posted-receive match on the receiver's timeline (recorded from
+        // the sender's thread — the rings are multi-producer).
+        tracer_->instant(owner_rank_, TraceOp::recv, "recv_match", env.src,
+                         env.context, env.tag, env.payload.size());
       }
       PostedRecv p = std::move(*it);
       posted_.erase(it);
@@ -197,6 +225,10 @@ void Mailbox::deliver(Envelope&& env) {
 Status Mailbox::recv(context_t ctx, rank_t source, tag_t tag,
                      std::span<std::byte> buffer, Deadline deadline,
                      TypeSig expected) {
+  if (source == any_source) {
+    wildcard_recvs_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const std::uint64_t t0 = tracer_ != nullptr ? tracer_->now_ns() : 0;
   source = fence_wildcard(ctx, source, tag, "recv");
   std::unique_lock<std::mutex> lock(mutex_);
   std::deque<Envelope>::iterator it;
@@ -226,12 +258,20 @@ Status Mailbox::recv(context_t ctx, rank_t source, tag_t tag,
   }
   const Status status{it->src, it->tag, it->payload.size()};
   queue_.erase(it);
+  if (tracer_ != nullptr) {
+    tracer_->span_end(owner_rank_, TraceOp::recv, "recv", t0, status.source,
+                      ctx, status.tag, status.bytes);
+  }
   return status;
 }
 
 std::pair<Status, std::vector<std::byte>> Mailbox::recv_take(
     context_t ctx, rank_t source, tag_t tag, Deadline deadline,
     TypeSig expected) {
+  if (source == any_source) {
+    wildcard_recvs_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const std::uint64_t t0 = tracer_ != nullptr ? tracer_->now_ns() : 0;
   source = fence_wildcard(ctx, source, tag, "recv");
   std::unique_lock<std::mutex> lock(mutex_);
   std::deque<Envelope>::iterator it;
@@ -253,6 +293,10 @@ std::pair<Status, std::vector<std::byte>> Mailbox::recv_take(
   const Status status{it->src, it->tag, it->payload.size()};
   std::vector<std::byte> payload = std::move(it->payload);
   queue_.erase(it);
+  if (tracer_ != nullptr) {
+    tracer_->span_end(owner_rank_, TraceOp::recv, "recv", t0, status.source,
+                      ctx, status.tag, status.bytes);
+  }
   return {status, std::move(payload)};
 }
 
@@ -268,6 +312,13 @@ std::shared_ptr<RecvTicket> Mailbox::post_recv(context_t ctx, rank_t source,
                 "schedule verification does not support nonblocking wildcard "
                 "receives (irecv with source=ANY_SOURCE); use a blocking "
                 "recv or an exact source");
+  }
+  if (source == any_source) {
+    wildcard_recvs_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (tracer_ != nullptr) {
+    tracer_->instant(owner_rank_, TraceOp::post_recv, "post_recv", source, ctx,
+                     tag, buffer.size());
   }
   auto ticket = std::make_shared<RecvTicket>();
   ticket->context = ctx;
@@ -298,6 +349,11 @@ std::shared_ptr<RecvTicket> Mailbox::post_recv(context_t ctx, rank_t source,
         ticket->status = Status{it->src, it->tag, it->payload.size()};
       }
       ticket->done = true;
+      if (tracer_ != nullptr) {
+        tracer_->instant(owner_rank_, TraceOp::recv, "recv_match",
+                         ticket->status.source, ctx, ticket->status.tag,
+                         ticket->status.bytes);
+      }
       queue_.erase(it);
     } else {
       posted_.push_back(
@@ -309,12 +365,18 @@ std::shared_ptr<RecvTicket> Mailbox::post_recv(context_t ctx, rank_t source,
 
 Status Mailbox::wait(const std::shared_ptr<RecvTicket>& ticket,
                      Deadline deadline) {
+  const std::uint64_t t0 = tracer_ != nullptr ? tracer_->now_ns() : 0;
   std::unique_lock<std::mutex> lock(mutex_);
   wait_locked(
       lock, deadline, [&] { return ticket->done; }, "wait",
       ticket->context, ticket->source, ticket->tag);
   account_consumed_locked(*ticket);
   if (ticket->error) std::rethrow_exception(ticket->error);
+  if (tracer_ != nullptr) {
+    tracer_->span_end(owner_rank_, TraceOp::recv, "wait", t0,
+                      ticket->status.source, ticket->context,
+                      ticket->status.tag, ticket->status.bytes);
+  }
   return ticket->status;
 }
 
@@ -351,6 +413,9 @@ void Mailbox::cancel(const std::shared_ptr<RecvTicket>& ticket) {
 
 Status Mailbox::probe(context_t ctx, rank_t source, tag_t tag,
                       Deadline deadline) {
+  if (source == any_source) {
+    wildcard_recvs_.fetch_add(1, std::memory_order_relaxed);
+  }
   source = fence_wildcard(ctx, source, tag, "probe");
   std::unique_lock<std::mutex> lock(mutex_);
   std::deque<Envelope>::iterator it;
@@ -399,6 +464,11 @@ std::optional<Status> Mailbox::iprobe(context_t ctx, rank_t source, tag_t tag) {
     return std::nullopt;
   }
   if (checker_ != nullptr) checker_->iprobe_hit(owner_rank_);
+  if (source == any_source) {
+    // Counted on the hit only: a polling loop of misses is one logical
+    // wildcard receive, not thousands.
+    wildcard_recvs_.fetch_add(1, std::memory_order_relaxed);
+  }
   return Status{it->src, it->tag, it->payload.size()};
 }
 
@@ -434,6 +504,22 @@ std::size_t Mailbox::queued() const {
 std::size_t Mailbox::queue_high_water() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return queue_high_water_;
+}
+
+void Mailbox::count_context_locked(context_t ctx) {
+  for (auto& [context, count] : delivered_by_context_) {
+    if (context == ctx) {
+      ++count;
+      return;
+    }
+  }
+  delivered_by_context_.emplace_back(ctx, 1);
+}
+
+std::vector<std::pair<context_t, std::uint64_t>>
+Mailbox::delivered_by_context() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return delivered_by_context_;
 }
 
 std::size_t Mailbox::posted() const {

@@ -24,6 +24,7 @@
 #include "src/minimpi/check.hpp"
 #include "src/minimpi/error.hpp"
 #include "src/minimpi/schedule.hpp"
+#include "src/minimpi/trace.hpp"
 #include "src/minimpi/types.hpp"
 
 namespace minimpi {
@@ -84,15 +85,19 @@ class Mailbox {
   /// `sched` is the job's scheduler (null = pass-through): decision points
   /// yield to it, and when it is *verifying* wildcard matches are resolved
   /// through explicit scheduler decisions instead of arrival order.
+  /// `tracer` is the job's event tracer (null = tracing off): match points
+  /// and blocked intervals record onto the owner rank's ring.
   Mailbox(const std::atomic<bool>& abort_flag, const std::string& abort_reason,
           rank_t owner_rank = 0, FaultInjector* faults = nullptr,
-          Checker* checker = nullptr, Scheduler* sched = nullptr)
+          Checker* checker = nullptr, Scheduler* sched = nullptr,
+          Tracer* tracer = nullptr)
       : abort_flag_(abort_flag),
         abort_reason_(abort_reason),
         owner_rank_(owner_rank),
         faults_(faults),
         checker_(checker),
         sched_(sched),
+        tracer_(tracer),
         verify_(sched != nullptr && sched->verifying()) {}
 
   Mailbox(const Mailbox&) = delete;
@@ -149,6 +154,15 @@ class Mailbox {
 
   /// Largest queue_ size ever observed (backpressure high-water mark).
   [[nodiscard]] std::size_t queue_high_water() const;
+
+  /// Wildcard (ANY_SOURCE) receive operations this rank issued.
+  [[nodiscard]] std::uint64_t wildcard_recvs() const noexcept {
+    return wildcard_recvs_.load(std::memory_order_relaxed);
+  }
+
+  /// Envelopes delivered to this mailbox per communicator context.
+  [[nodiscard]] std::vector<std::pair<context_t, std::uint64_t>>
+  delivered_by_context() const;
 
   /// Number of outstanding posted receives.
   [[nodiscard]] std::size_t posted() const;
@@ -224,12 +238,16 @@ class Mailbox {
   [[nodiscard]] rank_t fence_wildcard(context_t ctx, rank_t source, tag_t tag,
                                       const char* operation);
 
+  /// Bump the delivered-per-context counter for `ctx`. Caller holds mutex_.
+  void count_context_locked(context_t ctx);
+
   const std::atomic<bool>& abort_flag_;
   const std::string& abort_reason_;
   rank_t owner_rank_;
   FaultInjector* faults_;
   Checker* checker_;
   Scheduler* sched_;
+  Tracer* tracer_;
   bool verify_;  ///< sched_ != null and it serializes match decisions
 
   mutable std::mutex mutex_;
@@ -237,6 +255,10 @@ class Mailbox {
   std::deque<Envelope> queue_;          ///< unmatched arrivals, in order
   std::vector<PostedRecv> posted_;      ///< outstanding posted receives
   std::size_t queue_high_water_ = 0;    ///< max queue_ size ever seen
+  /// Deliveries per context (few contexts per rank: linear scan under the
+  /// deliver-side lock).
+  std::vector<std::pair<context_t, std::uint64_t>> delivered_by_context_;
+  std::atomic<std::uint64_t> wildcard_recvs_{0};
 
   // Failure-domain abort channel (null until set_domain).
   const std::atomic<bool>* domain_flag_ = nullptr;

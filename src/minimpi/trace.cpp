@@ -1,0 +1,427 @@
+#include "src/minimpi/trace.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+namespace minimpi {
+
+// ---------------------------------------------------------------------------
+// Options
+// ---------------------------------------------------------------------------
+
+TraceOptions TraceOptions::parse(std::string_view text) noexcept {
+  TraceOptions opts;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find_first_of(", ", start);
+    const std::string_view token =
+        text.substr(start, end == std::string_view::npos ? end : end - start);
+    if (token == "1" || token == "on" || token == "all" || token == "true") {
+      opts.enabled = true;
+    } else if (token.rfind("capacity=", 0) == 0) {
+      const std::string value(token.substr(9));
+      const long parsed = std::strtol(value.c_str(), nullptr, 10);
+      if (parsed > 0) {
+        opts.enabled = true;
+        opts.ring_capacity = static_cast<std::size_t>(parsed);
+      }
+    }
+    if (end == std::string_view::npos) break;
+    start = end + 1;
+  }
+  return opts;
+}
+
+TraceOptions TraceOptions::merged_with_env() const noexcept {
+  TraceOptions merged = *this;
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) — read once at job construction.
+  const char* env = std::getenv("MINIMPI_TRACE");
+  if (env == nullptr) return merged;
+  const TraceOptions from_env = parse(env);
+  merged.enabled = merged.enabled || from_env.enabled;
+  merged.ring_capacity = std::max(merged.ring_capacity, from_env.ring_capacity);
+  return merged;
+}
+
+const char* trace_op_category(TraceOp op) noexcept {
+  switch (op) {
+    case TraceOp::send:
+    case TraceOp::post_recv:
+    case TraceOp::recv:
+      return "p2p";
+    case TraceOp::blocked:
+      return "blocked";
+    case TraceOp::collective:
+      return "collective";
+    case TraceOp::comm_create:
+      return "comm";
+    case TraceOp::fault:
+      return "fault";
+    case TraceOp::phase:
+      return "phase";
+  }
+  return "event";
+}
+
+// ---------------------------------------------------------------------------
+// TraceRing
+// ---------------------------------------------------------------------------
+
+TraceRing::TraceRing(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)),
+      slots_(std::make_unique<Slot[]>(capacity_)) {}
+
+void TraceRing::record(const TraceEvent& event) noexcept {
+  const std::uint64_t idx = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[idx % capacity_];
+  // Invalidate first so a concurrent reader of the *previous* occupant
+  // cannot accept a half-overwritten slot; publish with the release store
+  // of the new stamp once every field is in place.
+  slot.stamp.store(0, std::memory_order_release);
+  slot.t_start.store(event.t_start_ns, std::memory_order_relaxed);
+  slot.t_end.store(event.t_end_ns, std::memory_order_relaxed);
+  slot.bytes.store(event.bytes, std::memory_order_relaxed);
+  slot.name.store(event.name != nullptr ? event.name : "",
+                  std::memory_order_relaxed);
+  slot.op_and_kind.store(static_cast<std::int32_t>(event.op) |
+                             (event.span ? 0x100 : 0),
+                         std::memory_order_relaxed);
+  slot.peer.store(event.peer, std::memory_order_relaxed);
+  slot.tag.store(event.tag, std::memory_order_relaxed);
+  slot.context.store(event.context, std::memory_order_relaxed);
+  slot.stamp.store(idx + 1, std::memory_order_release);
+}
+
+TraceRing::Snapshot TraceRing::snapshot() const {
+  Snapshot out;
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t begin = head > capacity_ ? head - capacity_ : 0;
+  out.dropped = begin;
+  out.events.reserve(static_cast<std::size_t>(head - begin));
+  for (std::uint64_t idx = begin; idx < head; ++idx) {
+    const Slot& slot = slots_[idx % capacity_];
+    if (slot.stamp.load(std::memory_order_acquire) != idx + 1) {
+      ++out.dropped;  // claimed but not yet published, or already recycled
+      continue;
+    }
+    TraceEvent event;
+    event.t_start_ns = slot.t_start.load(std::memory_order_relaxed);
+    event.t_end_ns = slot.t_end.load(std::memory_order_relaxed);
+    event.bytes = slot.bytes.load(std::memory_order_relaxed);
+    event.name = slot.name.load(std::memory_order_relaxed);
+    const std::int32_t packed =
+        slot.op_and_kind.load(std::memory_order_relaxed);
+    event.op = static_cast<TraceOp>(packed & 0xFF);
+    event.span = (packed & 0x100) != 0;
+    event.peer = slot.peer.load(std::memory_order_relaxed);
+    event.tag = slot.tag.load(std::memory_order_relaxed);
+    event.context = slot.context.load(std::memory_order_relaxed);
+    // Re-check: a writer that lapped us mid-read left a different stamp.
+    if (slot.stamp.load(std::memory_order_acquire) != idx + 1) {
+      ++out.dropped;
+      continue;
+    }
+    out.events.push_back(event);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+Tracer::Tracer(int world_size, TraceOptions options)
+    : options_(options), epoch_(std::chrono::steady_clock::now()) {
+  const auto n = static_cast<std::size_t>(world_size > 0 ? world_size : 0);
+  rings_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rings_.push_back(std::make_unique<TraceRing>(options_.ring_capacity));
+  }
+  track_names_.assign(n, std::string{});
+  counters_.assign(n, {});
+}
+
+std::uint64_t Tracer::now_ns() const noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void Tracer::instant(rank_t ring, TraceOp op, const char* name, rank_t peer,
+                     context_t context, tag_t tag,
+                     std::uint64_t bytes) noexcept {
+  if (ring < 0 || static_cast<std::size_t>(ring) >= rings_.size()) return;
+  TraceEvent event;
+  event.t_start_ns = now_ns();
+  event.t_end_ns = event.t_start_ns;
+  event.op = op;
+  event.span = false;
+  event.name = name;
+  event.peer = peer;
+  event.context = context;
+  event.tag = tag;
+  event.bytes = bytes;
+  rings_[static_cast<std::size_t>(ring)]->record(event);
+}
+
+void Tracer::span_end(rank_t ring, TraceOp op, const char* name,
+                      std::uint64_t t_start_ns, rank_t peer, context_t context,
+                      tag_t tag, std::uint64_t bytes) noexcept {
+  if (ring < 0 || static_cast<std::size_t>(ring) >= rings_.size()) return;
+  TraceEvent event;
+  event.t_start_ns = t_start_ns;
+  event.t_end_ns = std::max(now_ns(), t_start_ns);
+  event.op = op;
+  event.span = true;
+  event.name = name;
+  event.peer = peer;
+  event.context = context;
+  event.tag = tag;
+  event.bytes = bytes;
+  rings_[static_cast<std::size_t>(ring)]->record(event);
+}
+
+void Tracer::set_track_name(rank_t world_rank, std::string name) {
+  if (world_rank < 0 ||
+      static_cast<std::size_t>(world_rank) >= track_names_.size()) {
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(meta_mutex_);
+  track_names_[static_cast<std::size_t>(world_rank)] = std::move(name);
+}
+
+void Tracer::add_counter(rank_t world_rank, std::string name,
+                         std::uint64_t value) {
+  if (world_rank < 0 ||
+      static_cast<std::size_t>(world_rank) >= counters_.size()) {
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(meta_mutex_);
+  counters_[static_cast<std::size_t>(world_rank)].emplace_back(std::move(name),
+                                                               value);
+}
+
+// ---------------------------------------------------------------------------
+// TraceReport analyses
+// ---------------------------------------------------------------------------
+
+std::string TraceReport::component_of(std::string_view track) {
+  const std::size_t colon = track.rfind(':');
+  if (colon == std::string_view::npos) return std::string(track);
+  return std::string(track.substr(0, colon));
+}
+
+std::vector<TraceReport::Traffic> TraceReport::component_traffic() const {
+  // Component of each world rank, for resolving a send's destination.
+  rank_t max_rank = -1;
+  for (const RankTrace& r : ranks) max_rank = std::max(max_rank, r.world_rank);
+  std::vector<std::string> component(
+      static_cast<std::size_t>(max_rank + 1));
+  for (const RankTrace& r : ranks) {
+    if (r.world_rank >= 0) {
+      component[static_cast<std::size_t>(r.world_rank)] =
+          component_of(r.track);
+    }
+  }
+  std::map<std::pair<std::string, std::string>, Traffic> cells;
+  for (const RankTrace& r : ranks) {
+    const std::string src = component_of(r.track);
+    for (const TraceEvent& e : r.events) {
+      if (e.op != TraceOp::send) continue;
+      std::string dest = "?";
+      if (e.peer >= 0 &&
+          static_cast<std::size_t>(e.peer) < component.size()) {
+        dest = component[static_cast<std::size_t>(e.peer)];
+      }
+      Traffic& cell = cells[{src, dest}];
+      cell.src = src;
+      cell.dest = dest;
+      cell.messages += 1;
+      cell.bytes += e.bytes;
+    }
+  }
+  std::vector<Traffic> out;
+  out.reserve(cells.size());
+  for (auto& [key, cell] : cells) out.push_back(std::move(cell));
+  return out;
+}
+
+std::vector<TraceReport::RankBlocked> TraceReport::blocked_breakdown() const {
+  std::vector<RankBlocked> out;
+  out.reserve(ranks.size());
+  for (const RankTrace& r : ranks) {
+    RankBlocked row;
+    row.world_rank = r.world_rank;
+    row.track = r.track;
+    // Handshake intervals on this rank's own timeline; blocked time inside
+    // them is attributed to the handshake, not to p2p/collective waits.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> handshake;
+    for (const TraceEvent& e : r.events) {
+      if (e.op == TraceOp::phase && e.span &&
+          std::string_view(e.name) == "handshake") {
+        handshake.emplace_back(e.t_start_ns, e.t_end_ns);
+        row.handshake_ns += e.t_end_ns - e.t_start_ns;
+      }
+    }
+    const auto in_handshake = [&](std::uint64_t t) {
+      return std::any_of(handshake.begin(), handshake.end(),
+                         [&](const auto& iv) {
+                           return t >= iv.first && t < iv.second;
+                         });
+    };
+    for (const TraceEvent& e : r.events) {
+      if (e.op != TraceOp::blocked || !e.span) continue;
+      const std::uint64_t dur = e.t_end_ns - e.t_start_ns;
+      if (in_handshake(e.t_start_ns)) continue;  // counted as handshake
+      const std::string_view label(e.name);
+      if (label == "recv" || label == "wait" || label == "probe" ||
+          label == "test" || label == "iprobe") {
+        row.recv_wait_ns += dur;
+      } else {
+        row.collective_wait_ns += dur;
+      }
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event JSON export
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xF];
+          out += hex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Nanoseconds as a microsecond decimal ("1234.567") — the trace-event
+/// `ts`/`dur` unit — without any floating-point rounding.
+std::string us_string(std::uint64_t ns) {
+  std::string out = std::to_string(ns / 1000);
+  const std::uint64_t frac = ns % 1000;
+  out += '.';
+  out += static_cast<char>('0' + frac / 100);
+  out += static_cast<char>('0' + (frac / 10) % 10);
+  out += static_cast<char>('0' + frac % 10);
+  return out;
+}
+
+}  // namespace
+
+std::string TraceReport::to_chrome_json() const {
+  std::string out;
+  out.reserve(4096 + ranks.size() * 1024);
+  out += "{\n\"traceEvents\": [\n";
+  out += R"({"name":"process_name","ph":"M","pid":0,"tid":0,)"
+         R"("args":{"name":"minimpi job"}})";
+  for (const RankTrace& r : ranks) {
+    const std::string tid = std::to_string(r.world_rank);
+    out += ",\n";
+    out += R"({"name":"thread_name","ph":"M","pid":0,"tid":)" + tid +
+           R"(,"args":{"name":")";
+    append_escaped(out, r.track);
+    out += "\"}}";
+    out += ",\n";
+    out += R"({"name":"thread_sort_index","ph":"M","pid":0,"tid":)" + tid +
+           R"(,"args":{"sort_index":)" + tid + "}}";
+    for (const TraceEvent& e : r.events) {
+      out += ",\n{\"name\":\"";
+      append_escaped(out, e.name);
+      out += "\",\"cat\":\"";
+      out += trace_op_category(e.op);
+      out += "\",\"pid\":0,\"tid\":" + tid;
+      out += ",\"ts\":" + us_string(e.t_start_ns);
+      if (e.span) {
+        out += ",\"ph\":\"X\",\"dur\":" + us_string(e.t_end_ns - e.t_start_ns);
+      } else {
+        out += R"(,"ph":"i","s":"t")";
+      }
+      out += ",\"args\":{";
+      bool first = true;
+      const auto arg = [&](const char* key, std::uint64_t value) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += key;
+        out += "\":" + std::to_string(value);
+      };
+      if (e.peer >= 0) arg("peer", static_cast<std::uint64_t>(e.peer));
+      arg("context", e.context);
+      if (e.tag >= 0) arg("tag", static_cast<std::uint64_t>(e.tag));
+      if (e.bytes > 0) arg("bytes", e.bytes);
+      out += "}}";
+    }
+  }
+  out += "\n],\n\"displayTimeUnit\": \"ms\",\n";
+
+  // Metrics rollup: ignored by trace viewers, read by `mph_inspect trace`.
+  out += "\"mph\": {\n";
+  out += "\"wildcardRecvs\": " + std::to_string(wildcard_recvs) + ",\n";
+  out += "\"contexts\": [";
+  for (std::size_t i = 0; i < messages_by_context.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "{\"context\": " + std::to_string(messages_by_context[i].first) +
+           ", \"messages\": " + std::to_string(messages_by_context[i].second) +
+           "}";
+  }
+  out += "],\n\"componentTraffic\": [";
+  const std::vector<Traffic> traffic = component_traffic();
+  for (std::size_t i = 0; i < traffic.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "{\"src\": \"";
+    append_escaped(out, traffic[i].src);
+    out += "\", \"dest\": \"";
+    append_escaped(out, traffic[i].dest);
+    out += "\", \"messages\": " + std::to_string(traffic[i].messages) +
+           ", \"bytes\": " + std::to_string(traffic[i].bytes) + "}";
+  }
+  out += "],\n\"ranks\": [";
+  const std::vector<RankBlocked> blocked = blocked_breakdown();
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    const RankTrace& r = ranks[i];
+    if (i > 0) out += ", ";
+    out += "\n{\"rank\": " + std::to_string(r.world_rank) + ", \"track\": \"";
+    append_escaped(out, r.track);
+    out += "\", \"events\": " + std::to_string(r.events.size()) +
+           ", \"dropped\": " + std::to_string(r.dropped) +
+           ", \"queueHighWater\": " + std::to_string(r.queue_high_water);
+    const RankBlocked& b = blocked[i];
+    out += ", \"blocked\": {\"recvWaitNs\": " +
+           std::to_string(b.recv_wait_ns) +
+           ", \"collectiveWaitNs\": " + std::to_string(b.collective_wait_ns) +
+           ", \"handshakeNs\": " + std::to_string(b.handshake_ns) + "}";
+    out += ", \"counters\": [";
+    for (std::size_t c = 0; c < r.counters.size(); ++c) {
+      if (c > 0) out += ", ";
+      out += "{\"name\": \"";
+      append_escaped(out, r.counters[c].first);
+      out += "\", \"value\": " + std::to_string(r.counters[c].second) + "}";
+    }
+    out += "]}";
+  }
+  out += "\n]\n}\n}\n";
+  return out;
+}
+
+}  // namespace minimpi

@@ -1,0 +1,299 @@
+// trace.hpp — mph_trace: always-available, low-overhead event tracing.
+//
+// Every rank of a traced job owns one fixed-capacity lock-free ring buffer
+// of timestamped events (spans and instants): send/recv post+match,
+// blocked-wait intervals, collectives, communicator creation, fault-plan
+// firings, and MPH phase spans (handshake stages, registry broadcast,
+// joint-communicator setup).  The thread-per-rank design makes this cheap —
+// there is no cross-process merge step; JobReport::trace drains the rings
+// into one Chrome trace-event JSON document that Perfetto and
+// chrome://tracing load directly, one track per component rank.
+//
+// Off-path cost: tracing is enabled per job (JobOptions::trace or the
+// MINIMPI_TRACE environment variable).  When off, Job::tracer() is null and
+// every instrumentation point is a branch on a null pointer — the same
+// pass-through discipline as the Checker and Scheduler hook layers.
+//
+// Ring discipline: multi-producer (deliver-side events land on the
+// *receiver's* ring from the sender's thread), drop-oldest.  A writer
+// claims a slot with one relaxed fetch_add on the ring head and publishes
+// the slot with a release store of its stamp; a reader accepts a slot only
+// when the stamp matches the claimed index before AND after reading the
+// fields, so a concurrent overwrite is detected and counted as dropped
+// rather than surfacing a torn event.  Drains normally run after every
+// rank thread joined, where the rings are quiescent and reads are exact.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/minimpi/types.hpp"
+
+namespace minimpi {
+
+// ---------------------------------------------------------------------------
+// Options
+// ---------------------------------------------------------------------------
+
+/// Per-job tracing configuration.  Merged with the MINIMPI_TRACE
+/// environment variable at Job construction (the union of both enables;
+/// the environment may also raise the ring capacity).
+struct TraceOptions {
+  bool enabled = false;
+
+  /// Events retained per rank.  When a rank records more, the oldest are
+  /// dropped and the drop is counted (RankTrace::dropped) — tracing never
+  /// blocks or allocates on the hot path.
+  std::size_t ring_capacity = 8192;
+
+  /// Parse a MINIMPI_TRACE-style value: "1"/"on"/"all" enable; a
+  /// comma/space list may add "capacity=N" to size the rings.  Unknown
+  /// tokens are ignored.
+  [[nodiscard]] static TraceOptions parse(std::string_view text) noexcept;
+
+  /// This set of options unioned with what MINIMPI_TRACE enables.
+  [[nodiscard]] TraceOptions merged_with_env() const noexcept;
+};
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+/// What an event records.  The category groups events in viewers; `name`
+/// carries the specific label ("recv", "barrier", "handshake", ...).
+enum class TraceOp : std::uint8_t {
+  send,         ///< instant: envelope handed to the destination mailbox
+  post_recv,    ///< instant: nonblocking receive posted
+  recv,         ///< span: blocking receive/wait from call to match
+  blocked,      ///< span: interval a rank spent blocked in a mailbox wait
+  collective,   ///< span: one collective invocation
+  comm_create,  ///< instant: communicator construction (fresh context)
+  fault,        ///< instant: a fault-plan rule fired
+  phase,        ///< span: an MPH phase (handshake stage, registry bcast, ...)
+};
+
+/// Viewer category string of an op ("p2p", "collective", ...).
+[[nodiscard]] const char* trace_op_category(TraceOp op) noexcept;
+
+/// One drained event.  `name` points to static storage (string literals at
+/// the record sites) — events never own memory.
+struct TraceEvent {
+  std::uint64_t t_start_ns = 0;  ///< nanoseconds since the tracer epoch
+  std::uint64_t t_end_ns = 0;    ///< == t_start_ns for instants
+  TraceOp op = TraceOp::send;
+  bool span = false;         ///< span (interval) vs instant
+  const char* name = "";     ///< static-storage label
+  rank_t peer = any_source;  ///< world rank of the other side (-1: none)
+  context_t context = kWorldContext;
+  tag_t tag = any_tag;
+  std::uint64_t bytes = 0;  ///< payload volume, when meaningful
+};
+
+// ---------------------------------------------------------------------------
+// Ring buffer
+// ---------------------------------------------------------------------------
+
+/// Fixed-capacity, multi-producer, drop-oldest event ring.  See the file
+/// comment for the claim/stamp protocol.  Readers may snapshot while
+/// writers are active (the tsan contention test does); torn slots are
+/// counted as dropped, never returned.
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity);
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  /// Record one event: wait-free (one fetch_add plus relaxed field stores).
+  void record(const TraceEvent& event) noexcept;
+
+  struct Snapshot {
+    std::vector<TraceEvent> events;  ///< oldest first, in claim order
+    std::uint64_t dropped = 0;       ///< overwritten + torn slots
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Events ever recorded (monotone; may exceed capacity).
+  [[nodiscard]] std::uint64_t recorded() const noexcept {
+    return head_.load(std::memory_order_acquire);
+  }
+
+ private:
+  /// All fields atomic so concurrent overwrite during a live snapshot is a
+  /// detected data race by construction, not an undefined one.  The stamp
+  /// holds claim-index + 1 and is written last (release) / checked twice.
+  struct Slot {
+    std::atomic<std::uint64_t> stamp{0};
+    std::atomic<std::uint64_t> t_start{0};
+    std::atomic<std::uint64_t> t_end{0};
+    std::atomic<std::uint64_t> bytes{0};
+    std::atomic<const char*> name{""};
+    std::atomic<std::int32_t> op_and_kind{0};  ///< op | (span ? 0x100 : 0)
+    std::atomic<std::int32_t> peer{any_source};
+    std::atomic<std::int32_t> tag{any_tag};
+    std::atomic<std::uint32_t> context{kWorldContext};
+  };
+
+  std::size_t capacity_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+/// The per-job trace collector: one ring per world rank plus mutex-guarded
+/// cold metadata (track names, named counters).  Null when tracing is off.
+class Tracer {
+ public:
+  Tracer(int world_size, TraceOptions options);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  [[nodiscard]] const TraceOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Nanoseconds since this tracer's construction (steady clock).
+  [[nodiscard]] std::uint64_t now_ns() const noexcept;
+
+  /// Record an instant on `ring`'s timeline (out-of-range rings are
+  /// ignored).  `name` must point to static storage.
+  void instant(rank_t ring, TraceOp op, const char* name,
+               rank_t peer = any_source, context_t context = kWorldContext,
+               tag_t tag = any_tag, std::uint64_t bytes = 0) noexcept;
+
+  /// Record a span that started at `t_start_ns` (from now_ns()) and ends
+  /// now.  Spans are recorded whole at their end, so no begin/end pairing
+  /// is ever needed downstream.
+  void span_end(rank_t ring, TraceOp op, const char* name,
+                std::uint64_t t_start_ns, rank_t peer = any_source,
+                context_t context = kWorldContext, tag_t tag = any_tag,
+                std::uint64_t bytes = 0) noexcept;
+
+  /// Name a rank's timeline track ("component[instance]:local_rank" — MPH
+  /// sets this during the handshake).  Thread safe; last writer wins.
+  void set_track_name(rank_t world_rank, std::string name);
+
+  /// Attach a named per-rank counter to the drained report (e.g. output
+  /// lines per OutputChannel).  Cold path only.
+  void add_counter(rank_t world_rank, std::string name, std::uint64_t value);
+
+  [[nodiscard]] std::size_t ring_count() const noexcept {
+    return rings_.size();
+  }
+  [[nodiscard]] const TraceRing& ring(std::size_t i) const {
+    return *rings_[i];
+  }
+
+ private:
+  friend class Job;  // drains rings + metadata into a TraceReport
+
+  TraceOptions options_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<std::unique_ptr<TraceRing>> rings_;
+
+  mutable std::mutex meta_mutex_;
+  std::vector<std::string> track_names_;
+  std::vector<std::vector<std::pair<std::string, std::uint64_t>>> counters_;
+};
+
+/// RAII span helper: records a span on destruction when the tracer is
+/// non-null, nothing otherwise.  Safe to construct with tracer == nullptr.
+class TraceSpan {
+ public:
+  TraceSpan(Tracer* tracer, rank_t ring, TraceOp op, const char* name) noexcept
+      : tracer_(tracer),
+        ring_(ring),
+        op_(op),
+        name_(name),
+        t0_(tracer != nullptr ? tracer->now_ns() : 0) {}
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() {
+    if (tracer_ != nullptr) tracer_->span_end(ring_, op_, name_, t0_);
+  }
+
+ private:
+  Tracer* tracer_;
+  rank_t ring_;
+  TraceOp op_;
+  const char* name_;
+  std::uint64_t t0_;
+};
+
+// ---------------------------------------------------------------------------
+// Report
+// ---------------------------------------------------------------------------
+
+/// One rank's drained timeline.
+struct RankTrace {
+  rank_t world_rank = -1;
+  std::string track;               ///< timeline name (component:local_rank)
+  std::vector<TraceEvent> events;  ///< oldest first
+  std::uint64_t dropped = 0;       ///< events lost to ring overflow
+  std::uint64_t queue_high_water = 0;  ///< this mailbox's backlog peak
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+};
+
+/// Everything JobReport::trace carries: per-rank timelines plus the job
+/// counters the rollup needs, with the analyses computed on demand.
+struct TraceReport {
+  std::vector<RankTrace> ranks;
+
+  /// Messages delivered per communicator context, job-wide.
+  std::vector<std::pair<context_t, std::uint64_t>> messages_by_context;
+  /// Wildcard (MPI_ANY_SOURCE) receive operations issued job-wide.
+  std::uint64_t wildcard_recvs = 0;
+
+  /// Messages/bytes exchanged between component pairs (tracks stripped of
+  /// their ":local_rank" suffix), aggregated from send instants.
+  struct Traffic {
+    std::string src;
+    std::string dest;
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+  };
+  [[nodiscard]] std::vector<Traffic> component_traffic() const;
+
+  /// Blocked-time breakdown of one rank: time blocked in point-to-point
+  /// waits, time blocked inside collectives, and time inside the MPH
+  /// handshake phase (blocked spans within the handshake interval count as
+  /// handshake, not as the other two).
+  struct RankBlocked {
+    rank_t world_rank = -1;
+    std::string track;
+    std::uint64_t recv_wait_ns = 0;
+    std::uint64_t collective_wait_ns = 0;
+    std::uint64_t handshake_ns = 0;
+    [[nodiscard]] std::uint64_t total_ns() const noexcept {
+      return recv_wait_ns + collective_wait_ns + handshake_ns;
+    }
+  };
+  [[nodiscard]] std::vector<RankBlocked> blocked_breakdown() const;
+
+  /// The component of a track name ("ocean[2]:1" -> "ocean[2]").
+  [[nodiscard]] static std::string component_of(std::string_view track);
+
+  /// Chrome trace-event JSON: loads in Perfetto / chrome://tracing (one
+  /// named track per rank); the metrics rollup is embedded under the
+  /// top-level "mph" key, which trace viewers ignore and
+  /// `mph_inspect trace` reads back.
+  [[nodiscard]] std::string to_chrome_json() const;
+};
+
+}  // namespace minimpi

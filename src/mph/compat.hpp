@@ -71,8 +71,9 @@ bool MPH_get_argument(const std::string& key, std::string& value);
 bool MPH_get_argument(std::size_t field_num, std::string& field_val);
 
 /// Paper §5.4: `MPH_redirect_output(component_name)` — the component name
-/// is implicit in the current handle; `dir` locates the log files.
-void MPH_redirect_output(const std::string& dir = ".");
+/// is implicit in the current handle; `dir` locates the log files
+/// (created on demand, default "logs").
+void MPH_redirect_output(const std::string& dir = "logs");
 
 /// The redirected output stream of this rank.
 std::ostream& MPH_out();

@@ -62,18 +62,32 @@ HandshakeResult handshake(const Comm& world, const Registry& registry,
                           const LocalDeclaration& declaration,
                           const HandshakeOptions& options) {
   const u::Timer timer;
+  minimpi::Tracer* tracer = world.job().tracer();
+  const minimpi::TraceSpan phase(tracer, world.global_of(world.rank()),
+                                 minimpi::TraceOp::phase, "handshake");
   validate_declaration(declaration);
 
   // --- Steps 1-2 (§6): allgather signatures, derive executable runs. ------
   const std::string my_signature = declaration_signature(declaration);
-  const std::vector<std::string> signatures =
-      minimpi::allgather_strings(world, my_signature);
+  std::vector<std::string> signatures;
+  {
+    const minimpi::TraceSpan stage(tracer, world.global_of(world.rank()),
+                                   minimpi::TraceOp::phase,
+                                   "signature_allgather");
+    signatures = minimpi::allgather_strings(world, my_signature);
+  }
   const std::vector<ExecutableRun> runs = find_runs(signatures);
 
   // --- Step 3: match runs against the registry, build the directory. ------
   // Deterministic from identical inputs, so every rank throws (or not)
   // identically — errors never strand a subset of ranks in a collective.
+  const std::uint64_t t_layout =
+      tracer != nullptr ? tracer->now_ns() : 0;
   LayoutResolution resolution = resolve_layout(registry, runs);
+  if (tracer != nullptr) {
+    tracer->span_end(world.global_of(world.rank()), minimpi::TraceOp::phase,
+                     "layout_resolve", t_layout);
+  }
 
   HandshakeResult result;
   result.directory = std::move(resolution.directory);
@@ -116,6 +130,7 @@ HandshakeResult handshake(const Comm& world, const Registry& registry,
         result.directory.execs()[static_cast<std::size_t>(my_run)]
             .component_ids;
     int primary = -1;
+    rank_t local = rel;  // rank within the primary component
     if (my_block.kind == BlockKind::single) {
       primary = ids.front();
     } else {
@@ -123,6 +138,7 @@ HandshakeResult handshake(const Comm& world, const Registry& registry,
         const ComponentEntry& c = my_block.components[i];
         if (rel >= c.low && rel <= c.high) {
           primary = ids[i];
+          local = rel - c.low;
           break;
         }
       }
@@ -130,6 +146,12 @@ HandshakeResult handshake(const Comm& world, const Registry& registry,
     if (primary >= 0) {
       const ComponentRecord& record = result.directory.component(primary);
       world.job().set_rank_label(my_world, record.name);
+      if (tracer != nullptr) {
+        // Trace tracks read in the paper's naming scheme:
+        // component[instance]:local_rank.
+        tracer->set_track_name(my_world,
+                               record.name + ":" + std::to_string(local));
+      }
       if (options.isolate_instances &&
           my_block.kind == BlockKind::multi_instance) {
         world.job().join_domain(my_world, primary, record.name);
@@ -138,6 +160,8 @@ HandshakeResult handshake(const Comm& world, const Registry& registry,
   }
 
   // --- Step 4 (§6.1/§6.2): create communicators. ---------------------------
+  const minimpi::TraceSpan comm_setup(tracer, my_world,
+                                      minimpi::TraceOp::phase, "comm_setup");
   if (options.single_split_fast_path && registry.all_single_component()) {
     // §6.1: one split of world with color = component id.
     const int my_component =

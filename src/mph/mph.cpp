@@ -40,6 +40,9 @@ Registry RegistrySource::resolve(const minimpi::Comm& world) const {
   }
   // Paper §6: "the information in the registration file is read by the root
   // processor (global Processor ID = 0) and broadcast to all processors."
+  const minimpi::TraceSpan span(world.job().tracer(),
+                                world.global_of(world.rank()),
+                                minimpi::TraceOp::phase, "registry_resolve");
   std::string text;
   if (world.rank() == 0) {
     if (kind_ == Kind::path) {
@@ -145,6 +148,9 @@ minimpi::Comm Mph::comm_join(std::string_view first,
                      "') called from rank " + std::to_string(me) +
                      ", which belongs to neither component");
   }
+  const minimpi::TraceSpan span(world().job().tracer(),
+                                world().global_of(me),
+                                minimpi::TraceOp::phase, "comm_join");
   return world().create_ordered_world(std::span<const minimpi::rank_t>(members));
 }
 
@@ -221,6 +227,11 @@ std::vector<std::string> Mph::failed_components() const {
 Mph::FinalizeReport Mph::finalize() {
   if (redirected_) flush_output();
   const minimpi::rank_t my_world = world().global_of(world().rank());
+  if (minimpi::Tracer* tracer = world().job().tracer();
+      tracer != nullptr && redirected_) {
+    tracer->add_counter(my_world, "output_lines(" + channel_.path() + ")",
+                        channel_.lines());
+  }
   const minimpi::MailboxDrain drained =
       world().job().mailbox(my_world).drain();
   FinalizeReport report;

@@ -270,8 +270,9 @@ class Mph {
 
   /// MPH_redirect_output: route this rank's component output.  Local proc 0
   /// of each component writes to `<dir>/<comp_name>.log`; every other rank
-  /// appends to `<dir>/mph_combined.log`.
-  void redirect_output(const std::string& dir = ".");
+  /// appends to `<dir>/mph_combined.log`.  The directory (created on
+  /// demand) defaults to "logs" so log files stay out of the working tree.
+  void redirect_output(const std::string& dir = "logs");
 
   /// The redirected stream (throws unless redirect_output was called).
   [[nodiscard]] std::ostream& out();

@@ -1,7 +1,9 @@
 #include "src/mph/redirect.hpp"
 
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <system_error>
 
 #include "src/mph/errors.hpp"
 
@@ -40,8 +42,12 @@ class LineBuf : public std::streambuf {
     if (!pending_.empty()) {
       sink_->commit(prefix_ + pending_ + "\n");
       pending_.clear();
+      ++lines_;
     }
   }
+
+  /// Lines committed through this channel so far.
+  [[nodiscard]] std::uint64_t lines() const noexcept { return lines_; }
 
  protected:
   int overflow(int ch) override {
@@ -49,6 +55,7 @@ class LineBuf : public std::streambuf {
     if (ch == '\n') {
       sink_->commit(prefix_ + pending_ + "\n");
       pending_.clear();
+      ++lines_;
     } else {
       pending_.push_back(static_cast<char>(ch));
     }
@@ -64,6 +71,7 @@ class LineBuf : public std::streambuf {
   std::shared_ptr<Sink> sink_;
   std::string prefix_;
   std::string pending_;
+  std::uint64_t lines_ = 0;
 };
 
 }  // namespace detail
@@ -92,6 +100,10 @@ void OutputChannel::flush() {
   if (buf_ != nullptr) buf_->flush_partial();
 }
 
+std::uint64_t OutputChannel::lines() const noexcept {
+  return buf_ != nullptr ? buf_->lines() : 0;
+}
+
 OutputRouter& OutputRouter::instance() {
   static OutputRouter router;
   return router;
@@ -100,6 +112,10 @@ OutputRouter& OutputRouter::instance() {
 OutputChannel OutputRouter::open(const std::string& dir,
                                  const std::string& component, int local_rank,
                                  bool component_root, bool prefix_lines) {
+  // Create the output directory (default "logs") on demand so callers do
+  // not have to; failures surface as the Sink's cannot-open error below.
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
   const std::string path =
       dir + "/" + (component_root ? component + ".log"
                                   : std::string(kCombinedLogName));

@@ -13,6 +13,7 @@
 // several ranks — even across components — may share one sink file safely.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -50,6 +51,10 @@ class OutputChannel {
 
   /// Flush any buffered partial line.
   void flush();
+
+  /// Complete lines committed through this channel so far (mph_trace feeds
+  /// this into the per-rank `output_lines(<path>)` counter).
+  [[nodiscard]] std::uint64_t lines() const noexcept;
 
  private:
   friend class OutputRouter;

@@ -1,0 +1,263 @@
+// mph_trace through every execution mode the paper names (SCSE, SCME,
+// MCSE, MCME, MIME): tracks are tagged component[instance]:local_rank,
+// handshake phase spans nest their stages, p2p events land on the right
+// rank's ring, overflow is accounted, and tracing off leaves JobReport
+// untouched.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/minimpi/trace.hpp"
+#include "tests/mph/mph_test_util.hpp"
+
+using namespace mph;
+using namespace mph::testing;
+using minimpi::Comm;
+using minimpi::TraceEvent;
+using minimpi::TraceOp;
+using minimpi::TraceReport;
+
+namespace {
+
+minimpi::JobOptions traced_options(std::size_t capacity = 8192) {
+  minimpi::JobOptions options = test_job_options();
+  options.trace.enabled = true;
+  options.trace.ring_capacity = capacity;
+  return options;
+}
+
+const minimpi::RankTrace& rank_trace(const TraceReport& trace,
+                                     minimpi::rank_t world_rank) {
+  for (const minimpi::RankTrace& r : trace.ranks) {
+    if (r.world_rank == world_rank) return r;
+  }
+  ADD_FAILURE() << "no trace for world rank " << world_rank;
+  static const minimpi::RankTrace empty;
+  return empty;
+}
+
+std::vector<TraceEvent> events_named(const minimpi::RankTrace& rank,
+                                     const std::string& name) {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : rank.events) {
+    if (name == e.name) out.push_back(e);
+  }
+  return out;
+}
+
+/// Every rank must carry exactly one "handshake" phase span.
+void expect_handshake_span(const TraceReport& trace) {
+  for (const minimpi::RankTrace& r : trace.ranks) {
+    const std::vector<TraceEvent> spans = events_named(r, "handshake");
+    ASSERT_EQ(spans.size(), 1u) << "rank " << r.world_rank;
+    EXPECT_EQ(spans[0].op, TraceOp::phase);
+    EXPECT_TRUE(spans[0].span);
+    EXPECT_LE(spans[0].t_start_ns, spans[0].t_end_ns);
+  }
+}
+
+std::vector<std::string> track_names(const TraceReport& trace) {
+  std::vector<std::string> out;
+  out.reserve(trace.ranks.size());
+  for (const minimpi::RankTrace& r : trace.ranks) out.push_back(r.track);
+  return out;
+}
+
+}  // namespace
+
+TEST(TraceModes, TraceOffLeavesReportEmpty) {
+  const minimpi::JobReport report = run_mph_job(
+      "BEGIN\nocean\nEND\n",
+      {TestExec{{"ocean"}, "", 2, [](Mph&, const Comm&) {}}});
+  ASSERT_TRUE(report.ok) << report.abort_reason;
+  EXPECT_FALSE(report.trace.has_value());
+}
+
+TEST(TraceModes, ScseTracksAndP2pEvents) {
+  const minimpi::JobReport report = run_mph_job(
+      "BEGIN\nocean\nEND\n",
+      {TestExec{{"ocean"}, "", 2,
+                [](Mph& h, const Comm&) {
+                  const Comm& comm = h.comp_comm();
+                  if (comm.rank() == 0) {
+                    comm.send(42, 1, 7);
+                  } else {
+                    int v = 0;
+                    comm.recv(v, 0, 7);
+                  }
+                }}},
+      {}, traced_options());
+  ASSERT_TRUE(report.ok) << report.abort_reason;
+  ASSERT_TRUE(report.trace.has_value());
+  const TraceReport& trace = *report.trace;
+
+  ASSERT_EQ(trace.ranks.size(), 2u);
+  EXPECT_EQ(trace.ranks[0].track, "ocean:0");
+  EXPECT_EQ(trace.ranks[1].track, "ocean:1");
+  expect_handshake_span(trace);
+
+  // The send is an instant on rank 0's ring; the matched receive is a span
+  // on rank 1's ring.  Handshake collectives produce p2p events too, so
+  // select ours by tag; bytes are wire bytes (payload plus type framing).
+  const std::vector<TraceEvent> sends =
+      events_named(rank_trace(trace, 0), "send");
+  const auto sent = std::find_if(
+      sends.begin(), sends.end(), [](const TraceEvent& e) {
+        return e.tag == 7 && e.op == TraceOp::send;
+      });
+  ASSERT_NE(sent, sends.end());
+  EXPECT_EQ(sent->op, TraceOp::send);
+  EXPECT_EQ(sent->peer, 1);
+  EXPECT_GE(sent->bytes, sizeof(int));
+
+  const std::vector<TraceEvent> recvs =
+      events_named(rank_trace(trace, 1), "recv");
+  // A blocked interval is *also* named "recv" (bytes 0); select the
+  // completed receive by its op.
+  const auto received = std::find_if(
+      recvs.begin(), recvs.end(), [](const TraceEvent& e) {
+        return e.tag == 7 && e.op == TraceOp::recv && e.span;
+      });
+  ASSERT_NE(received, recvs.end());
+  EXPECT_EQ(received->peer, 0);
+  EXPECT_GE(received->bytes, sizeof(int));
+}
+
+TEST(TraceModes, ScmeEveryExecutableTagged) {
+  const minimpi::JobReport report = run_mph_job(
+      "BEGIN\nc0\nc1\nc2\nEND\n",
+      {TestExec{{"c0"}, "", 1, [](Mph&, const Comm&) {}},
+       TestExec{{"c1"}, "", 2, [](Mph&, const Comm&) {}},
+       TestExec{{"c2"}, "", 1, [](Mph&, const Comm&) {}}},
+      {}, traced_options());
+  ASSERT_TRUE(report.ok) << report.abort_reason;
+  ASSERT_TRUE(report.trace.has_value());
+  const std::vector<std::string> tracks = track_names(*report.trace);
+  const std::vector<std::string> expected{"c0:0", "c1:0", "c1:1", "c2:0"};
+  EXPECT_EQ(tracks, expected);
+  expect_handshake_span(*report.trace);
+}
+
+TEST(TraceModes, McseComponentsOfOneExecutable) {
+  const std::string registry = R"(BEGIN
+Multi_Component_Begin
+atmosphere 0 1
+land 2 2
+Multi_Component_End
+END
+)";
+  const minimpi::JobReport report = run_mph_job(
+      registry,
+      {TestExec{{"atmosphere", "land"}, "", 3, [](Mph&, const Comm&) {}}}, {},
+      traced_options());
+  ASSERT_TRUE(report.ok) << report.abort_reason;
+  ASSERT_TRUE(report.trace.has_value());
+  const std::vector<std::string> tracks = track_names(*report.trace);
+  const std::vector<std::string> expected{"atmosphere:0", "atmosphere:1",
+                                          "land:0"};
+  EXPECT_EQ(tracks, expected);
+  expect_handshake_span(*report.trace);
+}
+
+TEST(TraceModes, McmeTracksAcrossExecutables) {
+  const std::string registry = R"(BEGIN
+Multi_Component_Begin
+atmosphere 0 1
+land 2 2
+Multi_Component_End
+Multi_Component_Begin
+ocean 0 1
+ice 2 2
+Multi_Component_End
+coupler
+END
+)";
+  const minimpi::JobReport report = run_mph_job(
+      registry,
+      {TestExec{{"atmosphere", "land"}, "", 3, [](Mph&, const Comm&) {}},
+       TestExec{{"ocean", "ice"}, "", 3, [](Mph&, const Comm&) {}},
+       TestExec{{"coupler"}, "", 1, [](Mph&, const Comm&) {}}},
+      {}, traced_options());
+  ASSERT_TRUE(report.ok) << report.abort_reason;
+  ASSERT_TRUE(report.trace.has_value());
+  const std::vector<std::string> tracks = track_names(*report.trace);
+  const std::vector<std::string> expected{"atmosphere:0", "atmosphere:1",
+                                          "land:0",       "ocean:0",
+                                          "ocean:1",      "ice:0",
+                                          "coupler:0"};
+  EXPECT_EQ(tracks, expected);
+  expect_handshake_span(*report.trace);
+}
+
+TEST(TraceModes, MimeInstancesTaggedWithExpandedNames) {
+  const std::string registry = R"(BEGIN
+Multi_Instance_Begin
+Ocean1 0 1
+Ocean2 2 3
+Multi_Instance_End
+END
+)";
+  const minimpi::JobReport report = run_mph_job(
+      registry, {TestExec{{}, "Ocean", 4, [](Mph&, const Comm&) {}}}, {},
+      traced_options());
+  ASSERT_TRUE(report.ok) << report.abort_reason;
+  ASSERT_TRUE(report.trace.has_value());
+  const std::vector<std::string> tracks = track_names(*report.trace);
+  const std::vector<std::string> expected{"Ocean1:0", "Ocean1:1", "Ocean2:0",
+                                          "Ocean2:1"};
+  EXPECT_EQ(tracks, expected);
+  expect_handshake_span(*report.trace);
+}
+
+TEST(TraceModes, HandshakeStagesNestInsidePhaseSpan) {
+  const minimpi::JobReport report = run_mph_job(
+      "BEGIN\nocean\nEND\n",
+      {TestExec{{"ocean"}, "", 2, [](Mph&, const Comm&) {}}}, {},
+      traced_options());
+  ASSERT_TRUE(report.ok) << report.abort_reason;
+  ASSERT_TRUE(report.trace.has_value());
+
+  for (const minimpi::RankTrace& r : report.trace->ranks) {
+    const std::vector<TraceEvent> outer = events_named(r, "handshake");
+    ASSERT_EQ(outer.size(), 1u);
+    for (const char* stage :
+         {"signature_allgather", "layout_resolve", "comm_setup"}) {
+      const std::vector<TraceEvent> inner = events_named(r, stage);
+      ASSERT_EQ(inner.size(), 1u) << "rank " << r.world_rank << " " << stage;
+      EXPECT_TRUE(inner[0].span);
+      EXPECT_GE(inner[0].t_start_ns, outer[0].t_start_ns) << stage;
+      EXPECT_LE(inner[0].t_end_ns, outer[0].t_end_ns) << stage;
+    }
+  }
+}
+
+TEST(TraceModes, RingOverflowIsAccounted) {
+  constexpr std::size_t kCapacity = 16;
+  constexpr int kMessages = 200;
+  const minimpi::JobReport report = run_mph_job(
+      "BEGIN\nocean\nEND\n",
+      {TestExec{{"ocean"}, "", 2,
+                [](Mph& h, const Comm&) {
+                  const Comm& comm = h.comp_comm();
+                  for (int i = 0; i < kMessages; ++i) {
+                    if (comm.rank() == 0) {
+                      comm.send(i, 1, 0);
+                    } else {
+                      int v = 0;
+                      comm.recv(v, 0, 0);
+                    }
+                  }
+                }}},
+      {}, traced_options(kCapacity));
+  ASSERT_TRUE(report.ok) << report.abort_reason;
+  ASSERT_TRUE(report.trace.has_value());
+
+  for (const minimpi::RankTrace& r : report.trace->ranks) {
+    // Each side records well over kCapacity events; the ring keeps the
+    // newest kCapacity and reports the difference as dropped.
+    EXPECT_EQ(r.events.size(), kCapacity) << "rank " << r.world_rank;
+    EXPECT_GT(r.dropped, 0u) << "rank " << r.world_rank;
+  }
+}

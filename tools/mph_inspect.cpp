@@ -20,9 +20,18 @@
 //       Multi_Instance siblings, warning for Multi_Component overlap),
 //       duplicate component names, and processors no component can reach.
 //
+//   mph_inspect trace <trace.json>
+//       Summarize an mph_trace export (TraceReport::to_chrome_json): the
+//       component-pair traffic matrix, per-context message counts,
+//       wildcard-receive count, and the ranks with the most blocked time.
+//
 // Exit status: 0 on success, 1 on validation/plan/check failure, 2 on usage.
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -30,6 +39,7 @@
 #include "src/mph/errors.hpp"
 #include "src/mph/layout.hpp"
 #include "src/mph/registry.hpp"
+#include "src/util/json.hpp"
 #include "src/util/strings.hpp"
 
 namespace {
@@ -41,7 +51,8 @@ int usage() {
                "I:<prefix>:<nprocs>>...\n"
                "       mph_inspect generate-ensemble <prefix> <instances> "
                "<ranks_each>\n"
-               "       mph_inspect check <file>\n");
+               "       mph_inspect check <file>\n"
+               "       mph_inspect trace <trace.json>\n");
   return 2;
 }
 
@@ -195,6 +206,100 @@ int cmd_check(const std::string& path) {
   return summary();
 }
 
+std::string format_ms(double ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", ns / 1e6);
+  return buf;
+}
+
+int cmd_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw mph::MphError("cannot open trace file '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const mph::util::JsonValue doc = mph::util::JsonValue::parse(buffer.str());
+
+  const mph::util::JsonValue* mph_obj = doc.find("mph");
+  if (mph_obj == nullptr) {
+    throw mph::MphError(
+        "'" + path +
+        "' has no \"mph\" metrics object — was it produced by "
+        "TraceReport::to_chrome_json()?");
+  }
+
+  std::printf("%s:\n", path.c_str());
+
+  // Component-pair traffic matrix.
+  const mph::util::JsonValue& traffic = mph_obj->at("componentTraffic");
+  std::printf("\ncomponent traffic (%zu pair%s):\n", traffic.items().size(),
+              traffic.items().size() == 1 ? "" : "s");
+  if (traffic.items().empty()) {
+    std::printf("  (no point-to-point messages recorded)\n");
+  }
+  for (const mph::util::JsonValue& pair : traffic.items()) {
+    std::printf("  %-16s -> %-16s %10lld msgs %12lld bytes\n",
+                pair.at("src").as_string().c_str(),
+                pair.at("dest").as_string().c_str(),
+                pair.at("messages").as_int(), pair.at("bytes").as_int());
+  }
+
+  // Per-context (communicator) delivery counts.
+  const mph::util::JsonValue& contexts = mph_obj->at("contexts");
+  std::printf("\nmessages by communicator context:\n");
+  if (contexts.items().empty()) std::printf("  (none)\n");
+  for (const mph::util::JsonValue& ctx : contexts.items()) {
+    std::printf("  context %-6lld %10lld msgs\n", ctx.at("context").as_int(),
+                ctx.at("messages").as_int());
+  }
+  std::printf("\nwildcard (any_source) receives: %lld\n",
+              mph_obj->at("wildcardRecvs").as_int());
+
+  // Ranks with the most blocked time, worst first.
+  struct RankRow {
+    long long rank;
+    std::string track;
+    double recv_ns, coll_ns, handshake_ns;
+    long long dropped, queue_high_water;
+    double total() const { return recv_ns + coll_ns + handshake_ns; }
+  };
+  std::vector<RankRow> rows;
+  long long total_dropped = 0;
+  for (const mph::util::JsonValue& r : mph_obj->at("ranks").items()) {
+    const mph::util::JsonValue& blocked = r.at("blocked");
+    rows.push_back(RankRow{r.at("rank").as_int(), r.at("track").as_string(),
+                           blocked.at("recvWaitNs").as_number(),
+                           blocked.at("collectiveWaitNs").as_number(),
+                           blocked.at("handshakeNs").as_number(),
+                           r.at("dropped").as_int(),
+                           r.at("queueHighWater").as_int()});
+    total_dropped += rows.back().dropped;
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const RankRow& a, const RankRow& b) {
+                     return a.total() > b.total();
+                   });
+  constexpr std::size_t kTopRanks = 10;
+  std::printf("\ntop blocked ranks (of %zu; ms blocked):\n", rows.size());
+  std::printf("  %-20s %10s %10s %10s %10s  %s\n", "track", "recv-wait",
+              "coll-wait", "handshake", "total", "queue-hw");
+  for (std::size_t i = 0; i < rows.size() && i < kTopRanks; ++i) {
+    const RankRow& row = rows[i];
+    std::printf("  %-20s %10s %10s %10s %10s  %lld\n", row.track.c_str(),
+                format_ms(row.recv_ns).c_str(), format_ms(row.coll_ns).c_str(),
+                format_ms(row.handshake_ns).c_str(),
+                format_ms(row.total()).c_str(), row.queue_high_water);
+  }
+  if (total_dropped > 0) {
+    std::printf(
+        "\nwarning: %lld event(s) dropped from full rings — raise "
+        "MINIMPI_TRACE=capacity=N for complete timelines\n",
+        total_dropped);
+  }
+  return 0;
+}
+
 int cmd_generate(const std::string& prefix, const std::string& count,
                  const std::string& ranks) {
   const auto instances = mph::util::parse_int(count);
@@ -225,6 +330,9 @@ int main(int argc, char** argv) {
     }
     if (args.size() == 2 && (args[0] == "check" || args[0] == "--check")) {
       return cmd_check(args[1]);
+    }
+    if (args.size() == 2 && args[0] == "trace") {
+      return cmd_trace(args[1]);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mph_inspect: %s\n", e.what());
