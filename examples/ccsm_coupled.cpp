@@ -13,6 +13,11 @@
 // Trace: logs/ccsm_trace.json — an mph_trace timeline with one named track
 //        per component rank (load it in Perfetto / chrome://tracing, or
 //        summarize with `mph_inspect trace logs/ccsm_trace.json`).
+// Live:  the mph_mon monitor is on — while the job runs, watch it with
+//        `mph_inspect top logs/mph_monitor.sock`; afterwards the snapshot
+//        history survives in logs/mph_metrics.jsonl
+//        (`mph_inspect top logs/mph_metrics.jsonl --once`).
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -88,6 +93,8 @@ int main(int argc, char** argv) {
   }
   minimpi::JobOptions options;
   options.trace.enabled = true;  // MINIMPI_TRACE can still raise capacity
+  options.monitor.enabled = true;  // live view: mph_inspect top logs/...
+  options.monitor.interval = std::chrono::milliseconds(100);
   const minimpi::JobReport report = minimpi::run_mpmd(
       {
       {"atm-land", 4,
@@ -119,6 +126,11 @@ int main(int argc, char** argv) {
       std::printf("trace written to %s (Perfetto/chrome://tracing)\n",
                   trace_path.c_str());
     }
+  }
+  if (report.metrics.has_value()) {
+    std::printf(
+        "metrics history in logs/mph_metrics.jsonl "
+        "(view: mph_inspect top logs/mph_metrics.jsonl --once)\n");
   }
   std::printf("ccsm_coupled: OK (%d coupling intervals)\n", intervals);
   return 0;

@@ -10,10 +10,17 @@ Usage:
     check_bench_regression.py check    <baseline.json> <result.json>... \
         [--max-ratio 2.0]
     check_bench_regression.py baseline <out.json> <result.json>...
+    check_bench_regression.py overhead <result.json>... \
+        [--off monitor:0] [--on monitor:1] [--max-ratio 2.0]
 
 `baseline` merges one or more result files into a compact baseline mapping
 benchmark name -> {real_time, time_unit} (taking the median entry of any
 repetitions).  `check` compares the same statistic and prints a table.
+`overhead` pairs benchmarks within one result set whose names differ only
+by an off/on token (bench_metrics tags them `monitor:0` / `monitor:1` via
+ArgNames) and fails when the instrumented variant exceeds the plain one by
+more than the allowed factor — a relative gate that shared-runner noise
+cannot trip the way an absolute baseline can.
 
 Only the Python standard library is used.
 """
@@ -120,6 +127,46 @@ def cmd_check(args):
     return 0
 
 
+def cmd_overhead(args):
+    times = load_times(args.results)
+    pairs = []
+    for name in sorted(times):
+        if args.off not in name:
+            continue
+        on_name = name.replace(args.off, args.on)
+        if on_name in times:
+            pairs.append((name, on_name))
+    if not pairs:
+        print(f"check_bench_regression: no '{args.off}'/'{args.on}' pairs "
+              "in results", file=sys.stderr)
+        return 1
+
+    failures = []
+    width = max(len(on) for _, on in pairs)
+    print(f"{'benchmark (instrumented)':<{width}} {'off':>12} {'on':>12} "
+          f"{'ratio':>7}")
+    for off_name, on_name in pairs:
+        off_ns = times[off_name]
+        on_ns = times[on_name]
+        ratio = on_ns / off_ns if off_ns > 0 else float("inf")
+        flag = "  FAIL" if ratio > args.max_ratio else ""
+        print(f"{on_name:<{width}} {off_ns:>12.0f} {on_ns:>12.0f} "
+              f"{ratio:>6.2f}x{flag}")
+        if ratio > args.max_ratio:
+            failures.append((on_name, ratio))
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} instrumented benchmark(s) exceed "
+              f"{args.max_ratio:.1f}x their uninstrumented pair:",
+              file=sys.stderr)
+        for name, ratio in failures:
+            print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+        return 1
+    print(f"\nOK: instrumentation overhead within {args.max_ratio:.1f}x "
+          f"on {len(pairs)} pair(s)")
+    return 0
+
+
 def main(argv):
     parser = argparse.ArgumentParser(description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -136,6 +183,19 @@ def main(argv):
     p_base.add_argument("out")
     p_base.add_argument("results", nargs="+")
     p_base.set_defaults(func=cmd_baseline)
+
+    p_over = sub.add_parser(
+        "overhead", help="compare instrumented/uninstrumented pairs")
+    p_over.add_argument("results", nargs="+")
+    p_over.add_argument("--off", default="monitor:0",
+                        help="name token of the uninstrumented variant "
+                        "(default: monitor:0)")
+    p_over.add_argument("--on", default="monitor:1",
+                        help="name token of the instrumented variant "
+                        "(default: monitor:1)")
+    p_over.add_argument("--max-ratio", type=float, default=2.0,
+                        help="fail when on/off exceeds this (default: 2.0)")
+    p_over.set_defaults(func=cmd_overhead)
 
     args = parser.parse_args(argv)
     return args.func(args)

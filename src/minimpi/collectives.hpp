@@ -53,6 +53,9 @@ struct CollectiveScope {
       : op(name),
         span(comm.job().tracer(), comm.global_of(comm.rank()),
              TraceOp::collective, name) {
+    if (MetricsRegistry* m = comm.job().metrics()) {
+      m->on_collective(comm.global_of(comm.rank()));
+    }
     comm.check_collective(name, root, count, elem_size);
   }
 };

@@ -116,6 +116,7 @@ void FaultInjector::on_point(KillPoint point, rank_t world_rank,
     if (tracer_ != nullptr) {
       tracer_->instant(world_rank, TraceOp::fault, kill_point_name(point));
     }
+    if (metrics_ != nullptr) metrics_->on_fault(world_rank);
     throw FaultInjectedError(point, world_rank);
   }
 }
@@ -144,6 +145,7 @@ FaultInjector::Filter FaultInjector::filter(Envelope& env, rank_t dest_world) {
             tracer_->instant(env.src, TraceOp::fault, "drop", dest_world,
                              env.context, env.tag, env.payload.size());
           }
+          if (metrics_ != nullptr) metrics_->on_fault(env.src);
           break;
         case FaultRule::Action::delay: {
           std::chrono::milliseconds total = rule.delay;
@@ -161,6 +163,7 @@ FaultInjector::Filter FaultInjector::filter(Envelope& env, rank_t dest_world) {
                              env.context, env.tag,
                              static_cast<std::uint64_t>(total.count()));
           }
+          if (metrics_ != nullptr) metrics_->on_fault(env.src);
           break;
         }
         case FaultRule::Action::truncate:
@@ -175,6 +178,7 @@ FaultInjector::Filter FaultInjector::filter(Envelope& env, rank_t dest_world) {
             tracer_->instant(env.src, TraceOp::fault, "truncate", dest_world,
                              env.context, env.tag, rule.truncate_to);
           }
+          if (metrics_ != nullptr) metrics_->on_fault(env.src);
           break;
         case FaultRule::Action::kill:
           break;

@@ -186,6 +186,11 @@ class FaultInjector {
   /// once at Job construction, before any rank thread starts.
   void set_tracer(Tracer* tracer) noexcept { tracer_ = tracer; }
 
+  /// Attach the job's metrics registry (null = monitoring off): fired rules
+  /// bump the victim/sender rank's fault counter so the live monitor shows
+  /// injected faults as they land.  Called once at Job construction.
+  void set_metrics(MetricsRegistry* metrics) noexcept { metrics_ = metrics; }
+
   /// Virtual-time mode: delay rules fire (and are recorded in events())
   /// but never actually sleep.  The verify scheduler enables this — under
   /// systematic exploration, timing is decided by the explorer, not by
@@ -213,6 +218,7 @@ class FaultInjector {
   mutable std::mutex mutex_;
   FaultPlan plan_;
   Tracer* tracer_ = nullptr;  ///< job's event tracer (null = tracing off)
+  MetricsRegistry* metrics_ = nullptr;  ///< job's registry (null = off)
   mph::util::Rng rng_;                 ///< jitter stream (guarded by mutex_)
   std::atomic<bool> virtual_time_{false};
   std::vector<std::uint64_t> visits_;  ///< per-rule matching-visit counts

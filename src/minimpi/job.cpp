@@ -43,6 +43,11 @@ Job::Job(int world_size, JobOptions options)
     tracer_ = std::make_unique<Tracer>(world_size, options_.trace);
     if (faults_ != nullptr) faults_->set_tracer(tracer_.get());
   }
+  options_.monitor = options_.monitor.merged_with_env();
+  if (options_.monitor.enabled) {
+    metrics_ = std::make_unique<MetricsRegistry>(world_size);
+    if (faults_ != nullptr) faults_->set_metrics(metrics_.get());
+  }
   if (verify_) {
     rank_next_context_ = std::make_unique<std::atomic<context_t>[]>(
         static_cast<std::size_t>(world_size));
@@ -54,7 +59,7 @@ Job::Job(int world_size, JobOptions options)
   for (int i = 0; i < world_size; ++i) {
     mailboxes_.push_back(std::make_unique<Mailbox>(
         abort_flag_, abort_reason_, i, faults_.get(), checker_.get(), sched,
-        tracer_.get()));
+        tracer_.get(), metrics_.get()));
   }
   rank_labels_.assign(static_cast<std::size_t>(world_size), std::string{});
   rank_failed_ =
@@ -63,14 +68,27 @@ Job::Job(int world_size, JobOptions options)
   rank_domain_.assign(static_cast<std::size_t>(world_size), -1);
   if (checker_ != nullptr) checker_->bind(this);
   if (sched != nullptr) sched->bind(this);
+  // Started last: the monitor thread snapshots through metrics_snapshot(),
+  // which reads the mailboxes and liveness state constructed above.  With
+  // a zero interval the registry collects but nothing is published.
+  if (metrics_ != nullptr && options_.monitor.interval.count() > 0) {
+    monitor_ = std::make_unique<Monitor>(
+        options_.monitor, [this] { return metrics_snapshot(); });
+  }
 }
 
 Job::~Job() {
-  // Park the scheduler's monitor before the mailboxes it queries go away,
-  // then the checker's watcher before any member *it* reaches (mailboxes,
-  // labels, abort state).
+  // Park the monitor first (its snapshots read the mailboxes), then the
+  // scheduler's monitor before the mailboxes it queries go away, then the
+  // checker's watcher before any member *it* reaches (mailboxes, labels,
+  // abort state).
+  stop_monitor();
   if (options_.scheduler != nullptr) options_.scheduler->stop();
   if (checker_ != nullptr) checker_->stop();
+}
+
+void Job::stop_monitor() {
+  if (monitor_ != nullptr) monitor_->stop();
 }
 
 context_t Job::allocate_context(rank_t allocator) noexcept {
@@ -249,11 +267,29 @@ CommStats Job::stats() const {
   return s;
 }
 
+MetricsSnapshot Job::metrics_snapshot() const {
+  MetricsSnapshot snap;
+  if (metrics_ == nullptr) return snap;
+  snap.seq = metrics_->next_seq();
+  snap.t_ns = metrics_->now_ns();
+  snap.comm = stats();
+  snap.ranks.reserve(static_cast<std::size_t>(world_size_));
+  for (rank_t r = 0; r < world_size_; ++r) {
+    RankMetrics rank = metrics_->read_rank(r);
+    rank.alive = !rank_failed(r);
+    if (rank.component.empty()) {
+      // Pre-handshake (or non-MPH job): the executable label stands in,
+      // the same fallback the trace tracks use.
+      rank.component = rank_label(r);
+    }
+    snap.ranks.push_back(std::move(rank));
+  }
+  return snap;
+}
+
 TraceReport Job::trace_report() const {
   TraceReport report;
-  const CommStats s = stats();
-  report.messages_by_context = s.messages_by_context;
-  report.wildcard_recvs = s.wildcard_recvs;
+  report.comm = stats();
   if (tracer_ == nullptr) return report;
   report.ranks.reserve(static_cast<std::size_t>(world_size_));
   for (rank_t r = 0; r < world_size_; ++r) {

@@ -27,6 +27,7 @@
 #include "src/minimpi/check.hpp"
 #include "src/minimpi/fault.hpp"
 #include "src/minimpi/mailbox.hpp"
+#include "src/minimpi/metrics.hpp"
 #include "src/minimpi/trace.hpp"
 #include "src/minimpi/types.hpp"
 
@@ -50,6 +51,11 @@ struct JobOptions {
   /// Job::tracer() is null and every trace point costs one null check.
   TraceOptions trace;
 
+  /// mph_mon live telemetry (off by default).  Unioned with the
+  /// MINIMPI_MONITOR environment variable at job construction; when off,
+  /// Job::metrics() is null and every metric point costs one null check.
+  MonitorOptions monitor;
+
   /// Seed of the job's deterministic random stream (fault-injection delay
   /// jitter and any library randomness).  0 = draw a fresh seed from the
   /// OS — which throws while schedule verification has armed the entropy
@@ -63,24 +69,8 @@ struct JobOptions {
   std::shared_ptr<Scheduler> scheduler;
 };
 
-/// Aggregate communication counters of one job (monotone; snapshot with
-/// Job::stats()).  Useful for asserting communication complexity in tests
-/// and reporting message volume from benchmarks.
-struct CommStats {
-  std::uint64_t messages = 0;            ///< envelopes delivered
-  std::uint64_t payload_bytes = 0;       ///< payload volume delivered
-  std::uint64_t contexts_allocated = 0;  ///< communicators created job-wide
-  /// Largest unmatched-envelope backlog any single mailbox ever reached —
-  /// backpressure visibility for the unbounded queues.
-  std::uint64_t queue_high_water = 0;
-  /// Messages delivered per communicator context id, ascending by context —
-  /// how traffic splits across COMM_WORLD and derived communicators.
-  std::vector<std::pair<context_t, std::uint64_t>> messages_by_context;
-  /// Wildcard (ANY_SOURCE) receive operations issued: blocking receives,
-  /// probes, and posted receives with an unspecified source (nonblocking
-  /// probes count on a hit, so spin loops do not inflate the number).
-  std::uint64_t wildcard_recvs = 0;
-};
+// CommStats lives in metrics.hpp: the one job-wide counter struct shared
+// by Job::stats(), JobReport, TraceReport, and MetricsSnapshot.
 
 /// Structured description of why a rank (and hence its job or failure
 /// domain) aborted.
@@ -123,6 +113,12 @@ class Job {
   /// The job's event tracer, or null when tracing is off — every
   /// instrumentation point branches on this pointer and nothing else.
   [[nodiscard]] Tracer* tracer() const noexcept { return tracer_.get(); }
+
+  /// The job's metrics registry, or null when monitoring is off — the same
+  /// single-null-check discipline as tracer().
+  [[nodiscard]] MetricsRegistry* metrics() const noexcept {
+    return metrics_.get();
+  }
 
   /// The job's scheduler, or null (pass-through).
   [[nodiscard]] Scheduler* scheduler() const noexcept {
@@ -231,6 +227,18 @@ class Job {
   /// joined; safe — but approximate — while ranks are still recording.
   [[nodiscard]] TraceReport trace_report() const;
 
+  /// Aggregate the metrics registry into one snapshot (empty ranks when
+  /// monitoring is off): registry slots plus the liveness flags and
+  /// component labels only the Job knows.  The monitor thread calls this
+  /// every interval; run_mpmd calls it once more, after every rank thread
+  /// joined, for the exact JobReport::metrics.
+  [[nodiscard]] MetricsSnapshot metrics_snapshot() const;
+
+  /// Park the monitor thread (idempotent).  Called by run_mpmd before the
+  /// final snapshot so the published files end on a quiescent state, and
+  /// by ~Job before the mailboxes the snapshots read are torn down.
+  void stop_monitor();
+
   /// Discard every mailbox's leftover envelopes and posted receives,
   /// summing what leaked — called after all rank threads joined.
   [[nodiscard]] JobDrain drain_all();
@@ -257,6 +265,9 @@ class Job {
   std::unique_ptr<Checker> checker_;
   // Likewise: every Mailbox (and the fault injector) holds a raw Tracer*.
   std::unique_ptr<Tracer> tracer_;
+  // Likewise: every Mailbox (and the fault injector) holds a raw
+  // MetricsRegistry*.
+  std::unique_ptr<MetricsRegistry> metrics_;
   std::atomic<context_t> next_context_{kWorldContext + 1};
   /// Verify mode: per-rank context counters (disjoint id spaces).
   std::unique_ptr<std::atomic<context_t>[]> rank_next_context_;
@@ -285,6 +296,11 @@ class Job {
   mutable std::mutex domains_mutex_;
   std::map<int, std::unique_ptr<FailureDomain>> domains_;
   std::vector<int> rank_domain_;  ///< guarded by domains_mutex_
+
+  // Declared LAST: the monitor thread calls metrics_snapshot(), which
+  // reads the mailboxes and liveness flags above, so it must be destroyed
+  // (joined) before any of them.
+  std::unique_ptr<Monitor> monitor_;
 };
 
 }  // namespace minimpi

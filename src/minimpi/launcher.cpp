@@ -148,6 +148,13 @@ JobReport run_mpmd(const std::vector<ExecSpec>& specs, JobOptions options) {
   // (drain_all below clears queues, not counters, but keep the order
   // obvious): every rank thread has joined, so the rings are quiescent.
   if (job->tracer() != nullptr) report.trace = job->trace_report();
+  // Stop the monitor thread before taking the report snapshot: with every
+  // rank joined and the publisher parked, this final read is exact (the
+  // live snapshots tolerate torn reads; JobReport::metrics must not).
+  if (job->metrics() != nullptr) {
+    job->stop_monitor();
+    report.metrics = job->metrics_snapshot();
+  }
   if (job->aborted()) report.abort_reason = job->abort_reason();
   report.abort = job->abort_info();
   const JobDrain leaked = job->drain_all();

@@ -72,6 +72,10 @@ struct JobReport {
   /// (JobOptions::trace / MINIMPI_TRACE); export with
   /// TraceReport::to_chrome_json().
   std::optional<TraceReport> trace;
+  /// mph_mon final snapshot, present when monitoring was enabled
+  /// (JobOptions::monitor / MINIMPI_MONITOR).  Taken after every rank
+  /// joined, so unlike the live snapshots it is exact, not torn.
+  std::optional<MetricsSnapshot> metrics;
 
   /// Convenience for tests: message of the first failure ("" when ok).
   [[nodiscard]] std::string first_error() const {

@@ -49,12 +49,14 @@ void Mailbox::wait_locked(std::unique_lock<std::mutex>& lock, Deadline deadline,
     Checker* checker;
     Scheduler* sched;
     Tracer* tracer;
+    MetricsRegistry* metrics;
     rank_t owner;
     rank_t waits_on = any_source;
     context_t ctx = kWorldContext;
     tag_t tag = any_tag;
     const char* label = "";
     std::uint64_t t0 = 0;
+    std::uint64_t t0_metrics = 0;
     bool registered = false;
     void blocked(rank_t on, const char* op, context_t c, tag_t t) {
       if (registered) {
@@ -75,6 +77,7 @@ void Mailbox::wait_locked(std::unique_lock<std::mutex>& lock, Deadline deadline,
         tag = t;
         t0 = tracer->now_ns();
       }
+      if (metrics != nullptr) t0_metrics = metrics->now_ns();
       registered = true;
     }
     ~BlockedScope() {
@@ -85,8 +88,11 @@ void Mailbox::wait_locked(std::unique_lock<std::mutex>& lock, Deadline deadline,
         tracer->span_end(owner, TraceOp::blocked, label, t0, waits_on, ctx,
                          tag);
       }
+      if (metrics != nullptr) {
+        metrics->add_blocked_ns(owner, metrics->now_ns() - t0_metrics);
+      }
     }
-  } scope{checker_, sched_, tracer_, owner_rank_};
+  } scope{checker_, sched_, tracer_, metrics_, owner_rank_};
 
   while (!pred()) {
     check_abort_locked();
@@ -154,6 +160,10 @@ rank_t Mailbox::fence_wildcard(context_t ctx, rank_t source, tag_t tag,
 }
 
 void Mailbox::deliver(Envelope&& env) {
+  // Sends are counted before the fault filter: an injected drop is still a
+  // send the application issued, and the sender/delivered gap is exactly the
+  // in-flight + dropped message count the monitor surfaces.
+  if (metrics_ != nullptr) metrics_->on_send(env.src, env.payload.size());
   if (faults_ != nullptr &&
       faults_->filter(env, owner_rank_) == FaultInjector::Filter::drop) {
     return;  // injected message loss
@@ -177,6 +187,9 @@ void Mailbox::deliver(Envelope&& env) {
     }
     if (sched_ != nullptr) sched_->note_delivery(owner_rank_);
     count_context_locked(env.context);
+    if (metrics_ != nullptr) {
+      metrics_->on_delivered(owner_rank_, env.payload.size());
+    }
     // Try to complete the earliest-posted matching receive.
     auto it = std::find_if(posted_.begin(), posted_.end(),
                            [&](const PostedRecv& p) {
@@ -216,6 +229,9 @@ void Mailbox::deliver(Envelope&& env) {
     } else {
       queue_.push_back(std::move(env));
       queue_high_water_ = std::max(queue_high_water_, queue_.size());
+      if (metrics_ != nullptr) {
+        metrics_->set_queue_depth(owner_rank_, queue_.size());
+      }
     }
   }
   cv_.notify_all();
@@ -228,7 +244,12 @@ Status Mailbox::recv(context_t ctx, rank_t source, tag_t tag,
   if (source == any_source) {
     wildcard_recvs_.fetch_add(1, std::memory_order_relaxed);
   }
+  // The tracer and the metrics registry keep separate clock epochs, so
+  // each layer must start and stop the match-latency measurement with its
+  // own clock — mixing them yields negative (wrapped) durations.
   const std::uint64_t t0 = tracer_ != nullptr ? tracer_->now_ns() : 0;
+  const std::uint64_t t0_metrics =
+      metrics_ != nullptr ? metrics_->now_ns() : 0;
   source = fence_wildcard(ctx, source, tag, "recv");
   std::unique_lock<std::mutex> lock(mutex_);
   std::deque<Envelope>::iterator it;
@@ -262,6 +283,10 @@ Status Mailbox::recv(context_t ctx, rank_t source, tag_t tag,
     tracer_->span_end(owner_rank_, TraceOp::recv, "recv", t0, status.source,
                       ctx, status.tag, status.bytes);
   }
+  if (metrics_ != nullptr) {
+    metrics_->set_queue_depth(owner_rank_, queue_.size());
+    metrics_->on_match(owner_rank_, metrics_->now_ns() - t0_metrics);
+  }
   return status;
 }
 
@@ -272,6 +297,8 @@ std::pair<Status, std::vector<std::byte>> Mailbox::recv_take(
     wildcard_recvs_.fetch_add(1, std::memory_order_relaxed);
   }
   const std::uint64_t t0 = tracer_ != nullptr ? tracer_->now_ns() : 0;
+  const std::uint64_t t0_metrics =
+      metrics_ != nullptr ? metrics_->now_ns() : 0;
   source = fence_wildcard(ctx, source, tag, "recv");
   std::unique_lock<std::mutex> lock(mutex_);
   std::deque<Envelope>::iterator it;
@@ -296,6 +323,10 @@ std::pair<Status, std::vector<std::byte>> Mailbox::recv_take(
   if (tracer_ != nullptr) {
     tracer_->span_end(owner_rank_, TraceOp::recv, "recv", t0, status.source,
                       ctx, status.tag, status.bytes);
+  }
+  if (metrics_ != nullptr) {
+    metrics_->set_queue_depth(owner_rank_, queue_.size());
+    metrics_->on_match(owner_rank_, metrics_->now_ns() - t0_metrics);
   }
   return {status, std::move(payload)};
 }
@@ -355,6 +386,9 @@ std::shared_ptr<RecvTicket> Mailbox::post_recv(context_t ctx, rank_t source,
                          ticket->status.bytes);
       }
       queue_.erase(it);
+      if (metrics_ != nullptr) {
+        metrics_->set_queue_depth(owner_rank_, queue_.size());
+      }
     } else {
       posted_.push_back(
           PostedRecv{ctx, source, tag, buffer, ticket, expected});
@@ -366,6 +400,8 @@ std::shared_ptr<RecvTicket> Mailbox::post_recv(context_t ctx, rank_t source,
 Status Mailbox::wait(const std::shared_ptr<RecvTicket>& ticket,
                      Deadline deadline) {
   const std::uint64_t t0 = tracer_ != nullptr ? tracer_->now_ns() : 0;
+  const std::uint64_t t0_metrics =
+      metrics_ != nullptr ? metrics_->now_ns() : 0;
   std::unique_lock<std::mutex> lock(mutex_);
   wait_locked(
       lock, deadline, [&] { return ticket->done; }, "wait",
@@ -376,6 +412,9 @@ Status Mailbox::wait(const std::shared_ptr<RecvTicket>& ticket,
     tracer_->span_end(owner_rank_, TraceOp::recv, "wait", t0,
                       ticket->status.source, ticket->context,
                       ticket->status.tag, ticket->status.bytes);
+  }
+  if (metrics_ != nullptr) {
+    metrics_->on_match(owner_rank_, metrics_->now_ns() - t0_metrics);
   }
   return ticket->status;
 }

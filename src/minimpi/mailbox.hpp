@@ -23,6 +23,7 @@
 
 #include "src/minimpi/check.hpp"
 #include "src/minimpi/error.hpp"
+#include "src/minimpi/metrics.hpp"
 #include "src/minimpi/schedule.hpp"
 #include "src/minimpi/trace.hpp"
 #include "src/minimpi/types.hpp"
@@ -86,11 +87,13 @@ class Mailbox {
   /// yield to it, and when it is *verifying* wildcard matches are resolved
   /// through explicit scheduler decisions instead of arrival order.
   /// `tracer` is the job's event tracer (null = tracing off): match points
-  /// and blocked intervals record onto the owner rank's ring.
+  /// and blocked intervals record onto the owner rank's ring.  `metrics`
+  /// is the job's mph_mon registry (null = monitoring off): send/recv
+  /// counts, match latency, queue depth, and blocked time land there.
   Mailbox(const std::atomic<bool>& abort_flag, const std::string& abort_reason,
           rank_t owner_rank = 0, FaultInjector* faults = nullptr,
           Checker* checker = nullptr, Scheduler* sched = nullptr,
-          Tracer* tracer = nullptr)
+          Tracer* tracer = nullptr, MetricsRegistry* metrics = nullptr)
       : abort_flag_(abort_flag),
         abort_reason_(abort_reason),
         owner_rank_(owner_rank),
@@ -98,6 +101,7 @@ class Mailbox {
         checker_(checker),
         sched_(sched),
         tracer_(tracer),
+        metrics_(metrics),
         verify_(sched != nullptr && sched->verifying()) {}
 
   Mailbox(const Mailbox&) = delete;
@@ -248,6 +252,7 @@ class Mailbox {
   Checker* checker_;
   Scheduler* sched_;
   Tracer* tracer_;
+  MetricsRegistry* metrics_;
   bool verify_;  ///< sched_ != null and it serializes match decisions
 
   mutable std::mutex mutex_;

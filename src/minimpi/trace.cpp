@@ -377,13 +377,14 @@ std::string TraceReport::to_chrome_json() const {
 
   // Metrics rollup: ignored by trace viewers, read by `mph_inspect trace`.
   out += "\"mph\": {\n";
-  out += "\"wildcardRecvs\": " + std::to_string(wildcard_recvs) + ",\n";
+  out += "\"wildcardRecvs\": " + std::to_string(comm.wildcard_recvs) + ",\n";
   out += "\"contexts\": [";
-  for (std::size_t i = 0; i < messages_by_context.size(); ++i) {
+  for (std::size_t i = 0; i < comm.messages_by_context.size(); ++i) {
     if (i > 0) out += ", ";
-    out += "{\"context\": " + std::to_string(messages_by_context[i].first) +
-           ", \"messages\": " + std::to_string(messages_by_context[i].second) +
-           "}";
+    out += "{\"context\": " +
+           std::to_string(comm.messages_by_context[i].first) +
+           ", \"messages\": " +
+           std::to_string(comm.messages_by_context[i].second) + "}";
   }
   out += "],\n\"componentTraffic\": [";
   const std::vector<Traffic> traffic = component_traffic();

@@ -35,6 +35,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/minimpi/metrics.hpp"
 #include "src/minimpi/types.hpp"
 
 namespace minimpi {
@@ -255,10 +256,11 @@ struct RankTrace {
 struct TraceReport {
   std::vector<RankTrace> ranks;
 
-  /// Messages delivered per communicator context, job-wide.
-  std::vector<std::pair<context_t, std::uint64_t>> messages_by_context;
-  /// Wildcard (MPI_ANY_SOURCE) receive operations issued job-wide.
-  std::uint64_t wildcard_recvs = 0;
+  /// Job-wide communication counters — the same CommStats Job::stats()
+  /// returns (and JobReport/MetricsSnapshot carry), embedded rather than
+  /// duplicated so trace rollups and live metrics share one source of
+  /// truth for message/context/wildcard counts.
+  CommStats comm;
 
   /// Messages/bytes exchanged between component pairs (tracks stripped of
   /// their ":local_rank" suffix), aggregated from send instants.

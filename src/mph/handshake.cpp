@@ -63,8 +63,22 @@ HandshakeResult handshake(const Comm& world, const Registry& registry,
                           const HandshakeOptions& options) {
   const u::Timer timer;
   minimpi::Tracer* tracer = world.job().tracer();
+  minimpi::MetricsRegistry* metrics = world.job().metrics();
   const minimpi::TraceSpan phase(tracer, world.global_of(world.rank()),
                                  minimpi::TraceOp::phase, "handshake");
+  // Record the handshake duration on every exit path (the fast path returns
+  // early) so the monitor's per-rank handshake_ns gauge is always set.
+  struct HandshakeClock {
+    minimpi::MetricsRegistry* metrics;
+    minimpi::rank_t rank;
+    std::uint64_t t0;
+    ~HandshakeClock() {
+      if (metrics != nullptr) {
+        metrics->set_handshake_ns(rank, metrics->now_ns() - t0);
+      }
+    }
+  } handshake_clock{metrics, world.global_of(world.rank()),
+                    metrics != nullptr ? metrics->now_ns() : 0};
   validate_declaration(declaration);
 
   // --- Steps 1-2 (§6): allgather signatures, derive executable runs. ------
@@ -146,6 +160,10 @@ HandshakeResult handshake(const Comm& world, const Registry& registry,
     if (primary >= 0) {
       const ComponentRecord& record = result.directory.component(primary);
       world.job().set_rank_label(my_world, record.name);
+      if (metrics != nullptr) {
+        // The monitor's per-component rollup keys off this name.
+        metrics->set_component(my_world, record.name);
+      }
       if (tracer != nullptr) {
         // Trace tracks read in the paper's naming scheme:
         // component[instance]:local_rank.

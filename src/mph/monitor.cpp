@@ -1,0 +1,269 @@
+#include "src/mph/monitor.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "src/util/json.hpp"
+#include "src/util/strings.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MPH_MON_HAS_UNIX_SOCKET 1
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#else
+#define MPH_MON_HAS_UNIX_SOCKET 0
+#endif
+
+namespace mph::mon {
+
+namespace {
+
+using minimpi::MetricsSnapshot;
+using minimpi::RankMetrics;
+using util::JsonValue;
+
+std::uint64_t get_u64(const JsonValue& obj, std::string_view key) {
+  const JsonValue* v = obj.find(key);
+  return v != nullptr ? static_cast<std::uint64_t>(v->as_int()) : 0;
+}
+
+RankMetrics parse_rank(const JsonValue& obj) {
+  RankMetrics r;
+  r.world_rank = static_cast<minimpi::rank_t>(get_u64(obj, "rank"));
+  if (const JsonValue* c = obj.find("component")) r.component = c->as_string();
+  if (const JsonValue* a = obj.find("alive")) r.alive = a->as_bool();
+  r.sends = get_u64(obj, "sends");
+  r.send_bytes = get_u64(obj, "sendBytes");
+  r.delivered = get_u64(obj, "delivered");
+  r.delivered_bytes = get_u64(obj, "deliveredBytes");
+  r.matches = get_u64(obj, "matches");
+  r.collectives = get_u64(obj, "collectives");
+  r.faults = get_u64(obj, "faults");
+  r.blocked_ns = get_u64(obj, "blockedNs");
+  r.queue_depth = get_u64(obj, "queueDepth");
+  r.queue_high_water = get_u64(obj, "queueHighWater");
+  r.handshake_ns = get_u64(obj, "handshakeNs");
+  if (const JsonValue* lat = obj.find("matchLatency")) {
+    r.match_latency.count = get_u64(*lat, "count");
+    r.match_latency.sum = get_u64(*lat, "sumNs");
+    if (const JsonValue* buckets = lat->find("buckets")) {
+      const auto& items = buckets->items();
+      const std::size_t n =
+          std::min(items.size(), minimpi::kMetricsHistogramBuckets);
+      for (std::size_t b = 0; b < n; ++b) {
+        r.match_latency.buckets[b] =
+            static_cast<std::uint64_t>(items[b].as_int());
+      }
+    }
+  }
+  if (const JsonValue* values = obj.find("values")) {
+    for (const JsonValue& entry : values->items()) {
+      r.values.emplace_back(entry.at("name").as_string(),
+                            get_u64(entry, "value"));
+    }
+  }
+  return r;
+}
+
+/// "12.3k" / "4.5M" style compact magnitude for the table cells.
+std::string human(double value) {
+  char buf[32];
+  if (value >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.1fG", value / 1e9);
+  } else if (value >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.1fM", value / 1e6);
+  } else if (value >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.1fk", value / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f", value);
+  }
+  return buf;
+}
+
+std::string pad(std::string s, std::size_t width) {
+  if (s.size() < width) s.append(width - s.size(), ' ');
+  return s;
+}
+
+}  // namespace
+
+MetricsSnapshot parse_snapshot(const std::string& json_line) {
+  const JsonValue doc = JsonValue::parse(json_line);
+  const JsonValue* kind = doc.find("kind");
+  if (kind == nullptr || kind->as_string() != MetricsSnapshot::kKind) {
+    throw std::runtime_error(
+        "not an mph_metrics snapshot: expected a JSON object with "
+        "\"kind\": \"mph_metrics\" (one line of the monitor's "
+        "mph_metrics.jsonl)");
+  }
+  MetricsSnapshot snap;
+  snap.seq = get_u64(doc, "seq");
+  snap.t_ns = get_u64(doc, "tNs");
+  if (const JsonValue* job = doc.find("job")) {
+    snap.comm.messages = get_u64(*job, "messages");
+    snap.comm.payload_bytes = get_u64(*job, "payloadBytes");
+    snap.comm.contexts_allocated = get_u64(*job, "contextsAllocated");
+    snap.comm.queue_high_water = get_u64(*job, "queueHighWater");
+    snap.comm.wildcard_recvs = get_u64(*job, "wildcardRecvs");
+    if (const JsonValue* contexts = job->find("contexts")) {
+      for (const JsonValue& entry : contexts->items()) {
+        snap.comm.messages_by_context.emplace_back(
+            static_cast<minimpi::context_t>(entry.at("context").as_int()),
+            get_u64(entry, "messages"));
+      }
+    }
+  }
+  if (const JsonValue* ranks = doc.find("ranks")) {
+    for (const JsonValue& entry : ranks->items()) {
+      snap.ranks.push_back(parse_rank(entry));
+    }
+  }
+  return snap;
+}
+
+bool looks_like_metrics(const std::string& text) {
+  // First line only: a JSONL stream fails whole-document parsing, and the
+  // caller usually has the whole file in hand.
+  std::string first = text.substr(0, text.find('\n'));
+  try {
+    const JsonValue doc = JsonValue::parse(first);
+    const JsonValue* kind = doc.find("kind");
+    return kind != nullptr && kind->as_string() == MetricsSnapshot::kKind;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+std::optional<std::string> last_jsonl_line(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::string line;
+  std::string last;
+  while (std::getline(in, line)) {
+    if (!line.empty()) last = line;
+  }
+  if (last.empty()) return std::nullopt;
+  return last;
+}
+
+std::optional<std::string> read_socket_line(const std::string& socket_path) {
+#if MPH_MON_HAS_UNIX_SOCKET
+  sockaddr_un addr{};
+  if (socket_path.size() >= sizeof(addr.sun_path)) return std::nullopt;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+  addr.sun_family = AF_UNIX;
+  socket_path.copy(addr.sun_path, socket_path.size());
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n <= 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  if (out.empty()) return std::nullopt;
+  return out;
+#else
+  (void)socket_path;
+  return std::nullopt;
+#endif
+}
+
+TopView build_top_view(const MetricsSnapshot* prev,
+                       const MetricsSnapshot& cur) {
+  TopView view;
+  view.seq = cur.seq;
+  view.uptime_s = static_cast<double>(cur.t_ns) / 1e9;
+  view.total_messages = cur.comm.messages;
+  view.total_bytes = cur.comm.payload_bytes;
+  view.wildcard_recvs = cur.comm.wildcard_recvs;
+  view.queue_high_water = cur.comm.queue_high_water;
+  view.ranks = static_cast<int>(cur.ranks.size());
+  for (const RankMetrics& r : cur.ranks) {
+    if (r.alive) ++view.alive;
+  }
+
+  const std::vector<minimpi::ComponentMetrics> comps = cur.by_component();
+  const std::vector<minimpi::ComponentMetrics> prev_comps =
+      prev != nullptr ? prev->by_component()
+                      : std::vector<minimpi::ComponentMetrics>{};
+  const double dt_s =
+      prev != nullptr && cur.t_ns > prev->t_ns
+          ? static_cast<double>(cur.t_ns - prev->t_ns) / 1e9
+          : 0.0;
+  for (const minimpi::ComponentMetrics& c : comps) {
+    TopRow row;
+    row.component = c.component;
+    row.ranks = c.ranks;
+    row.alive = c.alive;
+    row.sends = c.sends;
+    row.delivered = c.delivered;
+    row.queue_depth = c.queue_depth;
+    row.queue_high_water = c.queue_high_water;
+    if (dt_s > 0.0) {
+      const auto it =
+          std::find_if(prev_comps.begin(), prev_comps.end(),
+                       [&](const minimpi::ComponentMetrics& p) {
+                         return p.component == c.component;
+                       });
+      if (it != prev_comps.end() && c.delivered >= it->delivered) {
+        row.msgs_per_s =
+            static_cast<double>(c.delivered - it->delivered) / dt_s;
+        row.bytes_per_s =
+            static_cast<double>(c.delivered_bytes - it->delivered_bytes) /
+            dt_s;
+        // Blocked time accumulates across the component's ranks, so one
+        // fully-blocked rank of n is 100/n percent.
+        const double blocked_delta = c.blocked_ns >= it->blocked_ns
+                                         ? static_cast<double>(c.blocked_ns -
+                                                               it->blocked_ns)
+                                         : 0.0;
+        const double wall_ns = dt_s * 1e9 * std::max(1, c.ranks);
+        row.blocked_pct = std::min(100.0, 100.0 * blocked_delta / wall_ns);
+      }
+    }
+    view.rows.push_back(std::move(row));
+  }
+  return view;
+}
+
+std::string render_top(const TopView& view) {
+  char head[160];
+  std::snprintf(head, sizeof head,
+                "mph_mon  snapshot #%llu  up %.1fs  ranks %d/%d alive\n",
+                static_cast<unsigned long long>(view.seq), view.uptime_s,
+                view.alive, view.ranks);
+  std::string out = head;
+  out += "job: " + human(static_cast<double>(view.total_messages)) +
+         " msgs, " + human(static_cast<double>(view.total_bytes)) +
+         "B payload, " +
+         std::to_string(view.wildcard_recvs) + " wildcard recvs, queue hw " +
+         std::to_string(view.queue_high_water) + "\n";
+  out += pad("COMPONENT", 16) + pad("RANKS", 7) + pad("ALIVE", 7) +
+         pad("MSG/S", 9) + pad("BYTES/S", 10) + pad("QUEUE", 7) +
+         pad("Q.HW", 7) + pad("BLOCKED%", 9) + "\n";
+  for (const TopRow& row : view.rows) {
+    char pct[16];
+    std::snprintf(pct, sizeof pct, "%.1f", row.blocked_pct);
+    out += pad(row.component, 16) + pad(std::to_string(row.ranks), 7) +
+           pad(std::to_string(row.alive), 7) + pad(human(row.msgs_per_s), 9) +
+           pad(human(row.bytes_per_s), 10) +
+           pad(std::to_string(row.queue_depth), 7) +
+           pad(std::to_string(row.queue_high_water), 7) + pad(pct, 9) + "\n";
+  }
+  return out;
+}
+
+}  // namespace mph::mon

@@ -1,0 +1,85 @@
+// monitor.hpp — mph_mon consumer side: parse published snapshots and
+// render the top-style live view.
+//
+// The producer half lives in minimpi (MetricsRegistry + Monitor publish
+// JSONL/Prometheus/socket); this header is everything a *viewer* needs:
+// decode one JSONL line back into a MetricsSnapshot, fetch the latest
+// line from a file or the monitor's AF_UNIX socket, and turn a pair of
+// consecutive snapshots into per-component rates ("ocean: 1.2k msg/s,
+// 40% blocked").  `mph_inspect top` is a thin loop over these functions;
+// keeping them here makes the whole view pipeline unit-testable without
+// spawning the CLI.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/minimpi/metrics.hpp"
+
+namespace mph::mon {
+
+/// Decode one published JSONL line (MetricsSnapshot::to_jsonl output) back
+/// into a snapshot.  Throws std::runtime_error on malformed JSON, and on a
+/// well-formed document whose "kind" is not "mph_metrics" — the error
+/// message names the expected format.
+[[nodiscard]] minimpi::MetricsSnapshot parse_snapshot(
+    const std::string& json_line);
+
+/// True when `text` looks like an mph_metrics document or JSONL stream
+/// (cheap check: first line is an object whose "kind" is "mph_metrics").
+/// Used by mph_inspect to tell a metrics file from a Chrome trace export.
+[[nodiscard]] bool looks_like_metrics(const std::string& text);
+
+/// Last non-empty line of a (JSONL) file; nullopt when the file does not
+/// exist or has no complete line yet.
+[[nodiscard]] std::optional<std::string> last_jsonl_line(
+    const std::string& path);
+
+/// Connect to a monitor's AF_UNIX socket and read one snapshot line.
+/// nullopt when the socket is gone (job finished) or unsupported on this
+/// platform.
+[[nodiscard]] std::optional<std::string> read_socket_line(
+    const std::string& socket_path);
+
+/// One component row of the top view.
+struct TopRow {
+  std::string component;
+  int ranks = 0;
+  int alive = 0;
+  std::uint64_t sends = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t queue_depth = 0;
+  std::uint64_t queue_high_water = 0;
+  double msgs_per_s = 0.0;   ///< delivered rate over the interval (0 first)
+  double bytes_per_s = 0.0;  ///< delivered-bytes rate over the interval
+  double blocked_pct = 0.0;  ///< share of the interval spent blocked
+};
+
+/// The rendered model of one refresh: header totals plus one row per
+/// component.  Rates are deltas between `prev` and `cur`; with no previous
+/// snapshot they stay zero (first frame of a session).
+struct TopView {
+  std::uint64_t seq = 0;
+  double uptime_s = 0.0;
+  std::uint64_t total_messages = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t wildcard_recvs = 0;
+  std::uint64_t queue_high_water = 0;
+  int ranks = 0;
+  int alive = 0;
+  std::vector<TopRow> rows;
+};
+
+/// Build the view model.  `prev` may be null (no rates yet); when given it
+/// must be an earlier snapshot of the same job (cur.t_ns > prev->t_ns),
+/// otherwise rates are left at zero rather than reported negative.
+[[nodiscard]] TopView build_top_view(const minimpi::MetricsSnapshot* prev,
+                                     const minimpi::MetricsSnapshot& cur);
+
+/// Render the view as a fixed-width ASCII table (trailing newline
+/// included) — what `mph_inspect top` prints every refresh.
+[[nodiscard]] std::string render_top(const TopView& view);
+
+}  // namespace mph::mon

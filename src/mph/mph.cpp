@@ -269,6 +269,19 @@ void Mph::redirect_output(const std::string& dir) {
   channel_ = OutputRouter::instance().open(dir, comp_name(), local_proc_id(),
                                            component_root);
   redirected_ = true;
+  if (minimpi::MetricsRegistry* metrics = world().job().metrics()) {
+    // Live output_lines(<path>) gauge in every snapshot.  The probe holds
+    // the counter by shared_ptr, so it stays valid even after this Mph
+    // handle (and its channel) are gone.
+    const minimpi::rank_t my_world = world().global_of(world().rank());
+    metrics->add_probe(
+        my_world, "output_lines(" + channel_.path() + ")",
+        [counter = channel_.lines_counter()]() -> std::uint64_t {
+          return counter != nullptr
+                     ? counter->load(std::memory_order_relaxed)
+                     : 0;
+        });
+  }
 }
 
 std::ostream& Mph::out() {

@@ -34,7 +34,9 @@ class Sink {
 class LineBuf : public std::streambuf {
  public:
   LineBuf(std::shared_ptr<Sink> sink, std::string prefix)
-      : sink_(std::move(sink)), prefix_(std::move(prefix)) {}
+      : sink_(std::move(sink)),
+        prefix_(std::move(prefix)),
+        lines_(std::make_shared<std::atomic<std::uint64_t>>(0)) {}
 
   ~LineBuf() override { flush_partial(); }
 
@@ -42,12 +44,22 @@ class LineBuf : public std::streambuf {
     if (!pending_.empty()) {
       sink_->commit(prefix_ + pending_ + "\n");
       pending_.clear();
-      ++lines_;
+      lines_->fetch_add(1, std::memory_order_relaxed);
     }
   }
 
   /// Lines committed through this channel so far.
-  [[nodiscard]] std::uint64_t lines() const noexcept { return lines_; }
+  [[nodiscard]] std::uint64_t lines() const noexcept {
+    return lines_->load(std::memory_order_relaxed);
+  }
+
+  /// Shared handle to the line counter — the mph_mon registry samples it
+  /// from the monitor thread, possibly after this channel is destroyed,
+  /// so the counter's lifetime is decoupled from the buffer's.
+  [[nodiscard]] std::shared_ptr<const std::atomic<std::uint64_t>>
+  lines_counter() const noexcept {
+    return lines_;
+  }
 
  protected:
   int overflow(int ch) override {
@@ -55,7 +67,7 @@ class LineBuf : public std::streambuf {
     if (ch == '\n') {
       sink_->commit(prefix_ + pending_ + "\n");
       pending_.clear();
-      ++lines_;
+      lines_->fetch_add(1, std::memory_order_relaxed);
     } else {
       pending_.push_back(static_cast<char>(ch));
     }
@@ -71,7 +83,7 @@ class LineBuf : public std::streambuf {
   std::shared_ptr<Sink> sink_;
   std::string prefix_;
   std::string pending_;
-  std::uint64_t lines_ = 0;
+  std::shared_ptr<std::atomic<std::uint64_t>> lines_;
 };
 
 }  // namespace detail
@@ -102,6 +114,11 @@ void OutputChannel::flush() {
 
 std::uint64_t OutputChannel::lines() const noexcept {
   return buf_ != nullptr ? buf_->lines() : 0;
+}
+
+std::shared_ptr<const std::atomic<std::uint64_t>> OutputChannel::lines_counter()
+    const noexcept {
+  return buf_ != nullptr ? buf_->lines_counter() : nullptr;
 }
 
 OutputRouter& OutputRouter::instance() {

@@ -13,6 +13,7 @@
 // several ranks — even across components — may share one sink file safely.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -55,6 +56,12 @@ class OutputChannel {
   /// Complete lines committed through this channel so far (mph_trace feeds
   /// this into the per-rank `output_lines(<path>)` counter).
   [[nodiscard]] std::uint64_t lines() const noexcept;
+
+  /// Shared handle to the live line counter, for mph_mon gauge probes.  The
+  /// monitor thread samples it at snapshot time — possibly after the channel
+  /// itself is gone — so it is shared, not borrowed.  Null before open.
+  [[nodiscard]] std::shared_ptr<const std::atomic<std::uint64_t>>
+  lines_counter() const noexcept;
 
  private:
   friend class OutputRouter;

@@ -1,0 +1,265 @@
+// JobReport::metrics across every execution mode the paper names (SCSE,
+// SCME, MCSE, MCME, MIME): component names land in the rank rows, the
+// embedded CommStats agrees with JobReport::stats (single source of
+// truth), monitoring off costs nothing and reports nothing, and a fault
+// injection run shows the dead component in the liveness flags.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/minimpi/fault.hpp"
+#include "src/minimpi/metrics.hpp"
+#include "tests/mph/mph_test_util.hpp"
+
+using namespace mph;
+using namespace mph::testing;
+using minimpi::Comm;
+using minimpi::MetricsSnapshot;
+using minimpi::RankMetrics;
+
+namespace {
+
+/// Monitoring on, interval 0: the registry collects and JobReport::metrics
+/// is filled, but no monitor thread, files, or socket — the test mode.
+minimpi::JobOptions monitored_options() {
+  minimpi::JobOptions options = test_job_options();
+  options.monitor.enabled = true;
+  options.monitor.interval = std::chrono::milliseconds(0);
+  return options;
+}
+
+std::vector<std::string> component_names(const MetricsSnapshot& snap) {
+  std::vector<std::string> out;
+  out.reserve(snap.ranks.size());
+  for (const RankMetrics& r : snap.ranks) out.push_back(r.component);
+  return out;
+}
+
+/// Shared invariants of a clean monitored job: one row per world rank,
+/// every rank alive and handshaken, and the send/delivered totals agree
+/// with each other and with the embedded job-wide counters.
+void expect_clean_snapshot(const minimpi::JobReport& report, int world) {
+  ASSERT_TRUE(report.metrics.has_value());
+  const MetricsSnapshot& snap = *report.metrics;
+  ASSERT_EQ(snap.ranks.size(), static_cast<std::size_t>(world));
+  EXPECT_GT(snap.seq, 0u);
+  std::uint64_t sends = 0;
+  std::uint64_t delivered = 0;
+  for (const RankMetrics& r : snap.ranks) {
+    EXPECT_TRUE(r.alive) << "rank " << r.world_rank;
+    EXPECT_GT(r.handshake_ns, 0u) << "rank " << r.world_rank;
+    EXPECT_GT(r.collectives, 0u) << "rank " << r.world_rank;  // handshake
+    sends += r.sends;
+    delivered += r.delivered;
+  }
+  // Every deliver() counts once on the sender and once on the receiver.
+  EXPECT_EQ(sends, delivered);
+  // Single source of truth: the snapshot embeds Job::stats() verbatim.
+  EXPECT_EQ(snap.comm.messages, report.stats.messages);
+  EXPECT_EQ(snap.comm.payload_bytes, report.stats.payload_bytes);
+  EXPECT_EQ(snap.comm.wildcard_recvs, report.stats.wildcard_recvs);
+  EXPECT_EQ(snap.comm.messages_by_context, report.stats.messages_by_context);
+  EXPECT_GT(snap.comm.messages, 0u);  // the handshake alone communicates
+  EXPECT_GE(delivered, snap.comm.messages);
+}
+
+void ping_pong(Mph& h) {
+  const Comm& comm = h.comp_comm();
+  if (comm.size() < 2) return;
+  if (comm.rank() == 0) {
+    comm.send(1, 1, 5);
+    int v = 0;
+    comm.recv(v, 1, 6);
+  } else if (comm.rank() == 1) {
+    int v = 0;
+    comm.recv(v, 0, 5);
+    comm.send(2, 0, 6);
+  }
+}
+
+}  // namespace
+
+TEST(MetricsModes, MonitorOffReportsNothing) {
+  const minimpi::JobReport report = run_mph_job(
+      "BEGIN\nocean\nEND\n",
+      {TestExec{{"ocean"}, "", 2, [](Mph& h, const Comm&) { ping_pong(h); }}});
+  ASSERT_TRUE(report.ok) << report.abort_reason;
+  EXPECT_FALSE(report.metrics.has_value());
+}
+
+TEST(MetricsModes, Scse) {
+  const minimpi::JobReport report = run_mph_job(
+      "BEGIN\nocean\nEND\n",
+      {TestExec{{"ocean"}, "", 2, [](Mph& h, const Comm&) { ping_pong(h); }}},
+      {}, monitored_options());
+  ASSERT_TRUE(report.ok) << report.abort_reason;
+  expect_clean_snapshot(report, 2);
+  EXPECT_EQ(component_names(*report.metrics),
+            (std::vector<std::string>{"ocean", "ocean"}));
+  // The ping-pong receive waits land in the match-latency histogram.
+  const RankMetrics& r0 = report.metrics->ranks[0];
+  EXPECT_GT(r0.matches, 0u);
+  EXPECT_EQ(r0.match_latency.count, r0.matches);
+}
+
+TEST(MetricsModes, TracerAndMonitorTogetherKeepSaneLatencies) {
+  // Regression: the tracer and the metrics registry have different clock
+  // epochs.  When both layers were active, match latency was measured
+  // from the tracer's clock but stopped against the metrics clock, and
+  // every sample wrapped to ~2^64 ns.
+  minimpi::JobOptions options = monitored_options();
+  options.trace.enabled = true;
+  const minimpi::JobReport report = run_mph_job(
+      "BEGIN\nocean\nEND\n",
+      {TestExec{{"ocean"}, "", 2, [](Mph& h, const Comm&) { ping_pong(h); }}},
+      {}, options);
+  ASSERT_TRUE(report.ok) << report.abort_reason;
+  ASSERT_TRUE(report.metrics.has_value());
+  ASSERT_TRUE(report.trace.has_value());
+  for (const RankMetrics& r : report.metrics->ranks) {
+    if (r.match_latency.count == 0) continue;
+    // A wrapped negative duration lands near 2^64; an hour is a generous
+    // real bound for an in-process ping-pong wait.
+    constexpr std::uint64_t kHourNs = 3'600'000'000'000ull;
+    EXPECT_LT(r.match_latency.sum, kHourNs) << "rank " << r.world_rank;
+    EXPECT_EQ(r.match_latency.buckets.back(), 0u) << "rank " << r.world_rank;
+  }
+}
+
+TEST(MetricsModes, ScmeComponentRollup) {
+  const minimpi::JobReport report = run_mph_job(
+      "BEGIN\nc0\nc1\nc2\nEND\n",
+      {TestExec{{"c0"}, "", 1, [](Mph&, const Comm&) {}},
+       TestExec{{"c1"}, "", 2, [](Mph& h, const Comm&) { ping_pong(h); }},
+       TestExec{{"c2"}, "", 1, [](Mph&, const Comm&) {}}},
+      {}, monitored_options());
+  ASSERT_TRUE(report.ok) << report.abort_reason;
+  expect_clean_snapshot(report, 4);
+  EXPECT_EQ(component_names(*report.metrics),
+            (std::vector<std::string>{"c0", "c1", "c1", "c2"}));
+
+  const std::vector<minimpi::ComponentMetrics> comps =
+      report.metrics->by_component();
+  ASSERT_EQ(comps.size(), 3u);
+  EXPECT_EQ(comps[0].component, "c0");
+  EXPECT_EQ(comps[1].component, "c1");
+  EXPECT_EQ(comps[1].ranks, 2);
+  EXPECT_EQ(comps[1].alive, 2);
+  EXPECT_EQ(comps[2].component, "c2");
+}
+
+TEST(MetricsModes, Mcse) {
+  const std::string registry = R"(BEGIN
+Multi_Component_Begin
+atmosphere 0 1
+land 2 2
+Multi_Component_End
+END
+)";
+  const minimpi::JobReport report = run_mph_job(
+      registry,
+      {TestExec{{"atmosphere", "land"}, "", 3,
+                [](Mph& h, const Comm&) { ping_pong(h); }}},
+      {}, monitored_options());
+  ASSERT_TRUE(report.ok) << report.abort_reason;
+  expect_clean_snapshot(report, 3);
+  EXPECT_EQ(component_names(*report.metrics),
+            (std::vector<std::string>{"atmosphere", "atmosphere", "land"}));
+}
+
+TEST(MetricsModes, Mcme) {
+  const std::string registry = R"(BEGIN
+Multi_Component_Begin
+atmosphere 0 1
+land 2 2
+Multi_Component_End
+Multi_Component_Begin
+ocean 0 1
+ice 2 2
+Multi_Component_End
+coupler
+END
+)";
+  const minimpi::JobReport report = run_mph_job(
+      registry,
+      {TestExec{{"atmosphere", "land"}, "", 3, [](Mph&, const Comm&) {}},
+       TestExec{{"ocean", "ice"}, "", 3,
+                [](Mph& h, const Comm&) { ping_pong(h); }},
+       TestExec{{"coupler"}, "", 1, [](Mph&, const Comm&) {}}},
+      {}, monitored_options());
+  ASSERT_TRUE(report.ok) << report.abort_reason;
+  expect_clean_snapshot(report, 7);
+  EXPECT_EQ(component_names(*report.metrics),
+            (std::vector<std::string>{"atmosphere", "atmosphere", "land",
+                                      "ocean", "ocean", "ice", "coupler"}));
+}
+
+TEST(MetricsModes, MimeInstanceNames) {
+  const std::string registry = R"(BEGIN
+Multi_Instance_Begin
+Ocean1 0 1
+Ocean2 2 3
+Multi_Instance_End
+END
+)";
+  const minimpi::JobReport report = run_mph_job(
+      registry,
+      {TestExec{{}, "Ocean", 4, [](Mph& h, const Comm&) { ping_pong(h); }}},
+      {}, monitored_options());
+  ASSERT_TRUE(report.ok) << report.abort_reason;
+  expect_clean_snapshot(report, 4);
+  EXPECT_EQ(component_names(*report.metrics),
+            (std::vector<std::string>{"Ocean1", "Ocean1", "Ocean2", "Ocean2"}));
+}
+
+TEST(MetricsModes, FaultKillShowsDeadComponentLiveness) {
+  // MIME with instance isolation: kill one Ocean1 rank at a checkpoint.
+  // Only Ocean1's failure domain dies; the job stays ok, and the final
+  // snapshot shows exactly that component dark.
+  const std::string registry = R"(BEGIN
+Multi_Instance_Begin
+Ocean1 0 1
+Ocean2 2 3
+Multi_Instance_End
+END
+)";
+  HandshakeOptions handshake;
+  handshake.isolate_instances = true;
+  minimpi::JobOptions options = monitored_options();
+  options.faults.kill_at_step(0, 1);
+
+  const minimpi::JobReport report = run_mph_job(
+      registry,
+      {TestExec{{}, "Ocean", 4,
+                [](Mph& h, const Comm&) {
+                  h.comp_comm().fault_checkpoint(1);
+                }}},
+      handshake, options);
+  ASSERT_TRUE(report.ok) << report.abort_reason;  // contained, not fatal
+  ASSERT_FALSE(report.contained.empty());
+  ASSERT_TRUE(report.metrics.has_value());
+  const MetricsSnapshot& snap = *report.metrics;
+  ASSERT_EQ(snap.ranks.size(), 4u);
+  EXPECT_FALSE(snap.ranks[0].alive) << "killed rank must read dead";
+  EXPECT_GE(snap.ranks[0].faults, 1u);
+  EXPECT_TRUE(snap.ranks[2].alive);
+  EXPECT_TRUE(snap.ranks[3].alive);
+
+  const std::vector<minimpi::ComponentMetrics> comps = snap.by_component();
+  const auto find = [&](const std::string& name) {
+    return std::find_if(comps.begin(), comps.end(),
+                        [&](const minimpi::ComponentMetrics& c) {
+                          return c.component == name;
+                        });
+  };
+  const auto ocean1 = find("Ocean1");
+  ASSERT_NE(ocean1, comps.end());
+  EXPECT_EQ(ocean1->ranks, 2);
+  EXPECT_LT(ocean1->alive, 2) << "the killed member's domain must read dead";
+  const auto ocean2 = find("Ocean2");
+  ASSERT_NE(ocean2, comps.end());
+  EXPECT_EQ(ocean2->alive, 2);
+}

@@ -101,10 +101,10 @@ TEST(TraceReport, WildcardAndContextCountsInStatsAndTrace) {
       << "component-comm delivery should count under its own context";
   EXPECT_GE(total, 1u);
 
-  // The trace report mirrors both.
+  // The trace report embeds the same CommStats (single source of truth).
   ASSERT_TRUE(report.trace.has_value());
-  EXPECT_EQ(report.trace->wildcard_recvs, report.stats.wildcard_recvs);
-  EXPECT_EQ(report.trace->messages_by_context,
+  EXPECT_EQ(report.trace->comm.wildcard_recvs, report.stats.wildcard_recvs);
+  EXPECT_EQ(report.trace->comm.messages_by_context,
             report.stats.messages_by_context);
 }
 

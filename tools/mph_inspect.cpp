@@ -25,19 +25,29 @@
 //       component-pair traffic matrix, per-context message counts,
 //       wildcard-receive count, and the ranks with the most blocked time.
 //
+//   mph_inspect top <mph_monitor.sock | mph_metrics.jsonl> [--once]
+//               [--interval=ms]
+//       Live top-style view of a running (or finished) monitored job:
+//       per-component rank counts, message/byte rates, queue depths, and
+//       blocked-time share, refreshed from the monitor's AF_UNIX socket or
+//       its JSONL snapshot stream.  --once prints a single frame.
+//
 // Exit status: 0 on success, 1 on validation/plan/check failure, 2 on usage.
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/mph/builder.hpp"
 #include "src/mph/errors.hpp"
 #include "src/mph/layout.hpp"
+#include "src/mph/monitor.hpp"
 #include "src/mph/registry.hpp"
 #include "src/util/json.hpp"
 #include "src/util/strings.hpp"
@@ -52,7 +62,9 @@ int usage() {
                "       mph_inspect generate-ensemble <prefix> <instances> "
                "<ranks_each>\n"
                "       mph_inspect check <file>\n"
-               "       mph_inspect trace <trace.json>\n");
+               "       mph_inspect trace <trace.json>\n"
+               "       mph_inspect top <mph_monitor.sock | mph_metrics.jsonl>"
+               " [--once] [--interval=ms]\n");
   return 2;
 }
 
@@ -219,6 +231,16 @@ int cmd_trace(const std::string& path) {
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
+  // A monitor snapshot stream is also JSON-per-line and easy to pass here
+  // by mistake; without this check it would "summarize" as an empty trace
+  // (or die on a parse error).  Name the right subcommand instead.
+  if (mph::mon::looks_like_metrics(buffer.str())) {
+    throw mph::MphError(
+        "'" + path + "' is an mph_mon metrics stream (JSONL lines with "
+        "\"kind\": \"mph_metrics\"), not a Chrome trace export — view it "
+        "with `mph_inspect top " + path + "`; `mph_inspect trace` expects "
+        "the output of TraceReport::to_chrome_json()");
+  }
   const mph::util::JsonValue doc = mph::util::JsonValue::parse(buffer.str());
 
   const mph::util::JsonValue* mph_obj = doc.find("mph");
@@ -300,6 +322,41 @@ int cmd_trace(const std::string& path) {
   return 0;
 }
 
+/// Fetch the newest snapshot line from `source` — the monitor's AF_UNIX
+/// socket while the job runs, its JSONL file after (or instead).
+std::optional<std::string> fetch_snapshot_line(const std::string& source) {
+  if (auto line = mph::mon::read_socket_line(source)) return line;
+  return mph::mon::last_jsonl_line(source);
+}
+
+int cmd_top(const std::string& source, bool once, int interval_ms) {
+  std::optional<minimpi::MetricsSnapshot> prev;
+  int misses = 0;
+  for (;;) {
+    const std::optional<std::string> line = fetch_snapshot_line(source);
+    if (!line.has_value()) {
+      if (once || ++misses > 5) {
+        throw mph::MphError(
+            "no metrics snapshot available from '" + source +
+            "' — point `top` at a monitored job's mph_monitor.sock or "
+            "mph_metrics.jsonl (enable with JobOptions::monitor or "
+            "MINIMPI_MONITOR=1)");
+      }
+    } else {
+      misses = 0;
+      const minimpi::MetricsSnapshot snap = mph::mon::parse_snapshot(*line);
+      const mph::mon::TopView view =
+          mph::mon::build_top_view(prev.has_value() ? &*prev : nullptr, snap);
+      if (!once) std::printf("\033[2J\033[H");  // clear + home, like top(1)
+      std::fputs(mph::mon::render_top(view).c_str(), stdout);
+      std::fflush(stdout);
+      prev = snap;
+      if (once) return 0;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}
+
 int cmd_generate(const std::string& prefix, const std::string& count,
                  const std::string& ranks) {
   const auto instances = mph::util::parse_int(count);
@@ -333,6 +390,27 @@ int main(int argc, char** argv) {
     }
     if (args.size() == 2 && args[0] == "trace") {
       return cmd_trace(args[1]);
+    }
+    if (args.size() >= 2 && args[0] == "top") {
+      bool once = false;
+      int interval_ms = 1000;
+      std::string source;
+      bool bad = false;
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "--once") {
+          once = true;
+        } else if (mph::util::starts_with(args[i], "--interval=")) {
+          const auto ms = mph::util::parse_int(
+              std::string_view(args[i]).substr(sizeof("--interval=") - 1));
+          if (!ms.has_value() || *ms <= 0) bad = true;
+          else interval_ms = static_cast<int>(*ms);
+        } else if (source.empty()) {
+          source = args[i];
+        } else {
+          bad = true;
+        }
+      }
+      if (!bad && !source.empty()) return cmd_top(source, once, interval_ms);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mph_inspect: %s\n", e.what());
