@@ -2,15 +2,22 @@
 //   (a) SMP-node awareness: node-local communicators inside a component
 //       when the same processors are carved into SMP nodes;
 //   (b) dynamic component processor allocation: the ocean grows and the
-//       atmosphere shrinks mid-run via Mph::remap, with no relaunch.
+//       atmosphere shrinks mid-run via Mph::remap, with no relaunch;
+//   (c) weight-driven rebalancing INSIDE a component: measured per-rank
+//       step times feed a Rebalancer (the laik_setweight idea), which
+//       proposes a weighted decomposition, and repartition() moves the
+//       field data — no relaunch, no coupler involvement.
 //
 // One multi-component executable runs two phases of a toy workload: phase
 // 1 gives the atmosphere 6 of 8 ranks; a load "measurement" then decides
 // the ocean deserves more, and phase 2 re-handshakes with a rebalanced
-// registration file.
+// registration file.  The grown ocean then rebalances its own grid across
+// its new ranks from synthetic step-time measurements.
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "src/coupler/rebalance.hpp"
 #include "src/minimpi/collectives.hpp"
 #include "src/minimpi/launcher.hpp"
 #include "src/minimpi/topology.hpp"
@@ -33,6 +40,65 @@ double fake_workload(const minimpi::Comm& comm, int weight) {
   const double mine = static_cast<double>(weight) / comm.size();
   return minimpi::allreduce_value(comm, mine, minimpi::op::Sum{}) /
          comm.size();
+}
+
+/// §9 further work (c): the ocean's grid, block-distributed over its new
+/// ranks, turns out imbalanced (rank 0 is on slow hardware, say).  Every
+/// rank feeds the SAME measured step times into its own Rebalancer — the
+/// decision is deterministic from its inputs, so all ranks agree on the
+/// new layout without communication — then repartition() shuffles the
+/// field between the two decompositions over the component communicator.
+void rebalance_ocean(const mph::Mph& h) {
+  using mph::coupler::Decomp;
+  using mph::coupler::Rebalancer;
+
+  const minimpi::Comm& comm = h.comp_comm();
+  constexpr std::int64_t kGrid = 36 * 18;
+  const Decomp current = Decomp::block(kGrid, comm.size());
+
+  // My slice of the field, f(g) = 3g + 1 so every value is checkable.
+  std::vector<double> local(
+      static_cast<std::size_t>(current.local_size(comm.rank())));
+  for (std::size_t l = 0; l < local.size(); ++l) {
+    local[l] = 3.0 * static_cast<double>(
+                         current.to_global(comm.rank(),
+                                           static_cast<std::int64_t>(l))) +
+               1.0;
+  }
+
+  // "Measured" per-rank wall seconds for the last coupling interval: rank
+  // 0 is twice as slow as its peers.
+  std::vector<double> step_seconds(static_cast<std::size_t>(comm.size()),
+                                   1.0);
+  step_seconds[0] = 2.0;
+
+  Rebalancer rebalancer(
+      mph::coupler::RebalancePolicy{.trigger_imbalance = 1.2,
+                                    .smoothing = 1.0});
+  const auto proposal = rebalancer.propose(current, step_seconds);
+  if (!proposal.has_value()) {
+    if (comm.rank() == 0) std::printf("[rebalance] layout already balanced\n");
+    return;
+  }
+  const std::vector<double> moved =
+      mph::coupler::repartition(comm, current, *proposal, local, /*tag=*/40);
+
+  // Every value still lives where the new decomposition says it should.
+  for (std::size_t l = 0; l < moved.size(); ++l) {
+    const std::int64_t g =
+        proposal->to_global(comm.rank(), static_cast<std::int64_t>(l));
+    if (moved[l] != 3.0 * static_cast<double>(g) + 1.0) {
+      std::printf("[rebalance] DATA LOSS at global index %lld\n",
+                  static_cast<long long>(g));
+      return;
+    }
+  }
+  std::printf("[rebalance] ocean rank %d: %lld -> %lld indices "
+              "(imbalance was %.2f)\n",
+              comm.rank(),
+              static_cast<long long>(current.local_size(comm.rank())),
+              static_cast<long long>(proposal->local_size(comm.rank())),
+              rebalancer.last_imbalance());
 }
 
 void model_main(const minimpi::Comm& world, const minimpi::ExecEnv&) {
@@ -77,6 +143,9 @@ void model_main(const minimpi::Comm& world, const minimpi::ExecEnv&) {
     std::printf("[phase 2] %s: per-rank load %.1f\n", h2.comp_name().c_str(),
                 load2);
   }
+
+  // --- §9c: weight-driven repartition inside the grown ocean. -------------
+  if (h2.comp_name() == "ocean") rebalance_ocean(h2);
 }
 
 }  // namespace

@@ -13,17 +13,26 @@
 // component run to completion, and the statistics aggregate the survivors.
 // `--kill` demonstrates this with deterministic fault injection.
 //
-// Run:   ./ensemble [gain] [--kill Member[:interval]]
+// With `--ckpt DIR` every member (and the statistics) checkpoints each
+// coupling interval into DIR; adding `--heal` runs the job under the
+// respawning supervisor: a killed member is relaunched, restores its
+// latest checkpoint, rejoins the running application, and the final
+// statistics are identical to the fault-free run.
+//
+// Run:   ./ensemble [gain] [--kill Member[:interval]] [--ckpt DIR] [--heal]
 //        (gain 0 = free ensemble, >0 = steered;
 //         --kill Ocean3:2 kills member Ocean3 at coupling interval 2)
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 
 #include "src/climate/scenario.hpp"
 #include "src/minimpi/launcher.hpp"
 #include "src/mph/mph.hpp"
+#include "src/mph/recover.hpp"
 
 namespace {
 
@@ -41,6 +50,9 @@ END
 constexpr int kMembers = 4;
 constexpr int kRanksPerMember = 2;
 
+std::string g_store_dir;  ///< --ckpt DIR; empty = recovery off
+bool g_heal = false;      ///< --heal: supervisor respawn + liveness retries
+
 mph::climate::ClimateConfig make_config() {
   mph::climate::ClimateConfig cfg;
   cfg.ocn_nlon = 36;
@@ -53,14 +65,26 @@ mph::climate::ClimateConfig make_config() {
 mph::HandshakeOptions isolated() {
   mph::HandshakeOptions options;
   options.isolate_instances = true;
+  if (g_heal) {
+    // Ride out the death-to-respawn window: probe a dead peer for up to
+    // ~10 s before declaring it gone for good.
+    options.liveness.attempts = 200;
+    options.liveness.backoff = std::chrono::milliseconds(50);
+    options.liveness.backoff_factor = 1.0;
+  }
   return options;
 }
 
-void instance_main(const minimpi::Comm& world, const minimpi::ExecEnv&) {
+void instance_main(const minimpi::Comm& world, const minimpi::ExecEnv& env) {
   // One executable, replicated 4 times by MPH (§4.4):
   //   Ocean_World = MPH_multi_instance("Ocean")
-  mph::Mph h = mph::Mph::multi_instance(
-      world, mph::RegistrySource::from_text(kRegistry), "Ocean", isolated());
+  // A respawned incarnation must NOT redo the world-collective handshake
+  // (the survivors are mid-run): it rejoins from the blackboard layout.
+  mph::Mph h = env.incarnation == 0
+                   ? mph::Mph::multi_instance(
+                         world, mph::RegistrySource::from_text(kRegistry),
+                         "Ocean", isolated())
+                   : mph::Mph::rejoin_instance(world, "Ocean", isolated());
 
   // Per-instance parameters, exactly the paper's MPH_get_argument.
   double diff = 1.0;
@@ -68,12 +92,25 @@ void instance_main(const minimpi::Comm& world, const minimpi::ExecEnv&) {
   std::string namelist = "<none>";
   h.get_argument_field(1, namelist);
   if (h.local_proc_id() == 0) {
-    std::printf("[%s] %d ranks, namelist=%s, diff=%.2f\n",
-                h.comp_name().c_str(), h.comp_comm().size(),
-                namelist.c_str(), diff);
+    if (env.incarnation == 0) {
+      std::printf("[%s] %d ranks, namelist=%s, diff=%.2f\n",
+                  h.comp_name().c_str(), h.comp_comm().size(),
+                  namelist.c_str(), diff);
+    } else {
+      std::printf("[%s] incarnation %d rejoined; restoring from %s\n",
+                  h.comp_name().c_str(), env.incarnation,
+                  g_store_dir.c_str());
+    }
   }
 
-  (void)mph::climate::run_ensemble_instance(h, make_config(), "statistics");
+  std::optional<mph::recover::CheckpointStore> store;
+  mph::climate::RecoverySpec spec;
+  if (!g_store_dir.empty()) {
+    store.emplace(g_store_dir);
+    spec.store = &*store;
+  }
+  (void)mph::climate::run_ensemble_instance(h, make_config(), "statistics",
+                                            store ? &spec : nullptr);
 }
 
 void statistics_main(const minimpi::Comm& world, const minimpi::ExecEnv& env) {
@@ -82,8 +119,15 @@ void statistics_main(const minimpi::Comm& world, const minimpi::ExecEnv& env) {
       isolated());
   const double gain = env.args.empty() ? 0.0 : std::atof(env.args[0].c_str());
 
+  std::optional<mph::recover::CheckpointStore> store;
+  mph::climate::RecoverySpec spec;
+  if (!g_store_dir.empty()) {
+    store.emplace(g_store_dir);
+    spec.store = &*store;
+  }
   const mph::climate::EnsembleResult result =
-      mph::climate::run_ensemble_statistics(h, make_config(), "Ocean", gain);
+      mph::climate::run_ensemble_statistics(h, make_config(), "Ocean", gain,
+                                            store ? &spec : nullptr);
 
   std::printf("\nensemble SST statistics per coupling interval (gain=%.2f):\n",
               gain);
@@ -92,6 +136,11 @@ void statistics_main(const minimpi::Comm& world, const minimpi::ExecEnv& env) {
     const auto& s = result.snapshots[i];
     std::printf("%8zu | %8.4f | %8.4f | %8.4f | %8.4f | %7.4f\n", i, s.mean,
                 s.median, s.min, s.max, std::sqrt(s.variance));
+  }
+  for (const std::string& member : result.healed_members) {
+    std::printf("member %s died and was HEALED in place; every interval "
+                "aggregates the full ensemble\n",
+                member.c_str());
   }
   for (const std::string& member : result.failed_members) {
     const auto failure = h.failure_of(member);
@@ -109,7 +158,10 @@ void statistics_main(const minimpi::Comm& world, const minimpi::ExecEnv& env) {
 
 /// "Member[:interval]" → kill plan pinning member's first world rank at the
 /// given coupling interval (run_ensemble_instance's fault checkpoint).
-minimpi::FaultPlan parse_kill(const std::string& spec) {
+/// With checkpointing on, the member loop numbers its kill points 2i (the
+/// interval boundary) and 2i+1 (between its sample and its nudge) — the
+/// interval given here maps to the boundary point.
+minimpi::FaultPlan parse_kill(const std::string& spec, bool recovery) {
   std::string member = spec;
   std::uint64_t interval = 0;
   if (const std::size_t colon = spec.find(':'); colon != std::string::npos) {
@@ -120,7 +172,8 @@ minimpi::FaultPlan parse_kill(const std::string& spec) {
   for (int m = 0; m < kMembers; ++m) {
     if (member == "Ocean" + std::to_string(m + 1)) {
       minimpi::FaultPlan plan;
-      plan.kill_at_step(m * kRanksPerMember, interval);
+      plan.kill_at_step(m * kRanksPerMember,
+                        recovery ? 2 * interval : interval);
       return plan;
     }
   }
@@ -133,14 +186,32 @@ minimpi::FaultPlan parse_kill(const std::string& spec) {
 
 int main(int argc, char** argv) {
   std::string gain = "0";
+  std::string kill_spec;
   minimpi::JobOptions options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--kill" && i + 1 < argc) {
-      options.faults = parse_kill(argv[++i]);
+      kill_spec = argv[++i];
+    } else if (arg == "--ckpt" && i + 1 < argc) {
+      g_store_dir = argv[++i];
+    } else if (arg == "--heal") {
+      g_heal = true;
     } else {
       gain = arg;
     }
+  }
+  if (g_heal && g_store_dir.empty()) {
+    std::fprintf(stderr, "--heal requires --ckpt DIR (the replacement "
+                         "restores from the checkpoint store)\n");
+    return 2;
+  }
+  if (!kill_spec.empty()) {
+    options.faults = parse_kill(kill_spec, !g_store_dir.empty());
+  }
+  if (g_heal) {
+    options.respawn.enabled = true;
+    options.respawn.max_respawns = kMembers;
+    options.respawn.backoff = std::chrono::milliseconds(10);
   }
 
   const minimpi::JobReport report = minimpi::run_mpmd(
@@ -155,11 +226,16 @@ int main(int argc, char** argv) {
     std::printf("contained: world rank %d (%s): %s\n", f.world_rank,
                 f.component.c_str(), f.what.c_str());
   }
+  for (const minimpi::RespawnEvent& e : report.recovery.respawns) {
+    std::printf("respawned %s (incarnation %d) after %s\n", e.label.c_str(),
+                e.incarnation, e.cause.c_str());
+  }
   if (!report.ok) {
     std::fprintf(stderr, "job failed: %s\n", report.abort_reason.c_str());
     return 1;
   }
-  std::printf("ensemble: OK%s\n",
-              report.contained.empty() ? "" : " (with contained failures)");
+  std::printf("ensemble: OK%s%s\n",
+              report.contained.empty() ? "" : " (with contained failures)",
+              report.recovery.healed() ? " (healed)" : "");
   return 0;
 }

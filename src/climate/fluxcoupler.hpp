@@ -70,6 +70,11 @@ class FluxCoupler {
     return diag_;
   }
 
+  /// Checkpoint restore: replace the accumulated diagnostics wholesale.
+  void restore_diagnostics(CouplerDiagnostics diag) {
+    diag_ = std::move(diag);
+  }
+
  private:
   ClimateConfig cfg_;
   mph::Mph& handle_;

@@ -12,6 +12,9 @@
 // rank-0 processors in each component").
 #pragma once
 
+#include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "src/climate/grid.hpp"
@@ -19,6 +22,25 @@
 #include "src/minimpi/comm.hpp"
 
 namespace mph::climate {
+
+namespace detail {
+/// Communication-free checkpoint restore of a row-decomposed field: every
+/// rank passes the same full global field and keeps only its own rows.
+/// Halo rows are left stale; the models' step() refreshes them first.
+inline void restore_full_field(RowBlockField2D& field, const Grid2D& grid,
+                               std::span<const double> full,
+                               const char* what) {
+  if (static_cast<std::int64_t>(full.size()) != grid.size()) {
+    throw std::invalid_argument(
+        std::string("restore_state: ") + what + " holds " +
+        std::to_string(full.size()) + " values, grid has " +
+        std::to_string(grid.size()));
+  }
+  field.fill([&](int i, int j) {
+    return full[static_cast<std::size_t>(grid.index(i, j))];
+  });
+}
+}  // namespace detail
 
 /// Shared configuration every component of a coupled run agrees on.
 struct ClimateConfig {
@@ -90,6 +112,24 @@ class Atmosphere {
   }
   [[nodiscard]] const Grid2D& grid() const noexcept { return grid_; }
 
+  // Checkpoint support: gather state to the component root for saving
+  // (empty off-root), restore communication-free from full global fields.
+  [[nodiscard]] std::vector<double> export_state_primary() const {
+    return field_.gather(comm_);
+  }
+  [[nodiscard]] std::vector<double> export_state_import() const {
+    return sst_.gather(comm_);
+  }
+  [[nodiscard]] bool has_import() const noexcept { return have_sst_; }
+  void restore_state(std::span<const double> primary_full,
+                     std::span<const double> import_full, bool has_import) {
+    detail::restore_full_field(field_, grid_, primary_full, "temperature");
+    if (has_import) {
+      detail::restore_full_field(sst_, grid_, import_full, "SST import");
+    }
+    have_sst_ = has_import;
+  }
+
  private:
   ClimateConfig cfg_;
   minimpi::Comm comm_;
@@ -122,6 +162,23 @@ class Ocean {
   void scale_diffusivity(double factor) { cfg_.ocn_diffusion *= factor; }
   void nudge(double delta);
 
+  // Checkpoint support (see Atmosphere).
+  [[nodiscard]] std::vector<double> export_state_primary() const {
+    return field_.gather(comm_);
+  }
+  [[nodiscard]] std::vector<double> export_state_import() const {
+    return flux_.gather(comm_);
+  }
+  [[nodiscard]] bool has_import() const noexcept { return have_flux_; }
+  void restore_state(std::span<const double> primary_full,
+                     std::span<const double> import_full, bool has_import) {
+    detail::restore_full_field(field_, grid_, primary_full, "SST");
+    if (has_import) {
+      detail::restore_full_field(flux_, grid_, import_full, "flux import");
+    }
+    have_flux_ = has_import;
+  }
+
  private:
   ClimateConfig cfg_;
   minimpi::Comm comm_;
@@ -145,6 +202,24 @@ class Land {
     return moisture_.global_mean(grid_, comm_);
   }
 
+  // Checkpoint support (see Atmosphere).
+  [[nodiscard]] std::vector<double> export_state_primary() const {
+    return moisture_.gather(comm_);
+  }
+  [[nodiscard]] std::vector<double> export_state_import() const {
+    return t_atm_.gather(comm_);
+  }
+  [[nodiscard]] bool has_import() const noexcept { return have_t_; }
+  void restore_state(std::span<const double> primary_full,
+                     std::span<const double> import_full, bool has_import) {
+    detail::restore_full_field(moisture_, grid_, primary_full, "moisture");
+    if (has_import) {
+      detail::restore_full_field(t_atm_, grid_, import_full,
+                                 "temperature import");
+    }
+    have_t_ = has_import;
+  }
+
  private:
   ClimateConfig cfg_;
   minimpi::Comm comm_;
@@ -165,6 +240,23 @@ class SeaIce {
   [[nodiscard]] std::vector<double> export_fraction() const;
   [[nodiscard]] double global_mean_thickness() const {
     return thickness_.global_mean(grid_, comm_);
+  }
+
+  // Checkpoint support (see Atmosphere).
+  [[nodiscard]] std::vector<double> export_state_primary() const {
+    return thickness_.gather(comm_);
+  }
+  [[nodiscard]] std::vector<double> export_state_import() const {
+    return sst_.gather(comm_);
+  }
+  [[nodiscard]] bool has_import() const noexcept { return have_sst_; }
+  void restore_state(std::span<const double> primary_full,
+                     std::span<const double> import_full, bool has_import) {
+    detail::restore_full_field(thickness_, grid_, primary_full, "thickness");
+    if (has_import) {
+      detail::restore_full_field(sst_, grid_, import_full, "SST import");
+    }
+    have_sst_ = has_import;
   }
 
  private:

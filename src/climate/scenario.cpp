@@ -1,6 +1,10 @@
 #include "src/climate/scenario.hpp"
 
+#include <array>
 #include <chrono>
+#include <cstdint>
+#include <optional>
+#include <set>
 #include <thread>
 
 #include "src/minimpi/collectives.hpp"
@@ -34,12 +38,63 @@ struct RootExchange {
   }
 };
 
+// ---------------------------------------------------------------------------
+// Recovery helpers (DESIGN.md §13).  All of this is behind the
+// `recovery != nullptr` branch; a run without a RecoverySpec never reaches
+// any of it.
+// ---------------------------------------------------------------------------
+
+/// Restore a model from the checkpoint of `step` (all component ranks read
+/// the file independently — restore_state is communication-free).  Throws
+/// SetupError when the agreed step has no file (a pruned or lost store).
+template <class Model>
+void restore_model(const recover::CheckpointStore& store,
+                   const std::string& name, std::uint64_t step, Model& model,
+                   ComponentResult& result) {
+  const std::optional<recover::Checkpoint> ckpt = store.load_step(name, step);
+  if (!ckpt.has_value()) {
+    throw SetupError("recovery: component '" + name +
+                     "' has no checkpoint for the agreed restart step " +
+                     std::to_string(step) + " in " + store.dir());
+  }
+  const bool has_import = ckpt->flag("has_import");
+  const std::vector<double> import =
+      has_import ? ckpt->doubles("import") : std::vector<double>{};
+  model.restore_state(ckpt->doubles("primary"), import, has_import);
+  result.mean_series = ckpt->doubles("mean_series");
+}
+
+/// Checkpoint a model at the end of `interval` (collective over the
+/// component: all ranks gather, the root writes).
+template <class Model>
+void save_model(const recover::CheckpointStore& store, mph::Mph& h,
+                const Model& model, int interval,
+                const ComponentResult& result) {
+  const std::vector<double> primary = model.export_state_primary();
+  const std::vector<double> import = model.export_state_import();
+  if (h.local_proc_id() != 0) return;
+  recover::Checkpoint ckpt(static_cast<std::uint64_t>(interval));
+  ckpt.put_doubles("primary", primary);
+  ckpt.put_doubles("import", import);
+  ckpt.put_flag("has_import", model.has_import());
+  ckpt.put_doubles("mean_series", result.mean_series);
+  store.save(h.comp_name(), ckpt);
+}
+
 ComponentResult run_atmosphere(mph::Mph& h, const ClimateConfig& cfg,
-                               const std::string& coupler_name) {
+                               const std::string& coupler_name,
+                               const RecoverySpec* recovery, int start) {
   Atmosphere model(cfg, h.comp_comm());
   const RootExchange xch{h, coupler_name};
   ComponentResult result{"atmosphere", {}, {}};
-  for (int interval = 0; interval < cfg.intervals; ++interval) {
+  if (recovery != nullptr && start > 0) {
+    restore_model(*recovery->store, h.comp_name(),
+                  static_cast<std::uint64_t>(start - 1), model, result);
+  }
+  for (int interval = start; interval < cfg.intervals; ++interval) {
+    if (recovery != nullptr) {
+      h.world().fault_checkpoint(static_cast<std::uint64_t>(interval));
+    }
     for (int s = 0; s < cfg.steps_per_interval; ++s) model.step();
     // The coupler sees the time mean over the interval, not a sample.
     xch.send_export(model.export_temperature_mean(), tags::t_atm_to_cpl);
@@ -47,66 +102,133 @@ ComponentResult run_atmosphere(mph::Mph& h, const ClimateConfig& cfg,
         static_cast<std::size_t>(model.grid().size()), tags::sst_to_atm);
     model.import_sst(sst);
     result.mean_series.push_back(model.global_mean());
+    if (recovery != nullptr) {
+      save_model(*recovery->store, h, model, interval, result);
+    }
   }
   return result;
 }
 
 ComponentResult run_ocean(mph::Mph& h, const ClimateConfig& cfg,
-                          const std::string& coupler_name) {
+                          const std::string& coupler_name,
+                          const RecoverySpec* recovery, int start) {
   Ocean model(cfg, h.comp_comm());
   const RootExchange xch{h, coupler_name};
   ComponentResult result{"ocean", {}, {}};
-  for (int interval = 0; interval < cfg.intervals; ++interval) {
+  if (recovery != nullptr && start > 0) {
+    restore_model(*recovery->store, h.comp_name(),
+                  static_cast<std::uint64_t>(start - 1), model, result);
+  }
+  for (int interval = start; interval < cfg.intervals; ++interval) {
+    if (recovery != nullptr) {
+      h.world().fault_checkpoint(static_cast<std::uint64_t>(interval));
+    }
     for (int s = 0; s < cfg.steps_per_interval; ++s) model.step();
     xch.send_export(model.export_sst_mean(), tags::sst_to_cpl);
     const std::vector<double> flux = xch.recv_import(
         static_cast<std::size_t>(model.grid().size()), tags::flux_to_ocn);
     model.import_flux(flux);
     result.mean_series.push_back(model.global_mean());
+    if (recovery != nullptr) {
+      save_model(*recovery->store, h, model, interval, result);
+    }
   }
   return result;
 }
 
 ComponentResult run_land(mph::Mph& h, const ClimateConfig& cfg,
-                         const std::string& coupler_name) {
+                         const std::string& coupler_name,
+                         const RecoverySpec* recovery, int start) {
   Land model(cfg, h.comp_comm());
   const RootExchange xch{h, coupler_name};
   const auto atm_size = static_cast<std::size_t>(
       static_cast<std::int64_t>(cfg.atm_nlon) * cfg.atm_nlat);
   ComponentResult result{"land", {}, {}};
-  for (int interval = 0; interval < cfg.intervals; ++interval) {
+  if (recovery != nullptr && start > 0) {
+    restore_model(*recovery->store, h.comp_name(),
+                  static_cast<std::uint64_t>(start - 1), model, result);
+  }
+  for (int interval = start; interval < cfg.intervals; ++interval) {
+    if (recovery != nullptr) {
+      h.world().fault_checkpoint(static_cast<std::uint64_t>(interval));
+    }
     for (int s = 0; s < cfg.steps_per_interval; ++s) model.step();
     xch.send_export(model.export_evaporation(), tags::evap_to_cpl);
     const std::vector<double> t_atm =
         xch.recv_import(atm_size, tags::t_atm_to_land);
     model.import_temperature(t_atm);
     result.mean_series.push_back(model.global_mean());
+    if (recovery != nullptr) {
+      save_model(*recovery->store, h, model, interval, result);
+    }
   }
   return result;
 }
 
 ComponentResult run_ice(mph::Mph& h, const ClimateConfig& cfg,
-                        const std::string& coupler_name) {
+                        const std::string& coupler_name,
+                        const RecoverySpec* recovery, int start) {
   SeaIce model(cfg, h.comp_comm());
   const RootExchange xch{h, coupler_name};
   const auto ocn_size = static_cast<std::size_t>(
       static_cast<std::int64_t>(cfg.ocn_nlon) * cfg.ocn_nlat);
   ComponentResult result{"ice", {}, {}};
-  for (int interval = 0; interval < cfg.intervals; ++interval) {
+  if (recovery != nullptr && start > 0) {
+    restore_model(*recovery->store, h.comp_name(),
+                  static_cast<std::uint64_t>(start - 1), model, result);
+  }
+  for (int interval = start; interval < cfg.intervals; ++interval) {
+    if (recovery != nullptr) {
+      h.world().fault_checkpoint(static_cast<std::uint64_t>(interval));
+    }
     for (int s = 0; s < cfg.steps_per_interval; ++s) model.step();
     xch.send_export(model.export_fraction(), tags::ice_to_cpl);
     const std::vector<double> sst = xch.recv_import(ocn_size, tags::sst_to_ice);
     model.import_sst(sst);
     result.mean_series.push_back(model.global_mean_thickness());
+    if (recovery != nullptr) {
+      save_model(*recovery->store, h, model, interval, result);
+    }
   }
   return result;
 }
 
 ComponentResult run_coupler(mph::Mph& h, const ClimateConfig& cfg,
-                            const FluxCoupler::Peers& peers) {
+                            const FluxCoupler::Peers& peers,
+                            const RecoverySpec* recovery, int start) {
   FluxCoupler coupler(cfg, h, peers);
-  for (int interval = 0; interval < cfg.intervals; ++interval) {
+  if (recovery != nullptr && start > 0 && h.local_proc_id() == 0) {
+    // The coupler's whole state is its diagnostics, and it lives on the
+    // component root only (non-root coupler ranks idle by design).
+    const std::uint64_t step = static_cast<std::uint64_t>(start - 1);
+    const std::optional<recover::Checkpoint> ckpt =
+        recovery->store->load_step(h.comp_name(), step);
+    if (!ckpt.has_value()) {
+      throw SetupError("recovery: component '" + h.comp_name() +
+                       "' has no checkpoint for the agreed restart step " +
+                       std::to_string(step) + " in " + recovery->store->dir());
+    }
+    CouplerDiagnostics diag;
+    diag.mean_t_atm = ckpt->doubles("mean_t_atm");
+    diag.mean_sst = ckpt->doubles("mean_sst");
+    diag.mean_evap = ckpt->doubles("mean_evap");
+    diag.mean_icefrac = ckpt->doubles("mean_icefrac");
+    coupler.restore_diagnostics(std::move(diag));
+  }
+  for (int interval = start; interval < cfg.intervals; ++interval) {
+    if (recovery != nullptr) {
+      h.world().fault_checkpoint(static_cast<std::uint64_t>(interval));
+    }
     coupler.couple_once();
+    if (recovery != nullptr && h.local_proc_id() == 0) {
+      const CouplerDiagnostics& diag = coupler.diagnostics();
+      recover::Checkpoint ckpt(static_cast<std::uint64_t>(interval));
+      ckpt.put_doubles("mean_t_atm", diag.mean_t_atm);
+      ckpt.put_doubles("mean_sst", diag.mean_sst);
+      ckpt.put_doubles("mean_evap", diag.mean_evap);
+      ckpt.put_doubles("mean_icefrac", diag.mean_icefrac);
+      recovery->store->save(h.comp_name(), ckpt);
+    }
   }
   ComponentResult result{"coupler", {}, coupler.diagnostics()};
   result.mean_series = result.coupler.mean_sst;
@@ -118,13 +240,42 @@ ComponentResult run_coupler(mph::Mph& h, const ClimateConfig& cfg,
 ComponentResult run_coupled_component(mph::Mph& handle,
                                       const ClimateConfig& cfg,
                                       const FluxCoupler::Peers& peers,
-                                      const std::string& coupler_name) {
+                                      const std::string& coupler_name,
+                                      const RecoverySpec* recovery) {
+  if (recovery != nullptr && recovery->store == nullptr) recovery = nullptr;
+  int start = 0;
+  if (recovery != nullptr) {
+    // The coupled system checkpoints in lockstep but components can die one
+    // interval apart (a kill between a component's save and its peers').
+    // Agree on the newest step EVERY component can restore: the minimum of
+    // the per-component latest steps (the store retains two steps, so the
+    // laggard's neighbour still holds the agreed one).  Collective over the
+    // whole application, like the exchange schedule itself.
+    const std::optional<std::uint64_t> latest =
+        recovery->store->latest_step(handle.comp_name());
+    std::uint64_t candidate =
+        latest.has_value() ? *latest + 1 : std::uint64_t{0};
+    candidate = minimpi::allreduce_value(
+        handle.world(), candidate,
+        [](std::uint64_t a, std::uint64_t b) { return a < b ? a : b; });
+    start = static_cast<int>(candidate);
+  }
   const std::string& role = handle.comp_name();
-  if (role == peers.atmosphere) return run_atmosphere(handle, cfg, coupler_name);
-  if (role == peers.ocean) return run_ocean(handle, cfg, coupler_name);
-  if (role == peers.land) return run_land(handle, cfg, coupler_name);
-  if (role == peers.ice) return run_ice(handle, cfg, coupler_name);
-  if (role == coupler_name) return run_coupler(handle, cfg, peers);
+  if (role == peers.atmosphere) {
+    return run_atmosphere(handle, cfg, coupler_name, recovery, start);
+  }
+  if (role == peers.ocean) {
+    return run_ocean(handle, cfg, coupler_name, recovery, start);
+  }
+  if (role == peers.land) {
+    return run_land(handle, cfg, coupler_name, recovery, start);
+  }
+  if (role == peers.ice) {
+    return run_ice(handle, cfg, coupler_name, recovery, start);
+  }
+  if (role == coupler_name) {
+    return run_coupler(handle, cfg, peers, recovery, start);
+  }
   throw MphError("run_coupled_component: component '" + role +
                  "' has no role in the coupled system");
 }
@@ -177,7 +328,9 @@ CouplerDiagnostics run_serial_reference(const minimpi::Comm& world,
 
 EnsembleResult run_ensemble_instance(mph::Mph& handle,
                                      const ClimateConfig& cfg,
-                                     const std::string& stats_name) {
+                                     const std::string& stats_name,
+                                     const RecoverySpec* recovery) {
+  if (recovery != nullptr && recovery->store == nullptr) recovery = nullptr;
   ClimateConfig my_cfg = cfg;
   double diff_scale = 1.0;
   handle.get_argument("diff", diff_scale);
@@ -186,10 +339,28 @@ EnsembleResult run_ensemble_instance(mph::Mph& handle,
   model.scale_diffusivity(diff_scale);
 
   EnsembleResult result;
-  for (int interval = 0; interval < cfg.intervals; ++interval) {
+  int start = 0;
+  if (recovery != nullptr) {
+    // Resume from my newest checkpoint (communication-free: every member
+    // rank reads the file and keeps its own rows).  No checkpoint means a
+    // cold start — identical to the legacy path from interval 0.
+    const std::optional<recover::Checkpoint> ckpt =
+        recovery->store->load_latest(handle.comp_name());
+    if (ckpt.has_value()) {
+      model.restore_state(ckpt->doubles("ocean.sst"), {}, false);
+      result.my_means = ckpt->doubles("my_means");
+      start = static_cast<int>(ckpt->step()) + 1;
+    }
+  }
+  for (int interval = start; interval < cfg.intervals; ++interval) {
     // Fault-injection checkpoint: "kill member M at interval N" plans
     // (FaultPlan::kill_at_step) fire here, before the interval's work.
-    handle.world().fault_checkpoint(static_cast<std::uint64_t>(interval));
+    // Recovery mode doubles the kill points (2i = interval boundary,
+    // 2i+1 = after the sample went up, before the nudge came back) so
+    // tests can kill on either side of the protocol's send.
+    handle.world().fault_checkpoint(
+        recovery != nullptr ? static_cast<std::uint64_t>(2 * interval)
+                            : static_cast<std::uint64_t>(interval));
     for (int s = 0; s < cfg.steps_per_interval; ++s) model.step();
     const double mean = model.global_mean();
     result.my_means.push_back(mean);
@@ -197,20 +368,124 @@ EnsembleResult run_ensemble_instance(mph::Mph& handle,
     // Root reports the instantaneous mean and receives the control nudge;
     // the nudge is broadcast inside the instance and applied everywhere.
     double nudge = 0;
-    if (handle.local_proc_id() == 0) {
+    if (recovery != nullptr) {
+      if (handle.local_proc_id() == 0) {
+        // Interval-tagged sample: after a restore the statistics component
+        // may legitimately see interval I twice (once from the dead
+        // incarnation, once from the replacement) and tells them apart by
+        // the tag.
+        const std::array<double, 2> up = {static_cast<double>(interval),
+                                          mean};
+        handle.send(std::span<const double>(up), stats_name, 0,
+                    tags::stat_up);
+      }
+      handle.world().fault_checkpoint(
+          static_cast<std::uint64_t>(2 * interval + 1));
+      if (handle.local_proc_id() == 0) {
+        for (;;) {
+          std::array<double, 2> down = {0, 0};
+          handle.recv(std::span<double>(down), stats_name, 0,
+                      tags::stat_down);
+          const int j = static_cast<int>(down[0]);
+          if (j == interval) {
+            nudge = down[1];
+            break;
+          }
+          if (j > interval) {
+            throw MphError(
+                "run_ensemble_instance: '" + handle.comp_name() +
+                "' at interval " + std::to_string(interval) +
+                " received the control nudge of future interval " +
+                std::to_string(j) +
+                " — the statistics component ran ahead of my sample");
+          }
+          // j < interval: a replay of a nudge I already applied (the
+          // statistics component resends its last nudges after a restart
+          // in case they never arrived); drop it and keep waiting.
+        }
+      }
+    } else if (handle.local_proc_id() == 0) {
       handle.send(mean, stats_name, 0, tags::stat_up);
       handle.recv(nudge, stats_name, 0, tags::stat_down);
     }
     minimpi::bcast_value(handle.comp_comm(), nudge, 0);
     model.nudge(nudge);
+    if (recovery != nullptr) {
+      // Checkpoint AFTER the nudge is applied: the snapshot is the state
+      // the next interval starts from, so a replacement restored from it
+      // never re-requests this interval's nudge.
+      const std::vector<double> full = model.export_state_primary();
+      if (handle.local_proc_id() == 0) {
+        recover::Checkpoint ckpt(static_cast<std::uint64_t>(interval));
+        ckpt.put_doubles("ocean.sst", full);
+        ckpt.put_doubles("my_means", result.my_means);
+        recovery->store->save(handle.comp_name(), ckpt);
+      }
+    }
   }
   return result;
 }
 
+namespace {
+
+/// Serialize/parse the snapshots series for the statistics checkpoint
+/// (5 doubles per interval, in field order).
+std::vector<double> flatten_snapshots(
+    const std::vector<EnsembleSnapshot>& snapshots) {
+  std::vector<double> flat;
+  flat.reserve(snapshots.size() * 5);
+  for (const EnsembleSnapshot& s : snapshots) {
+    flat.push_back(s.mean);
+    flat.push_back(s.variance);
+    flat.push_back(s.min);
+    flat.push_back(s.max);
+    flat.push_back(s.median);
+  }
+  return flat;
+}
+
+std::vector<EnsembleSnapshot> unflatten_snapshots(
+    const std::vector<double>& flat) {
+  if (flat.size() % 5 != 0) {
+    throw SetupError(
+        "recovery: statistics checkpoint holds " +
+        std::to_string(flat.size()) +
+        " snapshot values, not a multiple of 5 (corrupt or foreign entry)");
+  }
+  std::vector<EnsembleSnapshot> snapshots(flat.size() / 5);
+  for (std::size_t i = 0; i < snapshots.size(); ++i) {
+    snapshots[i].mean = flat[5 * i];
+    snapshots[i].variance = flat[5 * i + 1];
+    snapshots[i].min = flat[5 * i + 2];
+    snapshots[i].max = flat[5 * i + 3];
+    snapshots[i].median = flat[5 * i + 4];
+  }
+  return snapshots;
+}
+
+/// Total wait the statistics component grants a dead member before giving
+/// up on its replacement: the same backoff schedule await_alive would walk
+/// (attempts <= 1 means no retry policy — report dead immediately, the
+/// pre-recovery semantics).
+std::chrono::milliseconds dead_member_budget(const LivenessOptions& liveness) {
+  std::chrono::duration<double, std::milli> total{0};
+  double scale = 1.0;
+  for (int a = 1; a < liveness.attempts; ++a) {
+    total += std::chrono::duration<double, std::milli>(
+        static_cast<double>(liveness.backoff.count()) * scale);
+    scale *= liveness.backoff_factor;
+  }
+  return std::chrono::duration_cast<std::chrono::milliseconds>(total);
+}
+
+}  // namespace
+
 EnsembleResult run_ensemble_statistics(mph::Mph& handle,
                                        const ClimateConfig& cfg,
                                        const std::string& prefix,
-                                       double gain) {
+                                       double gain,
+                                       const RecoverySpec* recovery) {
+  if (recovery != nullptr && recovery->store == nullptr) recovery = nullptr;
   // Discover the instances from the directory: every component whose name
   // starts with the prefix, in component-id order.
   std::vector<std::string> instances;
@@ -227,6 +502,54 @@ EnsembleResult run_ensemble_statistics(mph::Mph& handle,
   EnsembleStatistics stats(static_cast<int>(instances.size()));
   EnsembleResult result;
   std::vector<bool> alive(instances.size(), true);
+
+  // --- recovery state (untouched on the legacy path) ------------------------
+  int start = 0;
+  // The newest nudge computed for each member; replayed when a restored
+  // member re-sends a sample the dead incarnation already delivered.
+  std::vector<double> cached_nudge(instances.size(), 0.0);
+  // Members currently observed dead, with the time the death was first
+  // seen (the respawn grace window runs from there).
+  std::vector<std::optional<std::chrono::steady_clock::time_point>> dead_since(
+      instances.size());
+  std::set<std::size_t> healed;
+  const std::chrono::milliseconds budget =
+      recovery != nullptr ? dead_member_budget(handle.options().liveness)
+                          : std::chrono::milliseconds{0};
+
+  if (recovery != nullptr && handle.local_proc_id() == 0) {
+    const std::optional<recover::Checkpoint> ckpt =
+        recovery->store->load_latest(handle.comp_name());
+    if (ckpt.has_value()) {
+      result.snapshots = unflatten_snapshots(ckpt->doubles("snapshots"));
+      const std::vector<double> nudges = ckpt->doubles("nudges");
+      const std::vector<std::uint64_t> alive_flags = ckpt->u64s("alive");
+      if (nudges.size() != instances.size() ||
+          alive_flags.size() != instances.size()) {
+        throw SetupError(
+            "recovery: statistics checkpoint describes " +
+            std::to_string(nudges.size()) + " members, ensemble has " +
+            std::to_string(instances.size()));
+      }
+      cached_nudge = nudges;
+      for (std::size_t k = 0; k < instances.size(); ++k) {
+        alive[k] = alive_flags[k] != 0;
+      }
+      const auto step = static_cast<int>(ckpt->step());
+      start = step + 1;
+      // The checkpoint is written after aggregation but BEFORE the nudges
+      // go out, so the members may never have received interval `step`'s
+      // nudges.  Resend them; a member that already applied its copy sees
+      // a stale tag and drops the duplicate.
+      for (std::size_t k = 0; k < instances.size(); ++k) {
+        if (!alive[k]) continue;
+        const std::array<double, 2> down = {static_cast<double>(step),
+                                            cached_nudge[k]};
+        handle.send(std::span<const double>(down), instances[k], 0,
+                    tags::stat_down);
+      }
+    }
+  }
 
   // Wait for member k's sample without committing to a blocking receive: a
   // member that dies under MIME isolation would otherwise stall the whole
@@ -251,7 +574,70 @@ EnsembleResult run_ensemble_statistics(mph::Mph& handle,
     }
   };
 
-  for (int interval = 0; interval < cfg.intervals; ++interval) {
+  // The recovery-aware variant: samples are {interval, mean} pairs, dead
+  // members get a respawn grace window instead of an immediate write-off,
+  // and a restored member's replayed sample is answered with the cached
+  // nudge it missed.
+  const auto member_sample_recovering = [&](std::size_t k, int interval,
+                                            double& out) -> bool {
+    const minimpi::rank_t src = handle.global_rank_of(instances[k], 0);
+    const minimpi::Deadline deadline = handle.world().job().deadline();
+    for (;;) {
+      if (handle.world().iprobe(src, tags::stat_up).has_value()) {
+        std::array<double, 2> up = {0, 0};
+        handle.recv(std::span<double>(up), instances[k], 0, tags::stat_up);
+        const int j = static_cast<int>(up[0]);
+        if (j == interval) {
+          if (dead_since[k].has_value()) {
+            healed.insert(k);
+            dead_since[k].reset();
+          }
+          out = up[1];
+          return true;
+        }
+        if (j > interval) {
+          throw MphError("run_ensemble_statistics: member '" + instances[k] +
+                         "' sent the sample of future interval " +
+                         std::to_string(j) + " while interval " +
+                         std::to_string(interval) + " is being aggregated");
+        }
+        // j < interval: the dead incarnation already delivered this
+        // sample; the replacement restored from an older checkpoint and
+        // replays it.  Answer with the nudge it missed (same value the
+        // aggregate used — determinism is preserved) and keep waiting for
+        // the current interval.  A stale tag is itself proof of a restored
+        // member — count the heal even when the death-to-respawn window was
+        // too short for the poll below to observe — except right after our
+        // own restart (interval == start), where it is ordinary lag.
+        const std::array<double, 2> down = {static_cast<double>(j),
+                                            cached_nudge[k]};
+        handle.send(std::span<const double>(down), instances[k], 0,
+                    tags::stat_down);
+        if (dead_since[k].has_value() || interval > start) healed.insert(k);
+        dead_since[k].reset();
+        continue;
+      }
+      if (handle.failure_of(instances[k]).has_value()) {
+        // Observed dead.  With no retry policy that is final (legacy
+        // semantics); otherwise grant the supervisor's respawn window.
+        if (handle.options().liveness.attempts <= 1) return false;
+        const auto now = std::chrono::steady_clock::now();
+        if (!dead_since[k].has_value()) {
+          dead_since[k] = now;
+        } else if (now - *dead_since[k] > budget) {
+          return false;
+        }
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        throw MphError("run_ensemble_statistics: timed out waiting for the "
+                       "sample of live member '" +
+                       instances[k] + "'");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+
+  for (int interval = start; interval < cfg.intervals; ++interval) {
     if (handle.local_proc_id() != 0) continue;
     std::vector<double> samples;
     std::vector<std::size_t> live;
@@ -259,7 +645,10 @@ EnsembleResult run_ensemble_statistics(mph::Mph& handle,
     for (std::size_t k = 0; k < instances.size(); ++k) {
       if (!alive[k]) continue;
       double sample = 0;
-      if (member_sample(k, sample)) {
+      const bool got = recovery != nullptr
+                           ? member_sample_recovering(k, interval, sample)
+                           : member_sample(k, sample);
+      if (got) {
         samples.push_back(sample);
         live.push_back(k);
       } else {
@@ -271,19 +660,49 @@ EnsembleResult run_ensemble_statistics(mph::Mph& handle,
     const EnsembleSnapshot snap = stats.aggregate(samples);
     const std::vector<double> nudges =
         stats.control_nudges(samples, snap.mean, gain);
-    for (std::size_t i = 0; i < live.size(); ++i) {
-      // A member can die after reporting; don't nudge a corpse.
-      if (handle.ping(instances[live[i]])) {
-        handle.send(nudges[i], instances[live[i]], 0, tags::stat_down);
-      } else {
-        alive[live[i]] = false;
+    result.snapshots.push_back(snap);
+    if (recovery != nullptr) {
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        cached_nudge[live[i]] = nudges[i];
+      }
+      // Checkpoint BEFORE the nudges go out (they are stored inside, so a
+      // restart can resend them): this pins the member/statistics lag to
+      // at most one interval, which the replay protocol absorbs.
+      std::vector<std::uint64_t> alive_flags(instances.size(), 0);
+      for (std::size_t k = 0; k < instances.size(); ++k) {
+        alive_flags[k] = alive[k] ? 1 : 0;
+      }
+      recover::Checkpoint ckpt(static_cast<std::uint64_t>(interval));
+      ckpt.put_doubles("snapshots", flatten_snapshots(result.snapshots));
+      ckpt.put_doubles("nudges", cached_nudge);
+      ckpt.put_u64s("alive", alive_flags);
+      recovery->store->save(handle.comp_name(), ckpt);
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        // Unconditional send: a nudge to a member that died again simply
+        // sits in its mailbox until the heal drains it, and the replay
+        // path re-delivers the value.
+        const std::array<double, 2> down = {static_cast<double>(interval),
+                                            nudges[i]};
+        handle.send(std::span<const double>(down), instances[live[i]], 0,
+                    tags::stat_down);
+      }
+    } else {
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        // A member can die after reporting; don't nudge a corpse.
+        if (handle.ping(instances[live[i]])) {
+          handle.send(nudges[i], instances[live[i]], 0, tags::stat_down);
+        } else {
+          alive[live[i]] = false;
+        }
       }
     }
-    result.snapshots.push_back(snap);
   }
   if (handle.local_proc_id() == 0) {
     for (std::size_t k = 0; k < instances.size(); ++k) {
       if (!alive[k]) result.failed_members.push_back(instances[k]);
+    }
+    for (const std::size_t k : healed) {
+      result.healed_members.push_back(instances[k]);
     }
   }
   return result;

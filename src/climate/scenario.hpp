@@ -12,8 +12,21 @@
 #include "src/climate/models.hpp"
 #include "src/climate/statistics.hpp"
 #include "src/mph/mph.hpp"
+#include "src/mph/recover.hpp"
 
 namespace mph::climate {
+
+/// Opt-in recovery wiring for the scenario drivers.  When null (the
+/// default) the drivers run exactly the legacy protocol — the off path is
+/// a single pointer test.  When set, components checkpoint their state to
+/// `store` each coupling interval and restore from the newest checkpoint
+/// on entry, so a respawned ensemble member (or a whole restarted job)
+/// resumes instead of recomputing.  DESIGN.md §13 describes the protocol.
+struct RecoverySpec {
+  /// Shared store; entries are keyed by component name.  Must outlive the
+  /// driver call.
+  recover::CheckpointStore* store = nullptr;
+};
 
 /// What one component measured during a coupled run.
 struct ComponentResult {
@@ -32,7 +45,8 @@ struct ComponentResult {
 ComponentResult run_coupled_component(
     mph::Mph& handle, const ClimateConfig& cfg,
     const FluxCoupler::Peers& peers = FluxCoupler::Peers(),
-    const std::string& coupler_name = "coupler");
+    const std::string& coupler_name = "coupler",
+    const RecoverySpec* recovery = nullptr);
 
 /// Result of an ensemble participant.
 struct EnsembleResult {
@@ -43,6 +57,9 @@ struct EnsembleResult {
   /// Statistics root only: members observed dead during the run (MIME
   /// isolation) — their samples were skipped from the interval they died.
   std::vector<std::string> failed_members;
+  /// Statistics root only, recovery mode: members that died and came back
+  /// (supervised respawn + checkpoint restore) without losing an interval.
+  std::vector<std::string> healed_members;
 };
 
 /// Run one ocean ensemble instance (a component created by
@@ -52,7 +69,8 @@ struct EnsembleResult {
 /// and applies the control nudge that comes back.
 EnsembleResult run_ensemble_instance(mph::Mph& handle,
                                      const ClimateConfig& cfg,
-                                     const std::string& stats_name);
+                                     const std::string& stats_name,
+                                     const RecoverySpec* recovery = nullptr);
 
 /// Serial reference: the entire coupled system composed by direct function
 /// calls in ONE process (no MPH, no message passing) with the identical
@@ -71,6 +89,7 @@ EnsembleResult run_ensemble_instance(mph::Mph& handle,
 EnsembleResult run_ensemble_statistics(mph::Mph& handle,
                                        const ClimateConfig& cfg,
                                        const std::string& prefix,
-                                       double gain);
+                                       double gain,
+                                       const RecoverySpec* recovery = nullptr);
 
 }  // namespace mph::climate

@@ -57,6 +57,26 @@ class FieldAccumulator {
     samples_ = 0;
   }
 
+  /// The raw running sum, for checkpointing (paired with samples()).
+  [[nodiscard]] const std::vector<double>& sum() const noexcept {
+    return sum_;
+  }
+
+  /// Restore a mid-interval accumulation captured by sum()/samples().
+  void restore(std::span<const double> sum, int samples) {
+    if (sum.size() != sum_.size()) {
+      throw std::invalid_argument(
+          "FieldAccumulator::restore: state of " + std::to_string(sum.size()) +
+          " elements into accumulator of " + std::to_string(sum_.size()));
+    }
+    if (samples < 0) {
+      throw std::invalid_argument(
+          "FieldAccumulator::restore: negative sample count");
+    }
+    sum_.assign(sum.begin(), sum.end());
+    samples_ = samples;
+  }
+
  private:
   std::vector<double> sum_;
   int samples_ = 0;

@@ -50,6 +50,53 @@ Decomp Decomp::cyclic(std::int64_t global_size, int nranks,
   return d;
 }
 
+Decomp Decomp::weighted(std::int64_t global_size,
+                        std::span<const double> weights) {
+  if (global_size < 0) fail("negative global size");
+  if (weights.empty()) fail("at least one weight required");
+  double total = 0.0;
+  for (const double w : weights) {
+    if (w < 0.0) fail("negative weight");
+    total += w;
+  }
+  if (total <= 0.0) fail("at least one weight must be positive");
+
+  const int nranks = static_cast<int>(weights.size());
+  // Largest-remainder apportionment of global_size indices.
+  std::vector<std::int64_t> counts(weights.size());
+  std::vector<std::pair<double, int>> remainders;  // (-fraction, rank)
+  std::int64_t assigned = 0;
+  for (int r = 0; r < nranks; ++r) {
+    const double share =
+        static_cast<double>(global_size) * weights[static_cast<std::size_t>(r)] /
+        total;
+    counts[static_cast<std::size_t>(r)] = static_cast<std::int64_t>(share);
+    assigned += counts[static_cast<std::size_t>(r)];
+    remainders.emplace_back(-(share - static_cast<double>(
+                                          counts[static_cast<std::size_t>(r)])),
+                            r);
+  }
+  // Ties break toward the lower rank: sort is on (-fraction, rank).
+  std::sort(remainders.begin(), remainders.end());
+  for (std::size_t i = 0; assigned < global_size; ++i) {
+    ++counts[static_cast<std::size_t>(remainders[i % remainders.size()].second)];
+    ++assigned;
+  }
+
+  Decomp d;
+  d.global_size_ = global_size;
+  d.per_rank_.resize(weights.size());
+  std::int64_t start = 0;
+  for (int r = 0; r < nranks; ++r) {
+    const std::int64_t len = counts[static_cast<std::size_t>(r)];
+    if (len > 0) {
+      d.per_rank_[static_cast<std::size_t>(r)].push_back(Segment{start, len});
+    }
+    start += len;
+  }
+  return d;
+}
+
 Decomp Decomp::from_segments(std::int64_t global_size,
                              std::vector<std::vector<Segment>> per_rank) {
   if (global_size < 0) fail("negative global size");

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace mph::coupler {
@@ -45,6 +46,15 @@ class Decomp {
   /// [0, global_size) exactly).
   static Decomp from_segments(std::int64_t global_size,
                               std::vector<std::vector<Segment>> per_rank);
+
+  /// Contiguous blocks sized proportionally to `weights` (one non-negative
+  /// weight per rank, at least one positive).  Largest-remainder rounding:
+  /// each rank gets floor(share) indices, leftovers go one-each to the
+  /// largest fractional remainders (ties to the lower rank), so the result
+  /// is deterministic and sums exactly to global_size.  The weight-driven
+  /// analogue of block() used by the Rebalancer (rebalance.hpp).
+  static Decomp weighted(std::int64_t global_size,
+                         std::span<const double> weights);
 
   [[nodiscard]] std::int64_t global_size() const noexcept {
     return global_size_;

@@ -66,6 +66,16 @@ class TimeManager {
   [[nodiscard]] long long step() const noexcept { return step_; }
   [[nodiscard]] bool done() const noexcept { return time() >= stop_; }
 
+  /// Jump the clock to an absolute step, for checkpoint restore: the next
+  /// advance() moves to step+1, exactly as if the run had stepped here.
+  void restore_step(long long step) {
+    if (step < 0) {
+      throw std::invalid_argument("TimeManager: cannot restore to step " +
+                                  std::to_string(step));
+    }
+    step_ = step;
+  }
+
   /// Advance one step; returns the names of alarms that fired.
   std::vector<std::string> advance() {
     const double prev = time();

@@ -180,7 +180,11 @@ void Job::join_domain(rank_t world_rank, int domain_id,
       slot = std::make_unique<FailureDomain>();
       slot->label = label;
     }
-    slot->ranks.push_back(world_rank);
+    // Idempotent membership: a respawned rank re-joins the same domain.
+    if (std::find(slot->ranks.begin(), slot->ranks.end(), world_rank) ==
+        slot->ranks.end()) {
+      slot->ranks.push_back(world_rank);
+    }
     rank_domain_[static_cast<std::size_t>(world_rank)] = domain_id;
     domain = slot.get();
   }
@@ -229,6 +233,59 @@ std::optional<AbortInfo> Job::domain_abort_info(int domain_id) const {
     return std::nullopt;
   }
   return it->second->info;
+}
+
+std::vector<rank_t> Job::domain_ranks(int domain_id) const {
+  const std::lock_guard<std::mutex> lock(domains_mutex_);
+  auto it = domains_.find(domain_id);
+  if (it == domains_.end()) return {};
+  return it->second->ranks;
+}
+
+std::string Job::domain_label(int domain_id) const {
+  const std::lock_guard<std::mutex> lock(domains_mutex_);
+  auto it = domains_.find(domain_id);
+  if (it == domains_.end()) return {};
+  return it->second->label;
+}
+
+void Job::heal_domain(int domain_id) {
+  std::vector<rank_t> members;
+  {
+    const std::lock_guard<std::mutex> lock(domains_mutex_);
+    auto it = domains_.find(domain_id);
+    if (it == domains_.end()) return;
+    FailureDomain& domain = *it->second;
+    if (!domain.flag.load(std::memory_order_acquire)) return;
+    // Clear the flag first: the reason string is only read after observing
+    // the flag set, and no member thread is running at this point anyway
+    // (heal_domain's contract).
+    domain.flag.store(false, std::memory_order_release);
+    domain.reason.clear();
+    domain.info.reset();
+    members = domain.ranks;
+    MPH_DIAG_LOG(info) << "failure domain '" << domain.label
+                       << "' healed for respawn";
+  }
+  for (const rank_t r : members) {
+    rank_failed_[static_cast<std::size_t>(r)].store(false,
+                                                    std::memory_order_release);
+    // Discard traffic addressed to the dead incarnation: the replacement
+    // starts from its checkpoint with a clean mailbox.
+    (void)mailbox(r).drain();
+  }
+}
+
+void Job::put_shared(const std::string& key, std::string value) {
+  const std::lock_guard<std::mutex> lock(shared_mutex_);
+  shared_[key] = std::move(value);
+}
+
+std::optional<std::string> Job::get_shared(const std::string& key) const {
+  const std::lock_guard<std::mutex> lock(shared_mutex_);
+  const auto it = shared_.find(key);
+  if (it == shared_.end()) return std::nullopt;
+  return it->second;
 }
 
 void Job::control_send(rank_t src_world, rank_t dest_world, tag_t control_tag,

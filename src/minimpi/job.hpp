@@ -33,6 +33,20 @@
 
 namespace minimpi {
 
+/// Respawn policy for failure-domain members (the launcher's "member
+/// replacement" recovery pillar).  Off by default: when disabled the
+/// launcher never checks domains at rank exit and behaves exactly as
+/// before — zero cost on the no-recovery path.
+struct RespawnOptions {
+  bool enabled = false;
+  /// Maximum replacements per failure domain over the job's lifetime.
+  int max_respawns = 1;
+  /// Delay before the first respawn of a domain; subsequent respawns of
+  /// the same domain back off by `backoff_factor`.
+  std::chrono::milliseconds backoff{10};
+  double backoff_factor = 2.0;
+};
+
 struct JobOptions {
   /// Upper bound for any single blocking receive/probe/wait.  Deadlocked
   /// applications fail with Errc::timeout instead of hanging the test
@@ -67,6 +81,11 @@ struct JobOptions {
   /// VerifyScheduler here; shared_ptr because the engine also keeps a
   /// handle across the job's lifetime.
   std::shared_ptr<Scheduler> scheduler;
+
+  /// Failed-member replacement (run_mpmd supervisor).  Ignored — with a
+  /// diagnostic — when a verifying scheduler is installed: respawn times
+  /// are wall-clock events outside the explored schedule space.
+  RespawnOptions respawn;
 };
 
 // CommStats lives in metrics.hpp: the one job-wide counter struct shared
@@ -183,11 +202,26 @@ class Job {
   /// member).  A failing domain member aborts only the domain: its ranks
   /// unwind with AbortedError, everyone else keeps running.  Each rank
   /// registers itself, before any member can fail (MPH: during the
-  /// handshake).
+  /// handshake).  Idempotent per rank: a respawned member re-joining its
+  /// healed domain is recorded once.
   void join_domain(rank_t world_rank, int domain_id, const std::string& label);
 
   /// Domain of a rank, or -1 when unregistered.
   [[nodiscard]] int domain_of(rank_t world_rank) const;
+
+  /// World ranks registered in a domain (empty for an unknown id).
+  [[nodiscard]] std::vector<rank_t> domain_ranks(int domain_id) const;
+
+  /// Label a domain was created with ("" for an unknown id).
+  [[nodiscard]] std::string domain_label(int domain_id) const;
+
+  /// Un-abort a domain so replacement ranks can run in it: clears the
+  /// domain flag/reason/info, clears the member ranks' failure marks, and
+  /// drains their mailboxes (traffic addressed to the dead incarnation).
+  /// Call only after every member rank's thread has exited — the launcher
+  /// supervisor does, between death and respawn.  No-op for an unknown or
+  /// un-aborted domain.
+  void heal_domain(int domain_id);
 
   /// Abort one domain: record the structured reason (first caller wins) and
   /// wake only that domain's blocked ranks.  Idempotent.
@@ -197,6 +231,18 @@ class Job {
 
   /// Structured failure of an aborted domain (empty otherwise).
   [[nodiscard]] std::optional<AbortInfo> domain_abort_info(int domain_id) const;
+
+  // --- shared blackboard ----------------------------------------------------
+  // A small job-lifetime key→value store for facts that must outlive the
+  // ranks that learned them.  The MPH handshake publishes its resolved
+  // layout here so a respawned member can rebuild its directory without a
+  // world collective (the survivors are mid-run and cannot participate).
+  // Last write wins; writers publishing the same key must agree on the
+  // value.
+
+  void put_shared(const std::string& key, std::string value);
+  [[nodiscard]] std::optional<std::string> get_shared(
+      const std::string& key) const;
 
   // --- deadlines / control -------------------------------------------------
 
@@ -296,6 +342,10 @@ class Job {
   mutable std::mutex domains_mutex_;
   std::map<int, std::unique_ptr<FailureDomain>> domains_;
   std::vector<int> rank_domain_;  ///< guarded by domains_mutex_
+
+  // Shared blackboard (see put_shared/get_shared).
+  mutable std::mutex shared_mutex_;
+  std::map<std::string, std::string> shared_;
 
   // Declared LAST: the monitor thread calls metrics_snapshot(), which
   // reads the mailboxes and liveness flags above, so it must be destroyed

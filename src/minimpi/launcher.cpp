@@ -1,6 +1,9 @@
 #include "src/minimpi/launcher.hpp"
 
 #include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <map>
 #include <mutex>
 #include <thread>
 
@@ -50,90 +53,197 @@ JobReport run_mpmd(const std::vector<ExecSpec>& specs, JobOptions options) {
   JobReport report;
   std::mutex report_mutex;
 
+  // Respawn is a wall-clock event outside any explored schedule space, so
+  // it is incompatible with an installed scheduler (mph_verify).
+  bool respawn_enabled = options.respawn.enabled;
+  if (respawn_enabled && job->scheduler() != nullptr) {
+    MPH_DIAG_LOG(info)
+        << "run_mpmd: respawn disabled (a scheduler is installed)";
+    respawn_enabled = false;
+  }
+
+  // Rank threads report their exit here; the supervisor (this thread)
+  // decides whether an exited failure domain gets respawned.
+  struct Completion {
+    rank_t world_rank = -1;
+  };
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::deque<Completion> completions;
+
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(total));
 
+  // Per-world-rank bookkeeping, touched only by the supervisor thread
+  // (before the initial spawn and after a rank's completion event).
+  std::vector<std::size_t> rank_exec(static_cast<std::size_t>(total), 0);
+  std::vector<int> rank_incarnation(static_cast<std::size_t>(total), 0);
+  std::vector<char> rank_exited(static_cast<std::size_t>(total), 0);
+
+  const auto spawn_rank = [&](std::size_t e, rank_t world_rank,
+                              int incarnation) {
+    threads.emplace_back([&, e, world_rank, incarnation] {
+      const ExecSpec& my_spec = specs[e];
+      mph::util::set_thread_label("rank " + std::to_string(world_rank) + " (" +
+                                  my_spec.name + ")");
+      job->set_rank_label(world_rank, my_spec.name);
+      ExecEnv env;
+      env.exec_index = static_cast<int>(e);
+      env.exec_name = my_spec.name;
+      env.args = my_spec.args;
+      env.world_rank = world_rank;
+      env.incarnation = incarnation;
+      // The component attributed to this rank: the handshake layer may
+      // relabel the rank with its component name (e.g. an ensemble member);
+      // until then the executable name stands in.
+      const auto component = [&]() -> std::string {
+        std::string label = job->rank_label(world_rank);
+        return label.empty() ? my_spec.name : label;
+      };
+      const auto push = [&](std::vector<RankFailure>& into, std::string op,
+                            std::string what) {
+        const std::lock_guard<std::mutex> lock(report_mutex);
+        into.push_back(RankFailure{world_rank, static_cast<int>(e),
+                                   component(), std::move(op),
+                                   std::move(what)});
+      };
+      // Scheduler lifecycle brackets, RAII so a throwing entry point still
+      // counts as finished — a finished rank can never send again, which
+      // is what the verify scheduler's quiescence detection relies on.
+      struct SchedScope {
+        Scheduler* sched;
+        rank_t rank;
+        SchedScope(Scheduler* s, rank_t r) : sched(s), rank(r) {
+          if (sched != nullptr) sched->rank_started(rank);
+        }
+        ~SchedScope() {
+          if (sched != nullptr) sched->rank_finished(rank);
+        }
+      } sched_scope{job->scheduler(), world_rank};
+      try {
+        const Comm world = Comm::world(job, world_rank);
+        world.fault_point(KillPoint::entry);
+        my_spec.entry(world, env);
+        world.fault_point(KillPoint::finish);
+      } catch (const AbortedError& ex) {
+        // Collateral: some other rank failed first.  When the whole job
+        // aborted this is ordinary unwinding; when only this rank's
+        // failure domain aborted it is contained collateral.
+        job->mark_rank_failed(world_rank);
+        push(job->aborted() ? report.failures : report.contained,
+             std::string{}, ex.what());
+      } catch (const FaultInjectedError& ex) {
+        job->mark_rank_failed(world_rank);
+        AbortInfo info{world_rank, component(), kill_point_name(ex.point()),
+                       ex.what()};
+        const bool contained = record_failure(*job, info);
+        push(contained ? report.contained : report.failures,
+             kill_point_name(ex.point()), ex.what());
+      } catch (const DeadlockError& ex) {
+        // mpicheck upgraded a blocked receive into a cycle report; keep
+        // it distinct from generic user-code failures.
+        job->mark_rank_failed(world_rank);
+        AbortInfo info{world_rank, component(), "deadlock", ex.what()};
+        const bool contained = record_failure(*job, info);
+        push(contained ? report.contained : report.failures, "deadlock",
+             ex.what());
+      } catch (const std::exception& ex) {
+        MPH_DIAG_LOG(error) << "rank " << world_rank
+                            << " failed: " << ex.what();
+        job->mark_rank_failed(world_rank);
+        AbortInfo info{world_rank, component(), "user code", ex.what()};
+        const bool contained = record_failure(*job, info);
+        push(contained ? report.contained : report.failures, "user code",
+             ex.what());
+      }
+      {
+        const std::lock_guard<std::mutex> lock(done_mutex);
+        completions.push_back(Completion{world_rank});
+      }
+      done_cv.notify_one();
+    });
+  };
+
   rank_t base = 0;
   for (std::size_t e = 0; e < specs.size(); ++e) {
-    const ExecSpec& spec = specs[e];
-    for (int p = 0; p < spec.nprocs; ++p) {
+    for (int p = 0; p < specs[e].nprocs; ++p) {
       const rank_t world_rank = base + p;
-      threads.emplace_back([&, e, world_rank] {
-        const ExecSpec& my_spec = specs[e];
-        mph::util::set_thread_label("rank " + std::to_string(world_rank) +
-                                    " (" + my_spec.name + ")");
-        job->set_rank_label(world_rank, my_spec.name);
-        ExecEnv env;
-        env.exec_index = static_cast<int>(e);
-        env.exec_name = my_spec.name;
-        env.args = my_spec.args;
-        env.world_rank = world_rank;
-        // The component attributed to this rank: the handshake layer may
-        // relabel the rank with its component name (e.g. an ensemble member);
-        // until then the executable name stands in.
-        const auto component = [&]() -> std::string {
-          std::string label = job->rank_label(world_rank);
-          return label.empty() ? my_spec.name : label;
-        };
-        const auto push = [&](std::vector<RankFailure>& into, std::string op,
-                              std::string what) {
-          const std::lock_guard<std::mutex> lock(report_mutex);
-          into.push_back(RankFailure{world_rank, static_cast<int>(e),
-                                     component(), std::move(op),
-                                     std::move(what)});
-        };
-        // Scheduler lifecycle brackets, RAII so a throwing entry point still
-        // counts as finished — a finished rank can never send again, which
-        // is what the verify scheduler's quiescence detection relies on.
-        struct SchedScope {
-          Scheduler* sched;
-          rank_t rank;
-          SchedScope(Scheduler* s, rank_t r) : sched(s), rank(r) {
-            if (sched != nullptr) sched->rank_started(rank);
-          }
-          ~SchedScope() {
-            if (sched != nullptr) sched->rank_finished(rank);
-          }
-        } sched_scope{job->scheduler(), world_rank};
-        try {
-          const Comm world = Comm::world(job, world_rank);
-          world.fault_point(KillPoint::entry);
-          my_spec.entry(world, env);
-          world.fault_point(KillPoint::finish);
-        } catch (const AbortedError& ex) {
-          // Collateral: some other rank failed first.  When the whole job
-          // aborted this is ordinary unwinding; when only this rank's
-          // failure domain aborted it is contained collateral.
-          job->mark_rank_failed(world_rank);
-          push(job->aborted() ? report.failures : report.contained,
-               std::string{}, ex.what());
-        } catch (const FaultInjectedError& ex) {
-          job->mark_rank_failed(world_rank);
-          AbortInfo info{world_rank, component(),
-                         kill_point_name(ex.point()), ex.what()};
-          const bool contained = record_failure(*job, info);
-          push(contained ? report.contained : report.failures,
-               kill_point_name(ex.point()), ex.what());
-        } catch (const DeadlockError& ex) {
-          // mpicheck upgraded a blocked receive into a cycle report; keep
-          // it distinct from generic user-code failures.
-          job->mark_rank_failed(world_rank);
-          AbortInfo info{world_rank, component(), "deadlock", ex.what()};
-          const bool contained = record_failure(*job, info);
-          push(contained ? report.contained : report.failures, "deadlock",
-               ex.what());
-        } catch (const std::exception& ex) {
-          MPH_DIAG_LOG(error) << "rank " << world_rank << " failed: "
-                              << ex.what();
-          job->mark_rank_failed(world_rank);
-          AbortInfo info{world_rank, component(), "user code", ex.what()};
-          const bool contained = record_failure(*job, info);
-          push(contained ? report.contained : report.failures, "user code",
-               ex.what());
-        }
-      });
+      rank_exec[static_cast<std::size_t>(world_rank)] = e;
+      spawn_rank(e, world_rank, 0);
     }
-    base += spec.nprocs;
+    base += specs[e].nprocs;
+  }
+
+  // Supervision loop: wait until every live rank thread has exited.  When
+  // respawn is enabled and ALL ranks of an aborted failure domain have
+  // exited, heal the domain (after the configured backoff) and relaunch its
+  // ranks at the next incarnation, up to the per-domain budget.
+  std::map<int, int> respawns_used;
+  int remaining = total;
+  while (remaining > 0) {
+    Completion done;
+    {
+      std::unique_lock<std::mutex> lock(done_mutex);
+      done_cv.wait(lock, [&] { return !completions.empty(); });
+      done = completions.front();
+      completions.pop_front();
+    }
+    --remaining;
+    rank_exited[static_cast<std::size_t>(done.world_rank)] = 1;
+    if (!respawn_enabled) continue;
+
+    const int domain = job->domain_of(done.world_rank);
+    if (domain < 0 || !job->domain_aborted(domain)) continue;
+    std::vector<rank_t> members = job->domain_ranks(domain);
+    // Domain membership is recorded in rank-arrival order; sort so the
+    // respawn event (and the incarnation bookkeeping keyed off the first
+    // member) is deterministic.
+    std::sort(members.begin(), members.end());
+    const bool all_exited =
+        std::all_of(members.begin(), members.end(), [&](rank_t r) {
+          return rank_exited[static_cast<std::size_t>(r)] != 0;
+        });
+    if (!all_exited) continue;
+    int& used = respawns_used[domain];
+    if (used >= options.respawn.max_respawns) continue;
+    ++used;
+
+    // Exponential backoff per domain: first respawn waits `backoff`, each
+    // further respawn of the same domain multiplies by `backoff_factor`.
+    auto backoff = options.respawn.backoff;
+    for (int i = 1; i < used; ++i) {
+      backoff = std::chrono::milliseconds(static_cast<long long>(
+          static_cast<double>(backoff.count()) *
+          options.respawn.backoff_factor));
+    }
+    if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+
+    const std::optional<AbortInfo> cause = job->domain_abort_info(domain);
+    const std::string label = job->domain_label(domain);
+    job->heal_domain(domain);
+
+    RespawnEvent event;
+    event.domain_id = domain;
+    event.label = label;
+    event.ranks = members;
+    event.cause = cause.has_value() ? cause->to_string() : std::string{};
+    event.backoff = backoff;
+    event.incarnation =
+        rank_incarnation[static_cast<std::size_t>(members.front())] + 1;
+    MPH_DIAG_LOG(info) << "respawning failure domain '" << label << "' ("
+                       << members.size() << " ranks, incarnation "
+                       << event.incarnation << ")";
+    {
+      const std::lock_guard<std::mutex> lock(report_mutex);
+      report.recovery.respawns.push_back(event);
+    }
+    for (const rank_t r : members) {
+      const auto slot = static_cast<std::size_t>(r);
+      rank_exited[slot] = 0;
+      const int incarnation = ++rank_incarnation[slot];
+      ++remaining;
+      spawn_rank(rank_exec[slot], r, incarnation);
+    }
   }
 
   for (std::thread& t : threads) t.join();

@@ -32,6 +32,11 @@ struct ExecEnv {
   std::string exec_name;          ///< label of the executable entry
   std::vector<std::string> args;  ///< argv-style arguments of the executable
   rank_t world_rank = 0;          ///< this rank's id in COMM_WORLD
+  /// 0 on the first launch; incremented each time this rank is respawned as
+  /// a failed-member replacement (JobOptions::respawn).  Entry points that
+  /// support recovery branch on this: a replacement re-runs the rejoin
+  /// handshake and restores from its checkpoint instead of starting fresh.
+  int incarnation = 0;
 };
 
 /// One command-file line: an "executable" and the processes it gets.
@@ -50,6 +55,22 @@ struct RankFailure {
   std::string component;  ///< executable name of the failed rank
   std::string operation;  ///< kill-point / "user code" / "" for collateral
   std::string what;
+};
+
+/// One failed-member replacement performed by the run_mpmd supervisor.
+struct RespawnEvent {
+  int domain_id = -1;        ///< healed failure domain
+  std::string label;         ///< domain label (e.g. the member name)
+  int incarnation = 0;       ///< incarnation the replacement ranks started at
+  std::vector<rank_t> ranks; ///< world ranks respawned together
+  std::string cause;         ///< abort info of the death that triggered it
+  std::chrono::milliseconds backoff{0};  ///< delay applied before the heal
+};
+
+/// Recovery actions of one job (JobOptions::respawn).
+struct RecoveryReport {
+  std::vector<RespawnEvent> respawns;
+  [[nodiscard]] bool healed() const noexcept { return !respawns.empty(); }
 };
 
 /// Result of a completed job.
@@ -76,6 +97,10 @@ struct JobReport {
   /// (JobOptions::monitor / MINIMPI_MONITOR).  Taken after every rank
   /// joined, so unlike the live snapshots it is exact, not torn.
   std::optional<MetricsSnapshot> metrics;
+  /// Member replacements performed (empty unless JobOptions::respawn fired).
+  /// A healed domain's deaths still appear in `contained`; the respawn
+  /// events here say which of them were replaced and when.
+  RecoveryReport recovery;
 
   /// Convenience for tests: message of the first failure ("" when ok).
   [[nodiscard]] std::string first_error() const {

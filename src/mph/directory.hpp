@@ -107,6 +107,12 @@ class Directory {
   /// Remember that `component_id` was observed dead.
   void mark_failed(int component_id) const { failed_.insert(component_id); }
 
+  /// Forget a death observation — called by Mph::ping when a previously
+  /// dead component answers again (its failure domain was healed by a
+  /// respawn).  Without this the cache is sticky and a healed member would
+  /// stay in failed_components() forever.
+  void clear_failed(int component_id) const { failed_.erase(component_id); }
+
   [[nodiscard]] bool is_failed(int component_id) const noexcept {
     return failed_.contains(component_id);
   }

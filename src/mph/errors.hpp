@@ -6,6 +6,7 @@
 // flexibility goals make common during model development.
 #pragma once
 
+#include <chrono>
 #include <stdexcept>
 #include <string>
 
@@ -86,6 +87,39 @@ class ComponentFailedError : public MphError {
   std::string component_;
   int world_rank_;
   std::string operation_;
+};
+
+/// A peer stayed dead past the liveness retry budget.  Thrown by
+/// Mph::await_alive (and require_alive under LivenessOptions with a
+/// timeout) once every attempt was used; names the peer, how many times it
+/// was probed, and how long the caller waited in total.
+class PeerTimeoutError : public MphError {
+ public:
+  PeerTimeoutError(std::string component, int attempts,
+                   std::chrono::milliseconds elapsed)
+      : MphError("liveness: component '" + component + "' still dead after " +
+                 std::to_string(attempts) + " ping attempt" +
+                 (attempts == 1 ? "" : "s") + " over " +
+                 std::to_string(elapsed.count()) + " ms"),
+        component_(std::move(component)),
+        attempts_(attempts),
+        elapsed_(elapsed) {}
+
+  /// Name of the component that never came back.
+  [[nodiscard]] const std::string& component() const noexcept {
+    return component_;
+  }
+  /// Number of ping probes made before giving up.
+  [[nodiscard]] int attempts() const noexcept { return attempts_; }
+  /// Wall-clock time spent waiting across all attempts.
+  [[nodiscard]] std::chrono::milliseconds elapsed() const noexcept {
+    return elapsed_;
+  }
+
+ private:
+  std::string component_;
+  int attempts_;
+  std::chrono::milliseconds elapsed_;
 };
 
 }  // namespace mph

@@ -1,6 +1,9 @@
 #include "src/mph/handshake.hpp"
 
+#include <optional>
 #include <set>
+#include <span>
+#include <string_view>
 
 #include "src/minimpi/collectives.hpp"
 #include "src/mph/errors.hpp"
@@ -107,6 +110,16 @@ HandshakeResult handshake(const Comm& world, const Registry& registry,
   result.directory = std::move(resolution.directory);
   result.world = world;
   result.declaration = declaration;
+  result.options = options;
+
+  // Publish the established layout to the job blackboard so that a
+  // respawned member can rebuild this exact directory later without any
+  // collective involving survivors (rejoin_handshake).  Rank 0 only — the
+  // inputs are identical everywhere, so one copy suffices.
+  if (world.rank() == 0) {
+    world.job().put_shared(kRegistryKey, registry.to_text());
+    world.job().put_shared(kSignaturesKey, u::join(signatures, "\n"));
+  }
 
   // Locate my run.
   const rank_t my_world = world.rank();
@@ -265,6 +278,126 @@ HandshakeResult handshake(const Comm& world, const Registry& registry,
   }
 
   MPH_DIAG_LOG(info) << "MPH handshake done in " << timer.micros() << " us";
+  return result;
+}
+
+HandshakeResult rejoin_handshake(const Comm& world,
+                                 const LocalDeclaration& declaration,
+                                 const HandshakeOptions& options) {
+  const u::Timer timer;
+  validate_declaration(declaration);
+  minimpi::Job& job = world.job();
+  minimpi::Tracer* tracer = job.tracer();
+  minimpi::MetricsRegistry* metrics = job.metrics();
+  const rank_t my_world = world.rank();
+
+  // Rebuild the layout from the blackboard instead of an allgather: the
+  // survivors are mid-run and cannot join a collective.  resolve_layout is
+  // pure and deterministic, so the directory built here is byte-identical
+  // to every survivor's copy.
+  const std::optional<std::string> registry_text = job.get_shared(kRegistryKey);
+  const std::optional<std::string> signature_text =
+      job.get_shared(kSignaturesKey);
+  if (!registry_text.has_value() || !signature_text.has_value()) {
+    throw SetupError(
+        "rejoin: the job blackboard holds no published layout — the "
+        "original handshake must complete before a member can rejoin");
+  }
+  const Registry registry = Registry::parse(*registry_text);
+  std::vector<std::string> signatures;
+  for (const std::string_view sig : u::split(*signature_text, '\n')) {
+    signatures.emplace_back(sig);
+  }
+  if (static_cast<int>(signatures.size()) != world.size()) {
+    throw SetupError("rejoin: published layout covers " +
+                     std::to_string(signatures.size()) + " ranks, world has " +
+                     std::to_string(world.size()));
+  }
+  const std::string my_signature = declaration_signature(declaration);
+  if (signatures[static_cast<std::size_t>(my_world)] != my_signature) {
+    throw SetupError(
+        "rejoin: world rank " + std::to_string(my_world) +
+        " originally declared '" +
+        signatures[static_cast<std::size_t>(my_world)] +
+        "' but the replacement declares '" + my_signature + "'");
+  }
+  const std::vector<ExecutableRun> runs = find_runs(signatures);
+  LayoutResolution resolution = resolve_layout(registry, runs);
+
+  HandshakeResult result;
+  result.directory = std::move(resolution.directory);
+  result.world = world;
+  result.declaration = declaration;
+  result.options = options;
+
+  int my_run = -1;
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    if (my_world >= runs[r].base && my_world < runs[r].base + runs[r].size) {
+      my_run = static_cast<int>(r);
+      break;
+    }
+  }
+  if (my_run < 0) {
+    throw SetupError("rejoin: world rank " + std::to_string(my_world) +
+                     " is not covered by any executable run");
+  }
+  result.exec_index = my_run;
+  const ExecutableRun& run = runs[static_cast<std::size_t>(my_run)];
+  const ExecutableBlock& my_block =
+      registry.blocks()[static_cast<std::size_t>(
+          resolution.block_of_run[static_cast<std::size_t>(my_run)])];
+  const rank_t rel = my_world - run.base;
+
+  const std::vector<int>& ids =
+      result.directory.execs()[static_cast<std::size_t>(my_run)].component_ids;
+  int primary = -1;
+  rank_t local = rel;
+  if (my_block.kind == BlockKind::single) {
+    primary = ids.front();
+  } else {
+    for (std::size_t i = 0; i < my_block.components.size(); ++i) {
+      const ComponentEntry& c = my_block.components[i];
+      if (rel >= c.low && rel <= c.high) {
+        primary = ids[i];
+        local = rel - c.low;
+        break;
+      }
+    }
+  }
+  if (primary < 0) {
+    throw SetupError("rejoin: world rank " + std::to_string(my_world) +
+                     " is not covered by any component of its executable");
+  }
+  const ComponentRecord& record = result.directory.component(primary);
+  job.set_rank_label(my_world, record.name);
+  if (metrics != nullptr) metrics->set_component(my_world, record.name);
+  if (tracer != nullptr) {
+    tracer->set_track_name(my_world,
+                           record.name + ":" + std::to_string(local));
+  }
+  if (options.isolate_instances &&
+      my_block.kind == BlockKind::multi_instance) {
+    // Idempotent: the heal kept the domain registered, so the replacement
+    // rank re-joins the same slot.
+    job.join_domain(my_world, primary, record.name);
+  }
+
+  // The only collective of the rejoin: the member communicator, over
+  // exactly the ranks being respawned together.  Survivors are uninvolved.
+  std::vector<rank_t> members;
+  members.reserve(static_cast<std::size_t>(record.size()));
+  for (rank_t r = record.global_low; r <= record.global_high; ++r) {
+    members.push_back(r);
+  }
+  Comm comp =
+      world.create_ordered_world(std::span<const rank_t>(members));
+  // Degradation vs. the full handshake (see handshake.hpp): the member
+  // communicator stands in for the executable communicator.
+  result.exec_comm = comp;
+  result.my_component_ids.push_back(primary);
+  result.my_component_comms.push_back(std::move(comp));
+  MPH_DIAG_LOG(info) << "MPH rejoin handshake for '" << record.name
+                     << "' done in " << timer.micros() << " us";
   return result;
 }
 

@@ -24,6 +24,7 @@
 //               (components overlap).
 #pragma once
 
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,19 @@ struct LocalDeclaration {
   std::vector<std::string> names;
 };
 
+/// Retry policy for liveness probes (Mph::ping / await_alive).  The
+/// defaults keep ping a single instantaneous check; a component that runs
+/// under a respawning supervisor (JobOptions::respawn) sets attempts > 1 so
+/// a probe rides out the window between a member's death and its heal.
+struct LivenessOptions {
+  /// Total probe attempts per ping before reporting dead (>= 1).
+  int attempts = 1;
+  /// Wait before the second attempt; scaled by backoff_factor after each
+  /// further failure.  Zero retries immediately.
+  std::chrono::milliseconds backoff{0};
+  double backoff_factor = 2.0;
+};
+
 struct HandshakeOptions {
   /// Use the paper's §6.1 one-split fast path when every executable is
   /// single-component.  Disabling forces the general §6.2 path (used by the
@@ -56,6 +70,9 @@ struct HandshakeOptions {
   /// isolation a failure anywhere aborts the whole job promptly, which is
   /// the friendlier behaviour for applications that never check liveness.
   bool isolate_instances = false;
+
+  /// Liveness probe retry policy, consulted by Mph::ping and await_alive.
+  LivenessOptions liveness;
 };
 
 /// Everything a rank learns from the handshake.
@@ -71,6 +88,10 @@ struct HandshakeResult {
   /// communicator of `my_component_ids[i]`.
   std::vector<int> my_component_ids;
   std::vector<minimpi::Comm> my_component_comms;
+
+  /// The options the handshake ran with, kept so later liveness queries
+  /// (Mph::ping retry policy) can consult them.
+  HandshakeOptions options;
 };
 
 /// Run the handshake.  Collective over `world`; throws SetupError when the
@@ -79,6 +100,29 @@ struct HandshakeResult {
                                         const Registry& registry,
                                         const LocalDeclaration& declaration,
                                         const HandshakeOptions& options = {});
+
+/// Blackboard keys under which world rank 0 publishes the established
+/// layout (minimpi::Job::put_shared) during handshake(), for later
+/// rejoin_handshake() calls by respawned ranks.
+inline constexpr const char* kRegistryKey = "mph.registry";
+inline constexpr const char* kSignaturesKey = "mph.signatures";
+
+/// Re-run the handshake for a RESPAWNED ensemble member without involving
+/// any surviving rank.  The registry text and per-rank signature vector are
+/// read back from the job blackboard (published by the original handshake),
+/// the directory is rebuilt with the same pure resolve_layout — so it is
+/// identical to every survivor's copy — and the only collective performed
+/// is Comm::create_ordered_world over the member's own ranks, which are
+/// exactly the ranks being respawned together.
+///
+/// Degradation vs. the full handshake: exec_comm is the member communicator
+/// (not the whole multi-instance executable's), because rebuilding the
+/// executable communicator would require a collective with surviving
+/// sibling members.  Ensemble members communicate via their instance comm
+/// and name-addressed p2p, so this is invisible in practice.
+[[nodiscard]] HandshakeResult rejoin_handshake(
+    const minimpi::Comm& world, const LocalDeclaration& declaration,
+    const HandshakeOptions& options = {});
 
 /// Signature string identifying a declaration during the allgather
 /// (exposed for tests).

@@ -1,7 +1,10 @@
 #include "src/mph/mph.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "src/minimpi/collectives.hpp"
 #include "src/util/diagnostics.hpp"
@@ -85,6 +88,14 @@ Mph Mph::multi_instance(const minimpi::Comm& world,
   decl.is_instance = true;
   decl.names = {std::move(prefix)};
   return Mph(handshake(world, registry, decl, options));
+}
+
+Mph Mph::rejoin_instance(const minimpi::Comm& world, std::string prefix,
+                         HandshakeOptions options) {
+  LocalDeclaration decl;
+  decl.is_instance = true;
+  decl.names = {std::move(prefix)};
+  return Mph(rejoin_handshake(world, decl, options));
 }
 
 const minimpi::Comm& Mph::comp_comm() const {
@@ -184,14 +195,54 @@ std::vector<std::string> Mph::my_components() const {
   return names;
 }
 
-bool Mph::ping(std::string_view component) const {
-  const ComponentRecord& record = result_.directory.component(component);
+bool Mph::probe_alive(const ComponentRecord& record) const {
   minimpi::Job& job = world().job();
   const bool dead =
       job.domain_aborted(record.component_id) ||
       job.any_rank_failed(record.global_low, record.global_high);
-  if (dead) result_.directory.mark_failed(record.component_id);
+  if (dead) {
+    result_.directory.mark_failed(record.component_id);
+  } else {
+    // A component that answers again was healed (respawned) — un-stick the
+    // rank-local death cache so failed_components() reflects reality.
+    result_.directory.clear_failed(record.component_id);
+  }
   return !dead;
+}
+
+bool Mph::ping(std::string_view component) const {
+  const ComponentRecord& record = result_.directory.component(component);
+  const LivenessOptions& liveness = result_.options.liveness;
+  const int attempts = std::max(1, liveness.attempts);
+  auto backoff = liveness.backoff;
+  for (int attempt = 1;; ++attempt) {
+    if (probe_alive(record)) return true;
+    if (attempt >= attempts) return false;
+    if (backoff.count() > 0) {
+      std::this_thread::sleep_for(backoff);
+      backoff = std::chrono::milliseconds(static_cast<long long>(
+          static_cast<double>(backoff.count()) * liveness.backoff_factor));
+    }
+  }
+}
+
+void Mph::await_alive(std::string_view component) const {
+  const ComponentRecord& record = result_.directory.component(component);
+  const LivenessOptions& liveness = result_.options.liveness;
+  const int attempts = std::max(1, liveness.attempts);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto backoff = liveness.backoff;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    if (probe_alive(record)) return;
+    if (attempt < attempts && backoff.count() > 0) {
+      std::this_thread::sleep_for(backoff);
+      backoff = std::chrono::milliseconds(static_cast<long long>(
+          static_cast<double>(backoff.count()) * liveness.backoff_factor));
+    }
+  }
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  throw PeerTimeoutError(record.name, attempts, elapsed);
 }
 
 std::optional<minimpi::AbortInfo> Mph::failure_of(
@@ -219,7 +270,7 @@ void Mph::require_alive(std::string_view component) const {
 
 std::vector<std::string> Mph::failed_components() const {
   for (const ComponentRecord& record : result_.directory.components()) {
-    ping(record.name);  // refreshes the directory's failure marks
+    probe_alive(record);  // refresh the marks; no retries for a sweep
   }
   return result_.directory.failed_components();
 }

@@ -79,6 +79,17 @@ class Mph {
                                           std::string prefix,
                                           HandshakeOptions options = {});
 
+  /// Rejoin setup for a RESPAWNED ensemble member (ExecEnv::incarnation >
+  /// 0 under JobOptions::respawn): rebuilds the directory from the layout
+  /// the original handshake published on the job blackboard, re-registers
+  /// the member's failure domain, and creates the member communicator —
+  /// collective over the member's own (respawned) ranks only, so surviving
+  /// components are never involved.  See rejoin_handshake() for the one
+  /// degradation (exec_comm is the member communicator).
+  [[nodiscard]] static Mph rejoin_instance(const minimpi::Comm& world,
+                                           std::string prefix,
+                                           HandshakeOptions options = {});
+
   // ---- communicators ------------------------------------------------------
 
   /// MPH_Global_World: the communicator spanning the whole application.
@@ -171,14 +182,28 @@ class Mph {
   [[nodiscard]] const Directory& directory() const noexcept {
     return result_.directory;
   }
+  /// The handshake options this handle was built with (liveness policy,
+  /// instance isolation, ...).
+  [[nodiscard]] const HandshakeOptions& options() const noexcept {
+    return result_.options;
+  }
 
   // ---- liveness and failure containment -------------------------------------
 
   /// MPH_ping: true when no rank of `component` has failed.  Under MIME
   /// isolation (HandshakeOptions::isolate_instances) a dead ensemble member
   /// answers false while the rest of the job keeps running; the observation
-  /// is cached in the directory (failed_components()).
+  /// is cached in the directory (failed_components()) and cleared again
+  /// when a healed component answers.  With LivenessOptions::attempts > 1 a
+  /// dead peer is re-probed with backoff before reporting false, riding out
+  /// the death-to-respawn window of a supervised job.
   bool ping(std::string_view component) const;
+
+  /// Block until ping(component) holds, probing per the handshake's
+  /// LivenessOptions (attempts / backoff / backoff_factor).  Throws
+  /// PeerTimeoutError — naming the peer, the attempts made and the elapsed
+  /// wait — when the budget runs out with the component still dead.
+  void await_alive(std::string_view component) const;
 
   /// Structured failure of `component` (the root-cause rank, kill-point /
   /// operation, and exception text), when one is known from its failure
@@ -282,6 +307,10 @@ class Mph {
 
  private:
   explicit Mph(HandshakeResult result) : result_(std::move(result)) {}
+
+  /// One liveness check of `record`, updating the directory's failure
+  /// cache in both directions (mark on dead, clear on alive).
+  bool probe_alive(const ComponentRecord& record) const;
 
   HandshakeResult result_;
   OutputChannel channel_;

@@ -1,0 +1,120 @@
+// recover.hpp — checkpoint/restore for component state (the first pillar of
+// the recovery subsystem; DESIGN.md §13).
+//
+// A Checkpoint is a versioned, ordered key→blob map with typed helpers for
+// the state a component snapshots at a logical barrier: coupler fields
+// (full gathered grids), the timemgr clock, accumulator contents, RNG
+// state.  A CheckpointStore persists checkpoints to per-member files
+// (`<member>.step<N>.ckpt`) with CRC-32 validation and atomic tmp+rename
+// writes, retaining the last `retain` steps so a restart can always agree
+// on a common step even when components were one coupling interval apart
+// when they died (the allreduce-min consistency argument in DESIGN.md §13).
+//
+// Corrupted or truncated files — bad magic, short reads, CRC mismatch —
+// are rejected with a clean SetupError, never interpreted as state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mph::recover {
+
+/// One component snapshot: a step stamp plus named typed entries.
+class Checkpoint {
+ public:
+  /// On-disk format version (bumped on incompatible layout changes; a
+  /// mismatch is rejected at parse time with SetupError).
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  Checkpoint() = default;
+  explicit Checkpoint(std::uint64_t step) : step_(step) {}
+
+  [[nodiscard]] std::uint64_t step() const noexcept { return step_; }
+  void set_step(std::uint64_t step) noexcept { step_ = step; }
+
+  // --- typed entries --------------------------------------------------------
+
+  void put_doubles(std::string_view key, std::span<const double> values);
+  void put_u64s(std::string_view key, std::span<const std::uint64_t> values);
+  void put_bytes(std::string_view key, std::span<const std::byte> bytes);
+  void put_scalar(std::string_view key, double value);
+  void put_flag(std::string_view key, bool value);
+
+  /// Typed retrieval; throws SetupError naming the key when it is missing
+  /// (a checkpoint from a different component or an older writer).
+  [[nodiscard]] std::vector<double> doubles(std::string_view key) const;
+  [[nodiscard]] std::vector<std::uint64_t> u64s(std::string_view key) const;
+  [[nodiscard]] std::vector<std::byte> bytes(std::string_view key) const;
+  [[nodiscard]] double scalar(std::string_view key) const;
+  [[nodiscard]] bool flag(std::string_view key) const;
+
+  [[nodiscard]] bool has(std::string_view key) const noexcept;
+  [[nodiscard]] std::size_t entry_count() const noexcept {
+    return entries_.size();
+  }
+
+  // --- serialization --------------------------------------------------------
+
+  /// Serialize: magic, version, step, entries, trailing CRC-32 over
+  /// everything before it.
+  [[nodiscard]] std::vector<std::byte> to_bytes() const;
+
+  /// Parse; throws SetupError on any corruption (magic, version, length,
+  /// CRC).  `what` names the source (e.g. the file path) in the error.
+  [[nodiscard]] static Checkpoint from_bytes(std::span<const std::byte> data,
+                                             std::string_view what = "buffer");
+
+ private:
+  std::uint64_t step_ = 0;
+  std::map<std::string, std::vector<std::byte>, std::less<>> entries_;
+};
+
+/// Per-member checkpoint files in one directory, newest-`retain` retained.
+class CheckpointStore {
+ public:
+  /// Opens (creating if needed) the store directory.
+  explicit CheckpointStore(std::string dir, int retain = 2);
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+  [[nodiscard]] int retain() const noexcept { return retain_; }
+
+  /// Persist `ckpt` for `member` atomically (write to a tmp file in the
+  /// same directory, fsync-free rename over the final name), then prune
+  /// files older than the newest `retain` steps.
+  void save(std::string_view member, const Checkpoint& ckpt) const;
+
+  /// Steps on disk for `member`, ascending (corrupt files included — they
+  /// are rejected at load time, not silently skipped).
+  [[nodiscard]] std::vector<std::uint64_t> steps(std::string_view member) const;
+
+  /// Newest step on disk, or nullopt when the member has no checkpoint.
+  [[nodiscard]] std::optional<std::uint64_t> latest_step(
+      std::string_view member) const;
+
+  /// Load a specific step; nullopt when no such file exists.  Throws
+  /// SetupError (naming the file) when the file exists but fails CRC or
+  /// format validation.
+  [[nodiscard]] std::optional<Checkpoint> load_step(std::string_view member,
+                                                    std::uint64_t step) const;
+
+  /// Load the newest checkpoint (nullopt when none exist; SetupError when
+  /// the newest file is corrupt).
+  [[nodiscard]] std::optional<Checkpoint> load_latest(
+      std::string_view member) const;
+
+  /// Path of the checkpoint file for (member, step) — exposed so tests can
+  /// corrupt/truncate files deliberately.
+  [[nodiscard]] std::string path_of(std::string_view member,
+                                    std::uint64_t step) const;
+
+ private:
+  std::string dir_;
+  int retain_;
+};
+
+}  // namespace mph::recover

@@ -1,0 +1,39 @@
+#include "src/util/crc32.hpp"
+
+#include <array>
+
+namespace mph::util {
+
+namespace {
+
+/// Table for the reflected polynomial 0xEDB88320, built once at startup.
+std::array<std::uint32_t, 256> make_table() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1U) != 0 ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& table() noexcept {
+  static const std::array<std::uint32_t, 256> t = make_table();
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::byte> bytes,
+                    std::uint32_t seed) noexcept {
+  const auto& t = table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFU;
+  for (const std::byte b : bytes) {
+    c = t[(c ^ static_cast<std::uint32_t>(b)) & 0xFFU] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFU;
+}
+
+}  // namespace mph::util

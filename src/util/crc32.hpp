@@ -1,0 +1,17 @@
+// crc32.hpp — CRC-32 (IEEE 802.3, the zlib polynomial) for integrity
+// checking of on-disk artifacts: a corrupted or truncated checkpoint file
+// must be rejected deterministically, not interpreted as state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace mph::util {
+
+/// CRC-32 of `bytes`, optionally continuing from a previous value (pass the
+/// previous return value as `seed` to checksum data in pieces).
+[[nodiscard]] std::uint32_t crc32(std::span<const std::byte> bytes,
+                                  std::uint32_t seed = 0) noexcept;
+
+}  // namespace mph::util

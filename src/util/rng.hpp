@@ -4,6 +4,7 @@
 // std::mt19937 — cheap to seed reproducibly per (test, rank, instance).
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 namespace mph::util {
@@ -68,6 +69,16 @@ class Rng {
   /// Derive an independent child stream, e.g. one per rank.
   [[nodiscard]] Rng split(std::uint64_t stream_id) noexcept {
     return Rng((*this)() ^ (stream_id * 0xd1342543de82ef95ULL + 1));
+  }
+
+  /// The full 256-bit generator state, for checkpointing: restoring via
+  /// set_state resumes the stream exactly where state() captured it.
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const noexcept {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+
+  void set_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    for (int i = 0; i < 4; ++i) s_[i] = s[static_cast<std::size_t>(i)];
   }
 
  private:
