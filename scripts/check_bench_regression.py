@@ -8,7 +8,7 @@ against BENCH_baseline.json.
 
 Usage:
     check_bench_regression.py check    <baseline.json> <result.json>... \
-        [--max-ratio 2.0]
+        [--max-ratio 2.0] [--only PREFIX]...
     check_bench_regression.py baseline <out.json> <result.json>...
     check_bench_regression.py overhead <result.json>... \
         [--off monitor:0] [--on monitor:1] [--max-ratio 2.0]
@@ -16,7 +16,10 @@ Usage:
 `baseline` merges one or more result files into a compact baseline mapping
 benchmark name -> {real_time, time_unit} (taking the median entry of any
 repetitions).  `check` compares the same statistic and prints a table.
-`overhead` pairs benchmarks within one result set whose names differ only
+`check --only PREFIX` (repeatable) restricts the comparison to baseline
+benchmarks whose name starts with a given prefix — how the perf-smoke job
+re-checks just the mailbox/metrics hot paths as the "racer shim compiled
+out adds nothing" gate.  `overhead` pairs benchmarks within one result set whose names differ only
 by an off/on token (bench_metrics tags them `monitor:0` / `monitor:1` via
 ArgNames) and fails when the instrumented variant exceeds the plain one by
 more than the allowed factor — a relative gate that shared-runner noise
@@ -90,6 +93,22 @@ def cmd_check(args):
     with open(args.baseline, "r", encoding="utf-8") as fh:
         baseline = json.load(fh)["benchmarks"]
     current = load_times(args.results)
+    if args.only:
+        baseline = {
+            name: entry
+            for name, entry in baseline.items()
+            if any(name.startswith(prefix) for prefix in args.only)
+        }
+        if not baseline:
+            print("check_bench_regression: --only "
+                  f"{args.only} matches no baseline benchmark",
+                  file=sys.stderr)
+            return 1
+        current = {
+            name: ns
+            for name, ns in current.items()
+            if any(name.startswith(prefix) for prefix in args.only)
+        }
 
     failures = []
     missing = []
@@ -177,6 +196,10 @@ def main(argv):
     p_check.add_argument("--max-ratio", type=float, default=2.0,
                          help="fail when current/baseline exceeds this "
                          "(default: 2.0)")
+    p_check.add_argument("--only", action="append", default=[],
+                         metavar="PREFIX",
+                         help="restrict the comparison to baseline "
+                         "benchmarks starting with PREFIX (repeatable)")
     p_check.set_defaults(func=cmd_check)
 
     p_base = sub.add_parser("baseline", help="write a merged baseline file")

@@ -88,11 +88,11 @@ Checker::Checker(CheckOptions options, int world_size)
     : options_(options),
       world_size_(world_size),
       edges_(static_cast<std::size_t>(world_size)),
-      epochs_(new std::atomic<std::uint64_t>[world_size]),
-      live_comms_(new std::atomic<std::int64_t>[world_size]),
-      outstanding_requests_(new std::atomic<std::int64_t>[world_size]),
-      leaked_envelopes_(new std::atomic<std::uint64_t>[world_size]),
-      leaked_posted_(new std::atomic<std::uint64_t>[world_size]) {
+      epochs_(new mph::atomic<std::uint64_t>[world_size]),
+      live_comms_(new mph::atomic<std::int64_t>[world_size]),
+      outstanding_requests_(new mph::atomic<std::int64_t>[world_size]),
+      leaked_envelopes_(new mph::atomic<std::uint64_t>[world_size]),
+      leaked_posted_(new mph::atomic<std::uint64_t>[world_size]) {
   for (int r = 0; r < world_size; ++r) {
     epochs_[r].store(0, std::memory_order_relaxed);
     live_comms_[r].store(0, std::memory_order_relaxed);

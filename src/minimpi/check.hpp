@@ -54,6 +54,7 @@
 #include <vector>
 
 #include "src/minimpi/error.hpp"
+#include "src/minimpi/racer/atomic.hpp"
 #include "src/minimpi/types.hpp"
 
 namespace minimpi {
@@ -398,7 +399,7 @@ class Checker {
   // Wait-for graph.
   mutable std::mutex graph_mutex_;
   std::vector<BlockedEdge> edges_;  ///< slot per world rank
-  std::unique_ptr<std::atomic<std::uint64_t>[]> epochs_;
+  std::unique_ptr<mph::atomic<std::uint64_t>[]> epochs_;
 
   // Watcher.
   std::thread watcher_;
@@ -412,10 +413,10 @@ class Checker {
       collectives_;
 
   // Leak counters (per world rank).
-  std::unique_ptr<std::atomic<std::int64_t>[]> live_comms_;
-  std::unique_ptr<std::atomic<std::int64_t>[]> outstanding_requests_;
-  std::unique_ptr<std::atomic<std::uint64_t>[]> leaked_envelopes_;
-  std::unique_ptr<std::atomic<std::uint64_t>[]> leaked_posted_;
+  std::unique_ptr<mph::atomic<std::int64_t>[]> live_comms_;
+  std::unique_ptr<mph::atomic<std::int64_t>[]> outstanding_requests_;
+  std::unique_ptr<mph::atomic<std::uint64_t>[]> leaked_envelopes_;
+  std::unique_ptr<mph::atomic<std::uint64_t>[]> leaked_posted_;
 
   // Findings.
   mutable std::mutex report_mutex_;

@@ -26,6 +26,7 @@
 
 #include "src/minimpi/error.hpp"
 #include "src/minimpi/mailbox.hpp"
+#include "src/minimpi/racer/atomic.hpp"
 #include "src/minimpi/types.hpp"
 #include "src/util/rng.hpp"
 
@@ -220,7 +221,7 @@ class FaultInjector {
   Tracer* tracer_ = nullptr;  ///< job's event tracer (null = tracing off)
   MetricsRegistry* metrics_ = nullptr;  ///< job's registry (null = off)
   mph::util::Rng rng_;                 ///< jitter stream (guarded by mutex_)
-  std::atomic<bool> virtual_time_{false};
+  mph::atomic<bool> virtual_time_{false};
   std::vector<std::uint64_t> visits_;  ///< per-rule matching-visit counts
   std::vector<bool> fired_;            ///< per-rule one-shot latch
   std::vector<FaultEvent> events_;

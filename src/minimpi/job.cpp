@@ -49,7 +49,7 @@ Job::Job(int world_size, JobOptions options)
     if (faults_ != nullptr) faults_->set_metrics(metrics_.get());
   }
   if (verify_) {
-    rank_next_context_ = std::make_unique<std::atomic<context_t>[]>(
+    rank_next_context_ = std::make_unique<mph::atomic<context_t>[]>(
         static_cast<std::size_t>(world_size));
     for (int i = 0; i < world_size; ++i) {
       rank_next_context_[i].store(0, std::memory_order_relaxed);
@@ -63,8 +63,12 @@ Job::Job(int world_size, JobOptions options)
   }
   rank_labels_.assign(static_cast<std::size_t>(world_size), std::string{});
   rank_failed_ =
-      std::make_unique<std::atomic<bool>[]>(static_cast<std::size_t>(world_size));
-  for (int i = 0; i < world_size; ++i) rank_failed_[i] = false;
+      std::make_unique<mph::atomic<bool>[]>(static_cast<std::size_t>(world_size));
+  // Pre-thread-spawn init: thread creation publishes these, so relaxed
+  // stores suffice (the plain assignment this replaces was seq_cst).
+  for (int i = 0; i < world_size; ++i) {
+    rank_failed_[i].store(false, std::memory_order_relaxed);
+  }
   rank_domain_.assign(static_cast<std::size_t>(world_size), -1);
   if (checker_ != nullptr) checker_->bind(this);
   if (sched != nullptr) sched->bind(this);

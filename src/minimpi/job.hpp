@@ -28,6 +28,7 @@
 #include "src/minimpi/fault.hpp"
 #include "src/minimpi/mailbox.hpp"
 #include "src/minimpi/metrics.hpp"
+#include "src/minimpi/racer/atomic.hpp"
 #include "src/minimpi/trace.hpp"
 #include "src/minimpi/types.hpp"
 
@@ -167,7 +168,9 @@ class Job {
   /// component label, and operation for abort_info().
   void abort(AbortInfo info);
 
-  [[nodiscard]] bool aborted() const noexcept { return abort_flag_; }
+  [[nodiscard]] bool aborted() const noexcept {
+    return abort_flag_.load(std::memory_order_acquire);
+  }
   [[nodiscard]] const std::string& abort_reason() const noexcept {
     return abort_reason_;
   }
@@ -293,7 +296,7 @@ class Job {
   struct FailureDomain {
     std::string label;
     std::vector<rank_t> ranks;
-    std::atomic<bool> flag{false};
+    mph::atomic<bool> flag{false};
     std::string reason;
     std::optional<AbortInfo> info;
   };
@@ -314,17 +317,19 @@ class Job {
   // Likewise: every Mailbox (and the fault injector) holds a raw
   // MetricsRegistry*.
   std::unique_ptr<MetricsRegistry> metrics_;
-  std::atomic<context_t> next_context_{kWorldContext + 1};
+  mph::atomic<context_t> next_context_{kWorldContext + 1};
   /// Verify mode: per-rank context counters (disjoint id spaces).
-  std::unique_ptr<std::atomic<context_t>[]> rank_next_context_;
-  std::atomic<std::uint64_t> contexts_allocated_{0};
-  std::atomic<std::uint64_t> messages_{0};
-  std::atomic<std::uint64_t> payload_bytes_{0};
+  std::unique_ptr<mph::atomic<context_t>[]> rank_next_context_;
+  mph::atomic<std::uint64_t> contexts_allocated_{0};
+  mph::atomic<std::uint64_t> messages_{0};
+  mph::atomic<std::uint64_t> payload_bytes_{0};
 
   // The abort flag/reason are referenced by every Mailbox.  The reason
-  // string is written exactly once, before the flag flips to true, and
-  // only read after observing the flag.
-  std::atomic<bool> abort_flag_{false};
+  // string is written exactly once, before the flag flips to true (release
+  // store in abort()), and only read after observing the flag (acquire
+  // loads) — the message-passing protocol mph_racer's mailbox_abort_flag
+  // litmus checks (DESIGN.md §14).
+  mph::atomic<bool> abort_flag_{false};
   std::string abort_reason_;
   std::optional<AbortInfo> abort_info_;
   mutable std::mutex abort_mutex_;
@@ -335,7 +340,7 @@ class Job {
   // mutex serialises those writes against checker-thread reads).
   mutable std::mutex labels_mutex_;
   std::vector<std::string> rank_labels_;
-  std::unique_ptr<std::atomic<bool>[]> rank_failed_;
+  std::unique_ptr<mph::atomic<bool>[]> rank_failed_;
 
   // Failure domains.  The map never erases, so FailureDomain addresses are
   // stable once created (mailboxes keep pointers into them).

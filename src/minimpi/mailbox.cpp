@@ -20,7 +20,7 @@ std::string pattern_string(context_t ctx, rank_t source, tag_t tag) {
 
 }  // namespace
 
-void Mailbox::set_domain(const std::atomic<bool>* flag,
+void Mailbox::set_domain(const mph::atomic<bool>* flag,
                          const std::string* reason) {
   const std::lock_guard<std::mutex> lock(mutex_);
   domain_flag_ = flag;
@@ -28,7 +28,13 @@ void Mailbox::set_domain(const std::atomic<bool>* flag,
 }
 
 void Mailbox::check_abort_locked() const {
-  if (abort_flag_) throw AbortedError(abort_reason_);
+  // Acquire pairs with Job::abort's release store: observing the flag
+  // guarantees the write-once abort_reason_ is visible (the implicit
+  // seq_cst load this replaces was stronger than the protocol needs on
+  // this hot path; mph_racer litmus mailbox_abort_flag).
+  if (abort_flag_.load(std::memory_order_acquire)) {
+    throw AbortedError(abort_reason_);
+  }
   if (domain_flag_ != nullptr &&
       domain_flag_->load(std::memory_order_acquire)) {
     throw AbortedError(*domain_reason_);

@@ -24,6 +24,7 @@
 #include "src/minimpi/check.hpp"
 #include "src/minimpi/error.hpp"
 #include "src/minimpi/metrics.hpp"
+#include "src/minimpi/racer/atomic.hpp"
 #include "src/minimpi/schedule.hpp"
 #include "src/minimpi/trace.hpp"
 #include "src/minimpi/types.hpp"
@@ -90,7 +91,7 @@ class Mailbox {
   /// and blocked intervals record onto the owner rank's ring.  `metrics`
   /// is the job's mph_mon registry (null = monitoring off): send/recv
   /// counts, match latency, queue depth, and blocked time land there.
-  Mailbox(const std::atomic<bool>& abort_flag, const std::string& abort_reason,
+  Mailbox(const mph::atomic<bool>& abort_flag, const std::string& abort_reason,
           rank_t owner_rank = 0, FaultInjector* faults = nullptr,
           Checker* checker = nullptr, Scheduler* sched = nullptr,
           Tracer* tracer = nullptr, MetricsRegistry* metrics = nullptr)
@@ -109,7 +110,7 @@ class Mailbox {
 
   /// Attach a failure-domain abort flag/reason (ensemble member isolation):
   /// blocking waits then also unwind when just this rank's domain aborts.
-  void set_domain(const std::atomic<bool>* flag, const std::string* reason);
+  void set_domain(const mph::atomic<bool>* flag, const std::string* reason);
 
   /// Sender-side entry point: complete a matching posted receive or queue.
   /// Consults the fault injector first (drop/delay/truncate rules).
@@ -245,7 +246,7 @@ class Mailbox {
   /// Bump the delivered-per-context counter for `ctx`. Caller holds mutex_.
   void count_context_locked(context_t ctx);
 
-  const std::atomic<bool>& abort_flag_;
+  const mph::atomic<bool>& abort_flag_;
   const std::string& abort_reason_;
   rank_t owner_rank_;
   FaultInjector* faults_;
@@ -263,10 +264,10 @@ class Mailbox {
   /// Deliveries per context (few contexts per rank: linear scan under the
   /// deliver-side lock).
   std::vector<std::pair<context_t, std::uint64_t>> delivered_by_context_;
-  std::atomic<std::uint64_t> wildcard_recvs_{0};
+  mph::atomic<std::uint64_t> wildcard_recvs_{0};
 
   // Failure-domain abort channel (null until set_domain).
-  const std::atomic<bool>* domain_flag_ = nullptr;
+  const mph::atomic<bool>* domain_flag_ = nullptr;
   const std::string* domain_reason_ = nullptr;
 };
 

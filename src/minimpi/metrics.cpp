@@ -109,10 +109,15 @@ void MetricsRegistry::on_delivered(rank_t rank, std::uint64_t bytes) noexcept {
 void MetricsRegistry::on_match(rank_t rank, std::uint64_t latency_ns) noexcept {
   if (!valid(rank)) return;
   RankSlots& s = slots_[static_cast<std::size_t>(rank)];
-  s.latency_count.fetch_add(1, std::memory_order_relaxed);
+  // Data first, count last with release: a reader that observes this
+  // event in `count` (acquire) is guaranteed to find it in `sum` and its
+  // bucket too.  The original all-relaxed, count-first order let a live
+  // snapshot see count = 1 with empty buckets — a phantom event
+  // (mph_racer litmus metrics_histogram; see the header contract).
   s.latency_sum.fetch_add(latency_ns, std::memory_order_relaxed);
   s.latency_buckets[metrics_histogram_bucket(latency_ns)].fetch_add(
       1, std::memory_order_relaxed);
+  s.latency_count.fetch_add(1, std::memory_order_release);
 }
 
 void MetricsRegistry::on_collective(rank_t rank) noexcept {
@@ -187,7 +192,10 @@ RankMetrics MetricsRegistry::read_rank(rank_t rank) const {
   out.queue_depth = s.queue_depth.load(std::memory_order_relaxed);
   out.queue_high_water = s.queue_high_water.load(std::memory_order_relaxed);
   out.handshake_ns = s.handshake_ns.load(std::memory_order_relaxed);
-  out.matches = s.latency_count.load(std::memory_order_relaxed);
+  // Count first with acquire, paired with on_match's release increment:
+  // every event visible in `count` is then also visible in `sum` and the
+  // buckets read below (buckets_total >= count, never phantom events).
+  out.matches = s.latency_count.load(std::memory_order_acquire);
   out.match_latency.count = out.matches;
   out.match_latency.sum = s.latency_sum.load(std::memory_order_relaxed);
   for (std::size_t i = 0; i < kMetricsHistogramBuckets; ++i) {

@@ -29,6 +29,18 @@
 // monotone, so rates computed between two snapshots are exact over the
 // interval.  The final snapshot in JobReport::metrics is taken after all
 // rank threads joined and is exact.
+//
+// Histogram contract (checked by mph_racer, DESIGN.md §14): within one
+// rank's match-latency histogram, `count` never runs ahead of the data.
+// The writer updates sum, then the bucket, then count with release; the
+// reader loads count first with acquire, then buckets and sum.  So for any
+// live snapshot: buckets_total >= count and sum covers at least the
+// counted events — a consumer dividing sum/count or averaging bucket
+// midpoints never sees phantom events (count = 1 with empty buckets was
+// possible under the original all-relaxed ordering; the racer's
+// metrics_histogram litmus finds that in two executions).  Counters
+// outside the histogram stay fully relaxed: they are independent monotone
+// values with no cross-field invariant.
 #pragma once
 
 #include <array>
@@ -46,6 +58,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/minimpi/racer/atomic.hpp"
 #include "src/minimpi/types.hpp"
 
 namespace minimpi {
@@ -277,19 +290,19 @@ class MetricsRegistry {
   /// One rank's hot slots.  Padded to a cache line so two ranks hammering
   /// their own counters never share a line.
   struct alignas(64) RankSlots {
-    std::atomic<std::uint64_t> sends{0};
-    std::atomic<std::uint64_t> send_bytes{0};
-    std::atomic<std::uint64_t> delivered{0};
-    std::atomic<std::uint64_t> delivered_bytes{0};
-    std::atomic<std::uint64_t> collectives{0};
-    std::atomic<std::uint64_t> faults{0};
-    std::atomic<std::uint64_t> blocked_ns{0};
-    std::atomic<std::uint64_t> queue_depth{0};
-    std::atomic<std::uint64_t> queue_high_water{0};
-    std::atomic<std::uint64_t> handshake_ns{0};
-    std::atomic<std::uint64_t> latency_count{0};
-    std::atomic<std::uint64_t> latency_sum{0};
-    std::array<std::atomic<std::uint64_t>, kMetricsHistogramBuckets>
+    mph::atomic<std::uint64_t> sends{0};
+    mph::atomic<std::uint64_t> send_bytes{0};
+    mph::atomic<std::uint64_t> delivered{0};
+    mph::atomic<std::uint64_t> delivered_bytes{0};
+    mph::atomic<std::uint64_t> collectives{0};
+    mph::atomic<std::uint64_t> faults{0};
+    mph::atomic<std::uint64_t> blocked_ns{0};
+    mph::atomic<std::uint64_t> queue_depth{0};
+    mph::atomic<std::uint64_t> queue_high_water{0};
+    mph::atomic<std::uint64_t> handshake_ns{0};
+    mph::atomic<std::uint64_t> latency_count{0};
+    mph::atomic<std::uint64_t> latency_sum{0};
+    std::array<mph::atomic<std::uint64_t>, kMetricsHistogramBuckets>
         latency_buckets{};
   };
 
@@ -300,7 +313,7 @@ class MetricsRegistry {
   int world_size_;
   std::chrono::steady_clock::time_point epoch_;
   std::unique_ptr<RankSlots[]> slots_;
-  std::atomic<std::uint64_t> seq_{0};
+  mph::atomic<std::uint64_t> seq_{0};
 
   mutable std::mutex meta_mutex_;
   std::vector<std::string> components_;

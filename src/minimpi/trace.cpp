@@ -77,19 +77,23 @@ void TraceRing::record(const TraceEvent& event) noexcept {
   Slot& slot = slots_[idx % capacity_];
   // Invalidate first so a concurrent reader of the *previous* occupant
   // cannot accept a half-overwritten slot; publish with the release store
-  // of the new stamp once every field is in place.
+  // of the new stamp once every field is in place.  The field stores are
+  // release (not relaxed): a reader that observes any one of them must
+  // also observe the stamp invalidation above, or its re-check could pair
+  // our field values with the previous occupant's stamp (mph_racer litmus
+  // trace_ring_lap; free on x86).
   slot.stamp.store(0, std::memory_order_release);
-  slot.t_start.store(event.t_start_ns, std::memory_order_relaxed);
-  slot.t_end.store(event.t_end_ns, std::memory_order_relaxed);
-  slot.bytes.store(event.bytes, std::memory_order_relaxed);
+  slot.t_start.store(event.t_start_ns, std::memory_order_release);
+  slot.t_end.store(event.t_end_ns, std::memory_order_release);
+  slot.bytes.store(event.bytes, std::memory_order_release);
   slot.name.store(event.name != nullptr ? event.name : "",
-                  std::memory_order_relaxed);
+                  std::memory_order_release);
   slot.op_and_kind.store(static_cast<std::int32_t>(event.op) |
                              (event.span ? 0x100 : 0),
-                         std::memory_order_relaxed);
-  slot.peer.store(event.peer, std::memory_order_relaxed);
-  slot.tag.store(event.tag, std::memory_order_relaxed);
-  slot.context.store(event.context, std::memory_order_relaxed);
+                         std::memory_order_release);
+  slot.peer.store(event.peer, std::memory_order_release);
+  slot.tag.store(event.tag, std::memory_order_release);
+  slot.context.store(event.context, std::memory_order_release);
   slot.stamp.store(idx + 1, std::memory_order_release);
 }
 
@@ -105,18 +109,22 @@ TraceRing::Snapshot TraceRing::snapshot() const {
       ++out.dropped;  // claimed but not yet published, or already recycled
       continue;
     }
+    // Field loads are acquire to pair with the writer's release field
+    // stores: seeing a lapping writer's value forces its earlier stamp
+    // invalidation into view, so the re-check below cannot accept a slot
+    // whose fields mix two writers (mph_racer litmus trace_ring_lap).
     TraceEvent event;
-    event.t_start_ns = slot.t_start.load(std::memory_order_relaxed);
-    event.t_end_ns = slot.t_end.load(std::memory_order_relaxed);
-    event.bytes = slot.bytes.load(std::memory_order_relaxed);
-    event.name = slot.name.load(std::memory_order_relaxed);
+    event.t_start_ns = slot.t_start.load(std::memory_order_acquire);
+    event.t_end_ns = slot.t_end.load(std::memory_order_acquire);
+    event.bytes = slot.bytes.load(std::memory_order_acquire);
+    event.name = slot.name.load(std::memory_order_acquire);
     const std::int32_t packed =
-        slot.op_and_kind.load(std::memory_order_relaxed);
+        slot.op_and_kind.load(std::memory_order_acquire);
     event.op = static_cast<TraceOp>(packed & 0xFF);
     event.span = (packed & 0x100) != 0;
-    event.peer = slot.peer.load(std::memory_order_relaxed);
-    event.tag = slot.tag.load(std::memory_order_relaxed);
-    event.context = slot.context.load(std::memory_order_relaxed);
+    event.peer = slot.peer.load(std::memory_order_acquire);
+    event.tag = slot.tag.load(std::memory_order_acquire);
+    event.context = slot.context.load(std::memory_order_acquire);
     // Re-check: a writer that lapped us mid-read left a different stamp.
     if (slot.stamp.load(std::memory_order_acquire) != idx + 1) {
       ++out.dropped;

@@ -22,6 +22,16 @@
 // fields, so a concurrent overwrite is detected and counted as dropped
 // rather than surfacing a torn event.  Drains normally run after every
 // rank thread joined, where the rings are quiescent and reads are exact.
+//
+// Memory-model contract (checked by mph_racer, DESIGN.md §14): the field
+// stores are release and the field loads acquire.  The double stamp check
+// alone is NOT enough under the C++11 model — with relaxed fields, a reader
+// that observes a lapping writer's new field value is not obliged to see
+// that writer's earlier stamp invalidation, so both stamp checks can still
+// return the previous occupant's stamp and a mixed event would be accepted.
+// The acquire field load synchronizes with the lapping writer's release
+// field store, which makes its stamp=0 visible to the re-check.  On x86
+// both orderings compile to plain loads/stores, so this costs nothing.
 #pragma once
 
 #include <atomic>
@@ -36,6 +46,7 @@
 #include <vector>
 
 #include "src/minimpi/metrics.hpp"
+#include "src/minimpi/racer/atomic.hpp"
 #include "src/minimpi/types.hpp"
 
 namespace minimpi {
@@ -113,7 +124,7 @@ class TraceRing {
   TraceRing(const TraceRing&) = delete;
   TraceRing& operator=(const TraceRing&) = delete;
 
-  /// Record one event: wait-free (one fetch_add plus relaxed field stores).
+  /// Record one event: wait-free (one fetch_add plus release field stores).
   void record(const TraceEvent& event) noexcept;
 
   struct Snapshot {
@@ -132,22 +143,25 @@ class TraceRing {
  private:
   /// All fields atomic so concurrent overwrite during a live snapshot is a
   /// detected data race by construction, not an undefined one.  The stamp
-  /// holds claim-index + 1 and is written last (release) / checked twice.
+  /// holds claim-index + 1 and is written last (release) / checked twice;
+  /// fields are stored release and loaded acquire so observing a lapping
+  /// writer's field forces its stamp invalidation into view (see the file
+  /// comment).
   struct Slot {
-    std::atomic<std::uint64_t> stamp{0};
-    std::atomic<std::uint64_t> t_start{0};
-    std::atomic<std::uint64_t> t_end{0};
-    std::atomic<std::uint64_t> bytes{0};
-    std::atomic<const char*> name{""};
-    std::atomic<std::int32_t> op_and_kind{0};  ///< op | (span ? 0x100 : 0)
-    std::atomic<std::int32_t> peer{any_source};
-    std::atomic<std::int32_t> tag{any_tag};
-    std::atomic<std::uint32_t> context{kWorldContext};
+    mph::atomic<std::uint64_t> stamp{0};
+    mph::atomic<std::uint64_t> t_start{0};
+    mph::atomic<std::uint64_t> t_end{0};
+    mph::atomic<std::uint64_t> bytes{0};
+    mph::atomic<const char*> name{""};
+    mph::atomic<std::int32_t> op_and_kind{0};  ///< op | (span ? 0x100 : 0)
+    mph::atomic<std::int32_t> peer{any_source};
+    mph::atomic<std::int32_t> tag{any_tag};
+    mph::atomic<std::uint32_t> context{kWorldContext};
   };
 
   std::size_t capacity_;
   std::unique_ptr<Slot[]> slots_;
-  std::atomic<std::uint64_t> head_{0};
+  mph::atomic<std::uint64_t> head_{0};
 };
 
 // ---------------------------------------------------------------------------

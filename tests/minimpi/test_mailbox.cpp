@@ -4,8 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <cstring>
+#include <string_view>
 #include <thread>
+#include <vector>
 
 #include "src/minimpi/error.hpp"
 
@@ -31,7 +34,7 @@ int first_int(std::span<const std::byte> bytes) {
 }
 
 struct MailboxFixture : ::testing::Test {
-  std::atomic<bool> abort_flag{false};
+  mph::atomic<bool> abort_flag{false};  // the Job's flag type (racer shim)
   std::string abort_reason = "test abort";
   Mailbox box{abort_flag, abort_reason};
   Deadline soon = std::chrono::steady_clock::now() + std::chrono::seconds(30);
@@ -215,4 +218,72 @@ TEST_F(MailboxFixture, ZeroByteMessage) {
   box.deliver(std::move(e));
   const Status st = box.recv(1, 0, 0, {}, soon);
   EXPECT_EQ(st.bytes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Contention tests — the mailbox's lock-free fast-path flags under real
+// threads.  These are the tsan gate for the abort-flag and wildcard-counter
+// protocols (the same protocols mph_racer checks exhaustively at small
+// bounds via the mailbox_abort_flag / mailbox_wildcard_counter litmus
+// cases); under the tsan preset any mis-annotated ordering is a reported
+// race here.
+// ---------------------------------------------------------------------------
+
+TEST_F(MailboxFixture, AbortFlagContentionUnwindsEveryWaiter) {
+  constexpr int kReceivers = 4;
+  std::vector<std::thread> receivers;
+  std::atomic<int> unwound{0};
+  receivers.reserve(kReceivers);
+  for (int i = 0; i < kReceivers; ++i) {
+    receivers.emplace_back([&, i] {
+      int out = 0;
+      try {
+        // Mix blocking receives and probes so both fast paths cross the
+        // acquire load of abort_flag_ while the flag flips.
+        if (i % 2 == 0) {
+          (void)box.recv(1, any_source, any_tag,
+                         std::as_writable_bytes(std::span<int>(&out, 1)),
+                         Deadline::max());
+        } else {
+          (void)box.probe(1, any_source, any_tag, Deadline::max());
+        }
+      } catch (const AbortedError& e) {
+        // The release store of the flag must make the write-once reason
+        // visible to every unwinding waiter.
+        EXPECT_NE(std::string_view(e.what()).find("test abort"),
+                  std::string_view::npos);
+        unwound.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  abort_flag.store(true, std::memory_order_release);
+  box.wake_all();
+  for (std::thread& th : receivers) th.join();
+  EXPECT_EQ(unwound.load(), kReceivers);
+}
+
+TEST_F(MailboxFixture, WildcardCounterContentionIsExact) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 250;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const tag_t tag = static_cast<tag_t>(t * kPerThread + i);
+        box.deliver(make_env(1, 2, tag, {i}));
+        int out = 0;
+        // A wildcard-source receive: bumps wildcard_recvs_ on the fast
+        // path while the other threads do the same.
+        (void)box.recv(1, any_source, tag,
+                       std::as_writable_bytes(std::span<int>(&out, 1)),
+                       Deadline::max());
+      }
+    });
+  }
+  for (std::thread& th : workers) th.join();
+  EXPECT_EQ(box.wildcard_recvs(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(box.queued(), 0u);
 }

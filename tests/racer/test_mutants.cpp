@@ -1,0 +1,63 @@
+// Seeded-mutant tests: the checker must FIND each deliberately planted
+// bug and produce a schedule that replays to the identical failure.  A
+// checker that stops finding these has lost its teeth — this is the
+// mutation-coverage half of the CI racer gate.
+#include <gtest/gtest.h>
+
+#include "src/minimpi/racer/litmus.hpp"
+
+using namespace minimpi::racer;
+
+namespace {
+
+void expect_mutant_found_and_replayable(const char* name) {
+  const LitmusCase* c = find_litmus(name);
+  ASSERT_NE(c, nullptr) << name << " is not registered";
+  ASSERT_TRUE(c->expect_failure) << name << " must be an expect_failure case";
+
+  const RacerReport found = run_litmus(*c);
+  EXPECT_TRUE(found.failed) << found.summary();
+  EXPECT_TRUE(litmus_verdict(*c, found)) << found.summary();
+  ASSERT_FALSE(found.failure_decisions.empty());
+  EXPECT_FALSE(found.failure_events.empty());
+
+  const RacerReport replayed = replay_litmus(*c, found.failure_decisions);
+  EXPECT_TRUE(replayed.failed) << replayed.summary();
+  EXPECT_EQ(replayed.failure_reason, found.failure_reason);
+  EXPECT_TRUE(replayed.divergence.empty()) << replayed.divergence;
+}
+
+}  // namespace
+
+TEST(RacerMutants, RelaxedPublishIsFound) {
+  // Mutant 1: the ring publish protocol with the stamp store demoted from
+  // release to relaxed — an acquire reader accepts the stamp without the
+  // payload being visible.
+  expect_mutant_found_and_replayable("mutant_relaxed_publish");
+}
+
+TEST(RacerMutants, TornPairReadIsFound) {
+  // Mutant 2: a 64-bit statistic updated as two separate word stores — a
+  // reader interleaving between them sees a value that never existed.
+  expect_mutant_found_and_replayable("mutant_torn_pair");
+}
+
+TEST(RacerMutants, RelaxedMessagePassingIsFound) {
+  // The classic expect_failure case rides the same gate: the relaxed
+  // flag store lets the reader see the flag without the data.
+  expect_mutant_found_and_replayable("mp_relaxed");
+}
+
+TEST(RacerMutants, MutantsFailFastNotAtTheBudgetEdge) {
+  // Finding a seeded bug must not depend on luck near the execution
+  // budget: each mutant is found within a handful of executions.
+  for (const char* name :
+       {"mutant_relaxed_publish", "mutant_torn_pair", "mp_relaxed"}) {
+    const LitmusCase* c = find_litmus(name);
+    ASSERT_NE(c, nullptr);
+    RacerOptions tight = c->bounds;
+    tight.max_executions = 32;
+    const RacerReport rep = run_litmus(*c, &tight);
+    EXPECT_TRUE(rep.failed) << name << ": " << rep.summary();
+  }
+}

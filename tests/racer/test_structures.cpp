@@ -1,0 +1,77 @@
+// Litmus-registry tests: every registered pass-case must be exhaustively
+// explored and hold at its pinned bounds — this is the same gate CI runs
+// through tools/mph_racer, kept in-tree so `ctest` alone proves the
+// lock-free structures' memory-model contracts (DESIGN.md §14).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/minimpi/racer/litmus.hpp"
+
+using namespace minimpi::racer;
+
+namespace {
+
+RacerReport run_named(const std::string& name) {
+  const LitmusCase* c = find_litmus(name);
+  EXPECT_NE(c, nullptr) << name << " is not registered";
+  return run_litmus(*c);
+}
+
+}  // namespace
+
+TEST(RacerLitmus, RegistryNamesAreUniqueAndFindable) {
+  const auto& cases = litmus_cases();
+  ASSERT_FALSE(cases.empty());
+  for (const LitmusCase& c : cases) {
+    EXPECT_EQ(find_litmus(c.name), &c) << c.name;
+  }
+  EXPECT_EQ(find_litmus("no_such_litmus"), nullptr);
+}
+
+TEST(RacerLitmus, EveryPassCaseIsExhaustiveAtItsPinnedBounds) {
+  for (const LitmusCase& c : litmus_cases()) {
+    if (c.expect_failure) continue;
+    const RacerReport rep = run_litmus(c);
+    EXPECT_TRUE(rep.ok()) << rep.summary();
+    EXPECT_TRUE(litmus_verdict(c, rep)) << rep.summary();
+    // "explored N of >= M": a complete run's frontier is exactly what ran
+    // plus what the preemption bound pruned.
+    EXPECT_EQ(rep.frontier_lower_bound,
+              rep.executions + rep.redundant + rep.pruned_preemptions)
+        << rep.summary();
+  }
+}
+
+TEST(RacerLitmus, TraceRingLapIsExhaustive) {
+  // The regression litmus for the release/acquire field orderings in
+  // TraceRing::record/snapshot: a lapping writer must never let a reader
+  // accept an event mixing two writers' fields.  Pinned here so a future
+  // ordering relaxation fails THIS test by name.
+  const RacerReport rep = run_named("trace_ring_lap");
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+  EXPECT_GT(rep.executions, 1000u) << "state space collapsed suspiciously";
+}
+
+TEST(RacerLitmus, MetricsHistogramHasNoPhantomEvents) {
+  // The histogram contract from metrics.hpp: count never runs ahead of
+  // the buckets/sum (writer releases count last; reader acquires it
+  // first).  The all-relaxed original fails this in two executions.
+  const RacerReport rep = run_named("metrics_histogram");
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+}
+
+TEST(RacerLitmus, MailboxAbortProtocolHolds) {
+  const RacerReport rep = run_named("mailbox_abort_flag");
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+}
+
+TEST(RacerLitmus, BoundsOverrideIsHonored) {
+  const LitmusCase* c = find_litmus("sb_relaxed");
+  ASSERT_NE(c, nullptr);
+  RacerOptions tiny = c->bounds;
+  tiny.max_executions = 1;
+  const RacerReport rep = run_litmus(*c, &tiny);
+  EXPECT_FALSE(rep.complete);
+  EXPECT_TRUE(rep.exec_budget_exhausted);
+}

@@ -32,15 +32,27 @@
 //       blocked-time share, refreshed from the monitor's AF_UNIX socket or
 //       its JSONL snapshot stream.  --once prints a single frame.
 //
+//   mph_inspect lint [<dir>]
+//       Atomics lint for the lock-free layer (default dir: src/minimpi).
+//       Flags raw `std::atomic` uses outside the mph_racer shim — the
+//       shim is what makes the code model-checkable, so every atomic in
+//       the layer must go through mph::atomic — and explicit
+//       `memory_order_seq_cst` on the hot paths (the layer's protocols
+//       are specified in release/acquire/relaxed terms; seq_cst usually
+//       hides a missing ordering argument).  A `racer-lint: allow`
+//       comment on the same or the preceding line waives a finding.
+//
 // Exit status: 0 on success, 1 on validation/plan/check failure, 2 on usage.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -64,8 +76,101 @@ int usage() {
                "       mph_inspect check <file>\n"
                "       mph_inspect trace <trace.json>\n"
                "       mph_inspect top <mph_monitor.sock | mph_metrics.jsonl>"
-               " [--once] [--interval=ms]\n");
+               " [--once] [--interval=ms]\n"
+               "       mph_inspect lint [<dir>]\n");
   return 2;
+}
+
+// ---------------------------------------------------------------------------
+// lint — atomics discipline for the lock-free layer
+// ---------------------------------------------------------------------------
+
+/// The marker that waives a lint finding on its own line or the next one.
+constexpr std::string_view kLintAllow = "racer-lint: allow";
+
+/// One banned token plus the reason shown with a finding.
+struct LintRule {
+  std::string_view token;
+  std::string_view message;
+};
+
+constexpr LintRule kLintRules[] = {
+    {"std::atomic",
+     "raw std::atomic in the lock-free layer — use mph::atomic "
+     "(src/minimpi/racer/atomic.hpp) so mph_racer can model it"},
+    {"memory_order_seq_cst",
+     "explicit memory_order_seq_cst on a hot path — state the protocol's "
+     "actual ordering (release/acquire/relaxed); see DESIGN.md §14"},
+};
+
+/// True when `text` contains `token` outside of any // comment (the code
+/// part is everything before the first "//"; this codebase has no /* */
+/// comments or "//" inside string literals on atomic-bearing lines).
+bool code_part_contains(std::string_view text, std::string_view token) {
+  const std::size_t comment = text.find("//");
+  return text.substr(0, comment).find(token) != std::string_view::npos;
+}
+
+int cmd_lint(const std::string& root) {
+  namespace fs = std::filesystem;
+  if (!fs::is_directory(root)) {
+    std::fprintf(stderr, "mph_inspect: lint: not a directory: %s\n",
+                 root.c_str());
+    return 2;
+  }
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    const fs::path& p = entry.path();
+    if (p.extension() != ".hpp" && p.extension() != ".cpp") continue;
+    // The shim itself is the one sanctioned home of raw std::atomic (its
+    // fallback word and the racer-off alias).
+    if (p.filename() == "atomic.hpp" &&
+        p.parent_path().filename() == "racer") {
+      continue;
+    }
+    files.push_back(p);
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    // An empty scan passing silently would make the CI gate vacuous
+    // (e.g. lint run from the build directory instead of the repo root).
+    std::fprintf(stderr, "mph_inspect: lint: no .hpp/.cpp files under %s\n",
+                 root.c_str());
+    return 2;
+  }
+
+  int findings = 0;
+  for (const fs::path& path : files) {
+    std::ifstream in(path);
+    std::string line;
+    std::string prev;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      const bool waived =
+          line.find(kLintAllow) != std::string::npos ||
+          prev.find(kLintAllow) != std::string::npos;
+      for (const LintRule& rule : kLintRules) {
+        if (!waived && code_part_contains(line, rule.token)) {
+          std::printf("%s:%d: %s\n", path.c_str(), lineno,
+                      std::string(rule.message).c_str());
+          ++findings;
+        }
+      }
+      prev = line;
+    }
+  }
+  if (findings != 0) {
+    std::printf(
+        "mph_inspect lint: %d finding(s) in %s (waive a deliberate use "
+        "with a '%s' comment on the same or preceding line)\n",
+        findings, root.c_str(), std::string(kLintAllow).c_str());
+    return 1;
+  }
+  std::printf("mph_inspect lint: %zu file(s) clean in %s\n", files.size(),
+              root.c_str());
+  return 0;
 }
 
 int cmd_validate(const std::string& path) {
@@ -411,6 +516,9 @@ int main(int argc, char** argv) {
         }
       }
       if (!bad && !source.empty()) return cmd_top(source, once, interval_ms);
+    }
+    if ((args.size() == 1 || args.size() == 2) && args[0] == "lint") {
+      return cmd_lint(args.size() == 2 ? args[1] : "src/minimpi");
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mph_inspect: %s\n", e.what());
