@@ -85,13 +85,37 @@ HandshakeResult handshake(const Comm& world, const Registry& registry,
   validate_declaration(declaration);
 
   // --- Steps 1-2 (§6): allgather signatures, derive executable runs. ------
-  const std::string my_signature = declaration_signature(declaration);
+  const std::string my_signature = pinned_signature(declaration, options);
   std::vector<std::string> signatures;
   {
     const minimpi::TraceSpan stage(tracer, world.global_of(world.rank()),
                                    minimpi::TraceOp::phase,
                                    "signature_allgather");
     signatures = minimpi::allgather_strings(world, my_signature);
+  }
+
+  // Contract-version agreement: every executable that pins a contract must
+  // pin the SAME one.  Mismatches fail here — at registration, before any
+  // model message — on every rank identically (the signature vector is
+  // identical everywhere).  Unpinned executables are exempt.
+  {
+    std::string pin;
+    rank_t pin_rank = 0;
+    for (rank_t r = 0; r < static_cast<rank_t>(signatures.size()); ++r) {
+      const std::string other =
+          signature_contract_pin(signatures[static_cast<std::size_t>(r)]);
+      if (other.empty()) continue;
+      if (pin.empty()) {
+        pin = other;
+        pin_rank = r;
+      } else if (other != pin) {
+        throw SetupError(
+            "contract version mismatch: world rank " +
+            std::to_string(pin_rank) + " pins contract " + pin +
+            " but world rank " + std::to_string(r) + " pins contract " +
+            other + " — rebuild the executables against one contract");
+      }
+    }
   }
   const std::vector<ExecutableRun> runs = find_runs(signatures);
 
@@ -313,7 +337,7 @@ HandshakeResult rejoin_handshake(const Comm& world,
                      std::to_string(signatures.size()) + " ranks, world has " +
                      std::to_string(world.size()));
   }
-  const std::string my_signature = declaration_signature(declaration);
+  const std::string my_signature = pinned_signature(declaration, options);
   if (signatures[static_cast<std::size_t>(my_world)] != my_signature) {
     throw SetupError(
         "rejoin: world rank " + std::to_string(my_world) +

@@ -73,6 +73,16 @@ struct HandshakeOptions {
 
   /// Liveness probe retry policy, consulted by Mph::ping and await_alive.
   LivenessOptions liveness;
+
+  /// Contract-version pin (mph_proto).  When non-empty — conventionally
+  /// proto::contract_hash_hex() of the contract text this executable was
+  /// built against — the pin rides along in the declaration signature as a
+  /// "|contract=<8hex>" suffix.  The handshake fails with SetupError at
+  /// registration time when two executables carry *different* non-empty
+  /// pins, so mismatched contract versions are caught before the first
+  /// message.  Executables without a pin coexist with pinned ones
+  /// (gradual adoption), and an empty pin adds zero bytes and zero work.
+  std::string contract;
 };
 
 /// Everything a rank learns from the handshake.
@@ -127,5 +137,14 @@ inline constexpr const char* kSignaturesKey = "mph.signatures";
 /// Signature string identifying a declaration during the allgather
 /// (exposed for tests).
 [[nodiscard]] std::string declaration_signature(const LocalDeclaration& decl);
+
+/// declaration_signature() plus the "|contract=<hex>" suffix when the
+/// options carry a contract pin (exposed for tests).
+[[nodiscard]] std::string pinned_signature(const LocalDeclaration& decl,
+                                           const HandshakeOptions& options);
+
+/// The contract pin embedded in an allgathered signature; empty when the
+/// signature is unpinned.
+[[nodiscard]] std::string signature_contract_pin(const std::string& sig);
 
 }  // namespace mph

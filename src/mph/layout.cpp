@@ -16,6 +16,21 @@ std::string declaration_signature(const LocalDeclaration& decl) {
   return sig;
 }
 
+std::string pinned_signature(const LocalDeclaration& decl,
+                             const HandshakeOptions& options) {
+  std::string sig = declaration_signature(decl);
+  if (!options.contract.empty()) sig += "|contract=" + options.contract;
+  return sig;
+}
+
+std::string signature_contract_pin(const std::string& sig) {
+  const std::size_t bar = sig.find('|');
+  if (bar == std::string::npos) return {};
+  const std::string_view suffix = std::string_view(sig).substr(bar + 1);
+  if (!u::starts_with(suffix, "contract=")) return {};
+  return std::string(suffix.substr(9));
+}
+
 std::vector<ExecutableRun> find_runs(
     const std::vector<std::string>& signatures) {
   std::vector<ExecutableRun> runs;
@@ -31,18 +46,19 @@ std::vector<ExecutableRun> find_runs(
   return runs;
 }
 
-namespace {
-
-/// Parse "C:a,b,c" / "I:prefix" back into a declaration.
 LocalDeclaration parse_signature(const std::string& sig) {
   LocalDeclaration decl;
   decl.is_instance = u::starts_with(sig, "I:");
-  const std::string_view body = std::string_view(sig).substr(2);
+  std::string_view body = std::string_view(sig).substr(2);
+  const std::size_t bar = body.find('|');
+  if (bar != std::string_view::npos) body = body.substr(0, bar);
   for (std::string_view name : u::split(body, ',')) {
     decl.names.emplace_back(name);
   }
   return decl;
 }
+
+namespace {
 
 /// Match one declaration against the registry; returns the block index.
 int match_block(const Registry& registry, const LocalDeclaration& decl) {

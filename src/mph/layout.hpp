@@ -25,6 +25,11 @@ struct LocalDeclaration;  // handshake.hpp
 /// Signature string identifying a declaration during the allgather.
 [[nodiscard]] std::string declaration_signature(const LocalDeclaration& decl);
 
+/// Parse "C:a,b,c" / "I:prefix" back into a declaration.  A
+/// "|contract=<hex>" suffix (the mph_proto contract-version pin) is not
+/// part of the declaration and is stripped.
+[[nodiscard]] LocalDeclaration parse_signature(const std::string& sig);
+
 /// A maximal run of consecutive world ranks sharing one declaration — one
 /// executable, as observed at runtime or as planned.
 struct ExecutableRun {

@@ -1,0 +1,387 @@
+#include "src/proto/conform.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "src/proto/expand.hpp"
+#include "src/util/json.hpp"
+
+namespace mph::proto {
+
+namespace {
+
+using detail::ExpOp;
+using detail::Layout;
+using detail::Slot;
+using util::JsonValue;
+
+/// [start, end] of a span event, in trace microseconds.  A hair of slack
+/// absorbs the ns→us rounding of the export.
+struct Window {
+  double start = 0;
+  double end = 0;
+
+  [[nodiscard]] bool covers(double t) const noexcept {
+    return t >= start - 0.0015 && t <= end + 0.0015;
+  }
+};
+
+bool inside_any(const std::vector<Window>& windows, double t) {
+  return std::any_of(windows.begin(), windows.end(),
+                     [t](const Window& w) { return w.covers(t); });
+}
+
+int arg_int(const JsonValue& event, const char* key, int fallback) {
+  const JsonValue* args = event.find("args");
+  if (args == nullptr) return fallback;
+  const JsonValue* value = args->find(key);
+  if (value == nullptr) return fallback;
+  return static_cast<int>(value->as_int());
+}
+
+}  // namespace
+
+std::string ObservedOp::to_string() const {
+  switch (kind) {
+    case Kind::send:
+      return "send to world rank " + std::to_string(peer) + " (tag=" +
+             std::to_string(tag) + ", " + std::to_string(bytes) + " B)";
+    case Kind::recv:
+      return "recv from world rank " + std::to_string(peer) + " (tag=" +
+             std::to_string(tag) + ", " + std::to_string(bytes) + " B)";
+    case Kind::collective:
+      return coll + " collective";
+  }
+  return "?";
+}
+
+const ObservedRank* ObservedTrace::by_world(int rank) const noexcept {
+  for (const ObservedRank& r : ranks) {
+    if (r.world_rank == rank) return &r;
+  }
+  return nullptr;
+}
+
+ObservedTrace read_trace_ops(std::string_view json_text) {
+  const JsonValue doc = JsonValue::parse(json_text);
+  const JsonValue* events = doc.find("traceEvents");
+  if (events == nullptr) {
+    throw MphError(
+        "proto: not a trace export — the document has no 'traceEvents'");
+  }
+  // Pass 1: track names, and the per-rank exclusion windows.  Phase spans
+  // (handshake, comm_setup, ...) hide everything inside them; collective
+  // spans hide the p2p traffic that implements the collective.
+  std::map<int, std::string> tracks;
+  std::map<int, std::vector<Window>> phase_windows;
+  std::map<int, std::vector<Window>> collective_windows;
+  for (const JsonValue& event : events->items()) {
+    const std::string& ph = event.at("ph").as_string();
+    const int tid = static_cast<int>(event.at("tid").as_int());
+    if (ph == "M") {
+      if (event.at("name").as_string() == "thread_name") {
+        tracks[tid] = event.at("args").at("name").as_string();
+      }
+      continue;
+    }
+    if (ph != "X") continue;
+    const std::string& cat = event.at("cat").as_string();
+    if (cat != "phase" && cat != "collective") continue;
+    const double start = event.at("ts").as_number();
+    const JsonValue* dur = event.find("dur");
+    const double end = start + (dur != nullptr ? dur->as_number() : 0.0);
+    (cat == "phase" ? phase_windows : collective_windows)[tid].push_back(
+        Window{start, end});
+  }
+  // Pass 2: protocol ops, in document order (the export writes each rank's
+  // ring in execution order).
+  std::map<int, ObservedRank> ranks;
+  for (const JsonValue& event : events->items()) {
+    const std::string& ph = event.at("ph").as_string();
+    if (ph != "X" && ph != "i") continue;
+    const std::string& cat = event.at("cat").as_string();
+    if (cat != "p2p" && cat != "collective") continue;
+    const std::string& name = event.at("name").as_string();
+    if (name == "post_recv" || name == "recv_match" ||
+        name == "control_send") {
+      continue;
+    }
+    const int tid = static_cast<int>(event.at("tid").as_int());
+    const double ts = event.at("ts").as_number();
+    const auto phases = phase_windows.find(tid);
+    if (phases != phase_windows.end() && inside_any(phases->second, ts)) {
+      continue;  // handshake-internal traffic, not protocol traffic
+    }
+    if (cat == "p2p") {
+      const auto colls = collective_windows.find(tid);
+      if (colls != collective_windows.end() &&
+          inside_any(colls->second, ts)) {
+        continue;  // a collective implementing itself with sends/receives
+      }
+    }
+    ObservedOp op;
+    if (cat == "collective") {
+      op.kind = ObservedOp::Kind::collective;
+      op.coll = name;
+    } else if (name == "send") {
+      op.kind = ObservedOp::Kind::send;
+    } else if (name == "recv" || name == "wait") {
+      op.kind = ObservedOp::Kind::recv;
+    } else {
+      continue;  // blocked markers and future event kinds
+    }
+    op.peer = arg_int(event, "peer", -1);
+    op.tag = arg_int(event, "tag", -1);
+    op.bytes = static_cast<std::uint64_t>(arg_int(event, "bytes", 0));
+    ObservedRank& rank = ranks[tid];
+    rank.world_rank = tid;
+    rank.ops.push_back(std::move(op));
+  }
+  ObservedTrace out;
+  for (auto& [tid, rank] : ranks) {
+    const auto track = tracks.find(tid);
+    if (track != tracks.end()) {
+      const std::string& label = track->second;
+      const std::size_t colon = label.rfind(':');
+      if (colon != std::string::npos) {
+        rank.component = label.substr(0, colon);
+        rank.local = std::atoi(label.c_str() + colon + 1);
+      } else {
+        rank.component = label;
+      }
+    }
+    out.ranks.push_back(std::move(rank));
+  }
+  // Ranks that only ran the handshake still deserve a row: metadata-only
+  // tids with no surviving ops are added so rank-count checks see them.
+  for (const auto& [tid, label] : tracks) {
+    if (out.by_world(tid) != nullptr) continue;
+    ObservedRank rank;
+    rank.world_rank = tid;
+    const std::size_t colon = label.rfind(':');
+    if (colon != std::string::npos) {
+      rank.component = label.substr(0, colon);
+      rank.local = std::atoi(label.c_str() + colon + 1);
+    } else {
+      rank.component = label;
+    }
+    out.ranks.push_back(std::move(rank));
+  }
+  std::sort(out.ranks.begin(), out.ranks.end(),
+            [](const ObservedRank& a, const ObservedRank& b) {
+              return a.world_rank < b.world_rank;
+            });
+  return out;
+}
+
+namespace {
+
+bool next_assignment(const std::vector<detail::ChoiceSite>& sites,
+                     std::vector<int>& assign) {
+  for (std::size_t i = sites.size(); i-- > 0;) {
+    if (++assign[i] < sites[i].branches) return true;
+    assign[i] = 0;
+  }
+  return false;
+}
+
+std::string expected_desc(const Contract& contract, const Layout& layout,
+                          const ExpOp& op) {
+  const std::string at =
+      " at " + contract.origin + ":" + std::to_string(op.loc.line);
+  switch (op.kind) {
+    case ExpOp::Kind::send:
+      return "send to " + detail::rank_name(contract, layout, op.dest) +
+             " (tag=" + std::to_string(op.tag) + ")" + at;
+    case ExpOp::Kind::recvgroup: {
+      if (op.slots.size() == 1) {
+        const Slot& slot = op.slots.front();
+        const std::string src =
+            slot.src < 0 ? std::string("any")
+                         : detail::rank_name(contract, layout, slot.src);
+        return "recv from " + src + " (tag=" + std::to_string(slot.tag) +
+               ")" + at;
+      }
+      return "a group of " + std::to_string(op.slots.size()) +
+             " receive(s)" + at;
+    }
+    case ExpOp::Kind::collective:
+      return std::string(op_kind_name(op.coll)) + "(" + op.scope + ")" + at;
+  }
+  return "?";
+}
+
+/// Payload compatibility of an observed byte count with a contract spec.
+bool bytes_ok(const TypeSpec& type, std::uint64_t bytes) {
+  const std::uint64_t pinned = type.total_bytes();
+  if (pinned != 0) return bytes == pinned;
+  if (type.typed()) return bytes % type.size == 0;
+  return true;
+}
+
+struct RankVerdict {
+  bool ok = false;
+  std::size_t fail_at = 0;  ///< observed-op index of the divergence
+  std::string detail;
+};
+
+/// Match one rank's observed ops against one expansion.  `to_gid` maps
+/// trace world ranks into contract global ranks (-1 = unknown).
+RankVerdict match_rank(const Contract& contract, const Layout& layout,
+                       const std::vector<int>& to_gid,
+                       const std::vector<ExpOp>& expected,
+                       const std::vector<ObservedOp>& observed) {
+  RankVerdict verdict;
+  std::size_t j = 0;
+  const auto fail = [&](std::size_t at, std::string detail) {
+    verdict.ok = false;
+    verdict.fail_at = at;
+    verdict.detail = std::move(detail);
+    return verdict;
+  };
+  const auto gid_of = [&](int world) -> int {
+    if (world < 0 || world >= static_cast<int>(to_gid.size())) return -1;
+    return to_gid[static_cast<std::size_t>(world)];
+  };
+  for (const ExpOp& op : expected) {
+    if (op.kind == ExpOp::Kind::recvgroup) {
+      std::vector<bool> used(op.slots.size(), false);
+      for (std::size_t k = 0; k < op.slots.size(); ++k, ++j) {
+        if (j >= observed.size()) {
+          return fail(j, "trace ends but the contract still expects " +
+                             expected_desc(contract, layout, op));
+        }
+        const ObservedOp& obs = observed[j];
+        if (obs.kind != ObservedOp::Kind::recv) {
+          return fail(j, "expected " + expected_desc(contract, layout, op));
+        }
+        const int src = gid_of(obs.peer);
+        // Exact slots first; a wildcard slot absorbs what is left.
+        std::size_t pick = op.slots.size();
+        for (std::size_t s = 0; s < op.slots.size(); ++s) {
+          if (used[s]) continue;
+          const Slot& slot = op.slots[s];
+          if (slot.tag != obs.tag || !bytes_ok(slot.type, obs.bytes)) {
+            continue;
+          }
+          if (slot.src == src) {
+            pick = s;
+            break;
+          }
+          if (slot.src < 0 && pick == op.slots.size()) pick = s;
+        }
+        if (pick == op.slots.size()) {
+          return fail(j, "no open slot of the receive group accepts it (" +
+                             expected_desc(contract, layout, op) + ")");
+        }
+        used[pick] = true;
+      }
+      continue;
+    }
+    if (j >= observed.size()) {
+      return fail(j, "trace ends but the contract still expects " +
+                         expected_desc(contract, layout, op));
+    }
+    const ObservedOp& obs = observed[j];
+    if (op.kind == ExpOp::Kind::send) {
+      if (obs.kind != ObservedOp::Kind::send ||
+          gid_of(obs.peer) != op.dest || obs.tag != op.tag ||
+          !bytes_ok(op.type, obs.bytes)) {
+        return fail(j, "expected " + expected_desc(contract, layout, op));
+      }
+    } else {  // collective
+      if (obs.kind != ObservedOp::Kind::collective ||
+          obs.coll != op_kind_name(op.coll)) {
+        return fail(j, "expected " + expected_desc(contract, layout, op));
+      }
+    }
+    ++j;
+  }
+  if (j != observed.size()) {
+    return fail(j, "the contract is complete but the trace continues");
+  }
+  verdict.ok = true;
+  return verdict;
+}
+
+}  // namespace
+
+std::vector<std::string> conform(const Contract& contract,
+                                 const ObservedTrace& trace) {
+  std::vector<std::string> findings;
+  const Layout layout = detail::make_layout(contract);
+  // Identity checks: every observed rank must belong to a declared
+  // component, and rank counts must agree with the declarations.
+  std::map<std::string, int> observed_count;
+  int max_world = -1;
+  for (const ObservedRank& rank : trace.ranks) {
+    max_world = std::max(max_world, rank.world_rank);
+    if (contract.find_component(rank.component) == nullptr) {
+      findings.push_back("conform: trace rank " +
+                         std::to_string(rank.world_rank) + " (track '" +
+                         rank.component + ":" + std::to_string(rank.local) +
+                         "') belongs to no contract component");
+      continue;
+    }
+    ++observed_count[rank.component];
+  }
+  for (const ComponentDecl& decl : contract.components) {
+    const auto it = observed_count.find(decl.name);
+    const int seen = it == observed_count.end() ? 0 : it->second;
+    if (seen != decl.ranks) {
+      findings.push_back(
+          "conform: component '" + decl.name + "' declares " +
+          std::to_string(decl.ranks) + " rank(s) but the trace shows " +
+          std::to_string(seen));
+    }
+  }
+  if (!findings.empty()) return findings;
+  std::vector<int> to_gid(static_cast<std::size_t>(max_world + 1), -1);
+  for (const ObservedRank& rank : trace.ranks) {
+    to_gid[static_cast<std::size_t>(rank.world_rank)] = layout.gid(
+        contract.component_index(rank.component), rank.local);
+  }
+  const std::vector<detail::ChoiceSite> sites = detail::choice_sites(contract);
+  constexpr int kMaxAssignments = 64;
+  constexpr std::uint64_t kMaxOps = 100000;
+  for (const ObservedRank& rank : trace.ranks) {
+    const int comp = contract.component_index(rank.component);
+    RankVerdict best;
+    bool first = true;
+    std::vector<int> assign(sites.size(), 0);
+    int tried = 0;
+    bool more = true;
+    while (more && tried < kMaxAssignments) {
+      ++tried;
+      const std::vector<ExpOp> expected = detail::expand_rank(
+          contract, layout, comp, rank.local, assign, kMaxOps);
+      const RankVerdict verdict =
+          match_rank(contract, layout, to_gid, expected, rank.ops);
+      if (verdict.ok) {
+        best = verdict;
+        break;
+      }
+      if (first || verdict.fail_at > best.fail_at) best = verdict;
+      first = false;
+      more = next_assignment(sites, assign);
+    }
+    if (best.ok) continue;
+    std::string what = "conform: " + rank.component + "[" +
+                       std::to_string(rank.local) + "]";
+    if (best.fail_at < rank.ops.size()) {
+      what += " trace event #" + std::to_string(best.fail_at) + " (" +
+              rank.ops[best.fail_at].to_string() + ") violates the contract: ";
+    } else {
+      what += ": ";
+    }
+    what += best.detail;
+    findings.push_back(std::move(what));
+  }
+  return findings;
+}
+
+}  // namespace mph::proto

@@ -1,0 +1,177 @@
+#include "src/proto/contract.hpp"
+
+#include <cstddef>
+#include <span>
+
+#include "src/proto/parser.hpp"
+#include "src/util/crc32.hpp"
+
+namespace mph::proto {
+
+const char* op_kind_name(OpKind kind) noexcept {
+  switch (kind) {
+    case OpKind::send: return "send";
+    case OpKind::recv: return "recv";
+    case OpKind::barrier: return "barrier";
+    case OpKind::bcast: return "bcast";
+    case OpKind::allreduce: return "allreduce";
+    case OpKind::allgather: return "allgather";
+  }
+  return "?";
+}
+
+bool is_collective(OpKind kind) noexcept {
+  return kind != OpKind::send && kind != OpKind::recv;
+}
+
+std::string PeerSpec::to_string() const {
+  switch (kind) {
+    case Kind::any: return "any";
+    case Kind::all: return component + "[*]";
+    case Kind::exact: return component + "[" + std::to_string(low) + "]";
+    case Kind::range:
+      return component + "[" + std::to_string(low) + ".." +
+             std::to_string(high) + "]";
+  }
+  return "?";
+}
+
+std::string TypeSpec::to_string() const {
+  if (typed()) {
+    std::string out = "type " + name;
+    if (builtin_type_size(name) != size) {
+      out += " size " + std::to_string(size);
+    }
+    if (count != 0) out += " count " + std::to_string(count);
+    return out;
+  }
+  if (bytes != 0) return "bytes " + std::to_string(bytes);
+  return {};
+}
+
+const ComponentDecl* Contract::find_component(
+    std::string_view name) const noexcept {
+  for (const ComponentDecl& decl : components) {
+    if (decl.name == name) return &decl;
+  }
+  return nullptr;
+}
+
+const ProtoDecl* Contract::find_proto(
+    std::string_view component) const noexcept {
+  for (const ProtoDecl& decl : protos) {
+    if (decl.component == component) return &decl;
+  }
+  return nullptr;
+}
+
+int Contract::component_index(std::string_view name) const noexcept {
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    if (components[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+namespace {
+
+void append_indent(std::string& out, int depth) {
+  out.append(static_cast<std::size_t>(depth) * 2, ' ');
+}
+
+void append_op(std::string& out, const Op& op) {
+  out += op_kind_name(op.kind);
+  if (op.kind == OpKind::send || op.kind == OpKind::recv) {
+    out += " " + op.peer.to_string() + " tag " + std::to_string(op.tag);
+  } else {
+    out += " " + op.scope;
+    if (op.kind == OpKind::bcast) out += " root " + op.peer.to_string();
+  }
+  const std::string payload = op.type.to_string();
+  if (!payload.empty()) out += " " + payload;
+}
+
+void append_seq(std::string& out, const Seq& seq, int depth) {
+  for (const Item& item : seq.items) {
+    append_indent(out, depth);
+    switch (item.kind) {
+      case Item::Kind::op:
+        append_op(out, item.op);
+        out += '\n';
+        break;
+      case Item::Kind::loop:
+        out += "loop " + std::to_string(item.count) + " {\n";
+        append_seq(out, item.branches[0], depth + 1);
+        append_indent(out, depth);
+        out += "}\n";
+        break;
+      case Item::Kind::gather:
+        out += "gather {\n";
+        append_seq(out, item.branches[0], depth + 1);
+        append_indent(out, depth);
+        out += "}\n";
+        break;
+      case Item::Kind::on:
+        out += "on " + std::to_string(item.on_low);
+        if (item.on_high != item.on_low) {
+          out += ".." + std::to_string(item.on_high);
+        }
+        out += " {\n";
+        append_seq(out, item.branches[0], depth + 1);
+        append_indent(out, depth);
+        out += "}\n";
+        break;
+      case Item::Kind::choice:
+        out += "either {\n";
+        append_seq(out, item.branches[0], depth + 1);
+        append_indent(out, depth);
+        out += "}";
+        for (std::size_t b = 1; b < item.branches.size(); ++b) {
+          out += " or {\n";
+          append_seq(out, item.branches[b], depth + 1);
+          append_indent(out, depth);
+          out += "}";
+        }
+        out += '\n';
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string seq_text(const Seq& seq, int depth) {
+  std::string out;
+  append_seq(out, seq, depth);
+  return out;
+}
+
+std::string Contract::to_text() const {
+  std::string out = "contract " + name + "\n";
+  for (const ComponentDecl& decl : components) {
+    out += "component " + decl.name + " ranks " + std::to_string(decl.ranks) +
+           "\n";
+  }
+  for (const ProtoDecl& proto : protos) {
+    out += "\nproto " + proto.component + " {\n";
+    append_seq(out, proto.body, 1);
+    out += "}\n";
+  }
+  return out;
+}
+
+std::uint32_t contract_hash(std::string_view text) noexcept {
+  return util::crc32(
+      std::as_bytes(std::span<const char>(text.data(), text.size())));
+}
+
+std::string contract_hash_hex(std::string_view text) {
+  static const char* kHex = "0123456789abcdef";
+  const std::uint32_t hash = contract_hash(text);
+  std::string out(8, '0');
+  for (int i = 0; i < 8; ++i) {
+    out[static_cast<std::size_t>(7 - i)] = kHex[(hash >> (4 * i)) & 0xFU];
+  }
+  return out;
+}
+
+}  // namespace mph::proto

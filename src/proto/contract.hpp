@@ -1,0 +1,211 @@
+// contract.hpp — mph_proto: the communication-contract IR.
+//
+// A contract declares, per component, the sequence of communication
+// operations its ranks perform after the MPH handshake: point-to-point
+// sends/receives with tag and element type, collectives over a scope,
+// bounded loops, component-level choices, and unordered receive groups
+// ("gather") that model wildcard collection.  The registry knows which
+// components exist before any model code runs (the MPH premise); a
+// contract adds *how they talk*, which lets the checker in checker.hpp
+// verify send/recv compatibility, collective consistency, and
+// deadlock-freedom with no job execution at all — mpicheck/mph_verify
+// find the same classes of bug, but only by running the job.
+//
+// Text format (parser.hpp), by example:
+//
+//   contract scme
+//   component atmosphere ranks 1
+//   component ocean ranks 1
+//   component coupler ranks 1
+//
+//   proto atmosphere {
+//     send coupler[0] tag 7 type int
+//   }
+//   proto coupler {
+//     gather {                      # unordered: wildcard collection
+//       recv atmosphere[*] tag 7 type int
+//       recv ocean[*] tag 7 type int
+//     }
+//   }
+//
+// Further constructs: `loop N { ... }` (bounded repetition, unrolled by the
+// checker), `either { ... } or { ... }` (component-level choice: every rank
+// of the component takes the same branch), `on LO..HI { ... }` (restrict
+// ops to a local-rank range), `barrier SCOPE` / `bcast SCOPE root PEER ...`
+// / `allreduce SCOPE ...` / `allgather SCOPE ...` collectives, and
+// `bytes N` in place of `type T [count N]` for untyped payloads (exempt
+// from type agreement, like mpicheck's raw traffic).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/minimpi/check.hpp"
+#include "src/mph/errors.hpp"
+
+namespace mph::proto {
+
+/// Position of a construct in the contract source, for diagnostics.
+struct SourceLoc {
+  int line = 0;    ///< 1-based
+  int column = 0;  ///< 1-based
+};
+
+/// Thrown by the parser on malformed contract text.  The message is
+/// "origin:line:col: what" — position-accurate by construction.
+class ContractParseError : public MphError {
+ public:
+  ContractParseError(const std::string& origin, SourceLoc loc,
+                     const std::string& what)
+      : MphError(origin + ":" + std::to_string(loc.line) + ":" +
+                 std::to_string(loc.column) + ": " + what),
+        loc_(loc) {}
+
+  [[nodiscard]] SourceLoc where() const noexcept { return loc_; }
+
+ private:
+  SourceLoc loc_;
+};
+
+/// The other side of a point-to-point op (or a bcast root).
+struct PeerSpec {
+  enum class Kind {
+    exact,  ///< component[k]       — one specific local rank
+    range,  ///< component[lo..hi]  — one message per rank of the range
+    all,    ///< component[*]       — every rank of the component
+    any,    ///< any                — wildcard (receives only)
+  };
+  Kind kind = Kind::exact;
+  std::string component;  ///< empty for `any`
+  int low = 0;            ///< exact: the rank; range: inclusive bounds
+  int high = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Payload description.  Three shapes:
+///   type T [count N]  — typed: name + element size (TypeSig agreement)
+///   bytes N           — untyped, but total size pinned
+///   (absent)          — unconstrained (never checked)
+struct TypeSpec {
+  std::string name;         ///< element type name; empty = untyped
+  std::uint32_t size = 0;   ///< sizeof(element); 0 = untyped
+  std::uint64_t count = 0;  ///< element count; 0 = unspecified
+  std::uint64_t bytes = 0;  ///< total payload bytes; 0 = unspecified
+
+  [[nodiscard]] bool typed() const noexcept { return size != 0; }
+
+  /// The minimpi TypeSig this spec pins (empty signature when untyped) —
+  /// type agreement between contract ops uses TypeSig::matches, the same
+  /// predicate mpicheck applies to live envelopes.
+  [[nodiscard]] minimpi::TypeSig sig() const noexcept {
+    return minimpi::TypeSig{name, size};
+  }
+
+  /// Total payload bytes when derivable (typed with count, or explicit
+  /// bytes); 0 otherwise.
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+    if (bytes != 0) return bytes;
+    if (size != 0 && count != 0) return size * count;
+    return 0;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+enum class OpKind : std::uint8_t {
+  send,
+  recv,
+  barrier,
+  bcast,
+  allreduce,
+  allgather,
+};
+
+[[nodiscard]] const char* op_kind_name(OpKind kind) noexcept;
+[[nodiscard]] bool is_collective(OpKind kind) noexcept;
+
+/// One communication operation.
+struct Op {
+  OpKind kind = OpKind::send;
+  PeerSpec peer;      ///< send/recv peer; bcast root
+  std::string scope;  ///< collectives: "world" or a component name
+  int tag = -1;       ///< p2p message tag
+  TypeSpec type;
+  SourceLoc loc;
+};
+
+struct Item;
+
+/// An ordered sequence of items (the body of a proto, loop, branch, ...).
+struct Seq {
+  std::vector<Item> items;
+};
+
+/// One node of a proto body: a plain op or a structured construct.
+struct Item {
+  enum class Kind {
+    op,      ///< a single Op
+    loop,    ///< `loop N { ... }` — branches[0] repeated `count` times
+    choice,  ///< `either {..} or {..}` — one branch, chosen component-wide
+    gather,  ///< `gather { recv... }` — unordered receive multiset
+    on,      ///< `on LO..HI { ... }` — restrict to a local-rank range
+  };
+  Kind kind = Kind::op;
+  Op op;                     ///< kind == op
+  int count = 0;             ///< kind == loop
+  int on_low = 0;            ///< kind == on (inclusive local-rank bounds)
+  int on_high = 0;
+  std::vector<Seq> branches;  ///< loop/gather/on: one; choice: >= 2
+  SourceLoc loc;
+};
+
+/// One declared component.
+struct ComponentDecl {
+  std::string name;
+  int ranks = 1;
+  SourceLoc loc;
+};
+
+/// A per-component protocol body.
+struct ProtoDecl {
+  std::string component;
+  Seq body;
+  SourceLoc loc;
+};
+
+/// A parsed contract.
+struct Contract {
+  std::string name;    ///< from the `contract NAME` header
+  std::string origin;  ///< file path (or "<text>") for diagnostics
+  std::vector<ComponentDecl> components;  ///< declaration order
+  std::vector<ProtoDecl> protos;
+
+  [[nodiscard]] const ComponentDecl* find_component(
+      std::string_view name) const noexcept;
+  [[nodiscard]] const ProtoDecl* find_proto(
+      std::string_view component) const noexcept;
+  [[nodiscard]] int component_index(std::string_view name) const noexcept;
+
+  /// Serialize back to contract text (stable: parse ∘ to_text ∘ parse is
+  /// the identity on the model).  Also the canonical form behind hash().
+  [[nodiscard]] std::string to_text() const;
+};
+
+/// Serialize one sequence at an indent depth (to_text uses depth 1 for
+/// proto bodies).  Contract inference uses this to compare and merge
+/// per-rank op sequences structurally.
+[[nodiscard]] std::string seq_text(const Seq& seq, int depth);
+
+/// Contract-version hash: CRC32 of the raw contract text.  Carried through
+/// the handshake (HandshakeOptions::contract) so executables built against
+/// different contract versions fail at registration, not at first message.
+[[nodiscard]] std::uint32_t contract_hash(std::string_view text) noexcept;
+
+/// The hash formatted the way handshake signatures and SetupError messages
+/// show it (8 hex digits).
+[[nodiscard]] std::string contract_hash_hex(std::string_view text);
+
+}  // namespace mph::proto

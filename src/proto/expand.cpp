@@ -1,0 +1,231 @@
+#include "src/proto/expand.hpp"
+
+#include <cstddef>
+
+namespace mph::proto::detail {
+
+Layout make_layout(const Contract& contract) {
+  Layout layout;
+  layout.base.reserve(contract.components.size());
+  for (const ComponentDecl& decl : contract.components) {
+    layout.base.push_back(layout.world);
+    layout.world += decl.ranks;
+  }
+  return layout;
+}
+
+std::string rank_name(const Contract& contract, const Layout& layout,
+                      int gid) {
+  const auto [comp, rank] = layout.owner(gid);
+  return contract.components[static_cast<std::size_t>(comp)].name + "[" +
+         std::to_string(rank) + "]";
+}
+
+namespace {
+
+void collect_sites(const Contract& contract, int comp, const Seq& seq,
+                   std::vector<ChoiceSite>& out) {
+  for (const Item& item : seq.items) {
+    if (item.kind == Item::Kind::choice) {
+      out.push_back(ChoiceSite{comp, static_cast<int>(item.branches.size()),
+                               item.loc});
+    }
+    for (const Seq& branch : item.branches) {
+      collect_sites(contract, comp, branch, out);
+    }
+  }
+}
+
+/// Walks one proto body for one rank.  Choice sites are consumed in the
+/// same pre-order as choice_sites() — `site` is the running cursor, and a
+/// site inside a loop keeps one index across iterations by re-walking from
+/// a saved cursor (see the loop case).
+class RankWalker {
+ public:
+  RankWalker(const Contract& contract, const Layout& layout, int comp,
+             int rank, const std::vector<int>& choice, std::uint64_t max_ops)
+      : contract_(contract),
+        layout_(layout),
+        comp_(comp),
+        rank_(rank),
+        choice_(choice),
+        max_ops_(max_ops) {}
+
+  std::vector<ExpOp> run(const Seq& body, int first_site) {
+    int site = first_site;
+    walk(body, site, /*emit=*/true);
+    return std::move(out_);
+  }
+
+ private:
+  void walk(const Seq& seq, int& site, bool emit) {
+    for (const Item& item : seq.items) {
+      switch (item.kind) {
+        case Item::Kind::op:
+          if (emit) emit_op(item.op);
+          break;
+        case Item::Kind::loop: {
+          // Each iteration must consume the same choice-site indices, so
+          // re-walk the body from the saved cursor; only the last pass
+          // advances `site` past the loop.
+          const int start = site;
+          for (int i = 0; i < item.count; ++i) {
+            site = start;
+            walk(item.branches[0], site, emit);
+          }
+          break;
+        }
+        case Item::Kind::choice: {
+          const int taken =
+              site < static_cast<int>(choice_.size())
+                  ? choice_[static_cast<std::size_t>(site)]
+                  : 0;
+          ++site;
+          for (std::size_t b = 0; b < item.branches.size(); ++b) {
+            // Non-taken branches are walked silently so nested choice
+            // sites keep stable indices across branch assignments.
+            walk(item.branches[b],
+                 site, emit && static_cast<int>(b) == taken);
+          }
+          break;
+        }
+        case Item::Kind::gather: {
+          if (emit) emit_gather(item);
+          // gather bodies hold plain recvs only (parser-enforced): no
+          // nested choice sites to account for.
+          break;
+        }
+        case Item::Kind::on:
+          walk(item.branches[0], site,
+               emit && rank_ >= item.on_low && rank_ <= item.on_high);
+          break;
+      }
+    }
+  }
+
+  void add_slots(std::vector<Slot>& slots, const Op& op) {
+    Slot slot;
+    slot.tag = op.tag;
+    slot.type = op.type;
+    slot.loc = op.loc;
+    switch (op.peer.kind) {
+      case PeerSpec::Kind::any:
+        slots.push_back(slot);
+        return;
+      case PeerSpec::Kind::exact:
+      case PeerSpec::Kind::range:
+      case PeerSpec::Kind::all: {
+        const int peer_comp = contract_.component_index(op.peer.component);
+        const int low = op.peer.kind == PeerSpec::Kind::all ? 0 : op.peer.low;
+        const int high =
+            op.peer.kind == PeerSpec::Kind::all
+                ? contract_.components[static_cast<std::size_t>(peer_comp)]
+                          .ranks -
+                      1
+                : op.peer.high;
+        for (int r = low; r <= high; ++r) {
+          slot.src = layout_.gid(peer_comp, r);
+          slots.push_back(slot);
+        }
+        return;
+      }
+    }
+  }
+
+  void emit_op(const Op& op) {
+    ExpOp exp;
+    exp.loc = op.loc;
+    switch (op.kind) {
+      case OpKind::send: {
+        exp.kind = ExpOp::Kind::send;
+        const int peer_comp = contract_.component_index(op.peer.component);
+        exp.dest = layout_.gid(peer_comp, op.peer.low);
+        exp.tag = op.tag;
+        exp.type = op.type;
+        break;
+      }
+      case OpKind::recv:
+        exp.kind = ExpOp::Kind::recvgroup;
+        add_slots(exp.slots, op);
+        break;
+      default: {
+        exp.kind = ExpOp::Kind::collective;
+        exp.coll = op.kind;
+        exp.scope = op.scope;
+        exp.type = op.type;
+        if (op.kind == OpKind::bcast) {
+          const int peer_comp = contract_.component_index(op.peer.component);
+          exp.root = layout_.gid(peer_comp, op.peer.low);
+        }
+        break;
+      }
+    }
+    push(std::move(exp));
+  }
+
+  void emit_gather(const Item& item) {
+    ExpOp exp;
+    exp.kind = ExpOp::Kind::recvgroup;
+    exp.loc = item.loc;
+    for (const Item& inner : item.branches[0].items) {
+      add_slots(exp.slots, inner.op);
+    }
+    push(std::move(exp));
+  }
+
+  void push(ExpOp exp) {
+    if (out_.size() >= max_ops_) {
+      throw MphError(
+          "proto: rank " + rank_name(contract_, layout_,
+                                     layout_.gid(comp_, rank_)) +
+          " unrolls to more than " + std::to_string(max_ops_) +
+          " operations; reduce loop bounds or raise the cap");
+    }
+    out_.push_back(std::move(exp));
+  }
+
+  const Contract& contract_;
+  const Layout& layout_;
+  int comp_;
+  int rank_;
+  const std::vector<int>& choice_;
+  std::uint64_t max_ops_;
+  std::vector<ExpOp> out_;
+};
+
+}  // namespace
+
+std::vector<ChoiceSite> choice_sites(const Contract& contract) {
+  std::vector<ChoiceSite> out;
+  for (std::size_t c = 0; c < contract.components.size(); ++c) {
+    const ProtoDecl* proto =
+        contract.find_proto(contract.components[c].name);
+    if (proto != nullptr) {
+      collect_sites(contract, static_cast<int>(c), proto->body, out);
+    }
+  }
+  return out;
+}
+
+std::vector<ExpOp> expand_rank(const Contract& contract, const Layout& layout,
+                               int comp, int rank,
+                               const std::vector<int>& choice,
+                               std::uint64_t max_ops) {
+  const ProtoDecl* proto =
+      contract.find_proto(contract.components[static_cast<std::size_t>(comp)]
+                              .name);
+  if (proto == nullptr) return {};
+  // The choice vector is indexed across ALL components (choice_sites order):
+  // skip past the sites that belong to earlier components.
+  std::vector<ChoiceSite> earlier;
+  for (int c = 0; c < comp; ++c) {
+    const ProtoDecl* p =
+        contract.find_proto(contract.components[static_cast<std::size_t>(c)]
+                                .name);
+    if (p != nullptr) collect_sites(contract, c, p->body, earlier);
+  }
+  return RankWalker(contract, layout, comp, rank, choice, max_ops)
+      .run(proto->body, static_cast<int>(earlier.size()));
+}
+
+}  // namespace mph::proto::detail

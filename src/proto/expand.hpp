@@ -1,0 +1,105 @@
+// expand.hpp — internal: per-rank projection of a contract.
+//
+// Both the static checker (checker.cpp) and the trace-conformance matcher
+// (conform.cpp) need the same projection: for one (component, local rank)
+// and one resolved choice assignment, the flat sequence of operations that
+// rank performs — loops unrolled, `on` ranges filtered, ranged/wildcard
+// receives expanded into unordered slot groups, gathers folded into one
+// group.  Keeping a single expander guarantees the checker and the
+// conformance matcher agree on what a contract *means*.
+//
+// Ranks are numbered globally in component declaration order (component 0
+// ranks first), mirroring how the MPH handshake lays out world ranks for a
+// registry in declaration order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/proto/contract.hpp"
+
+namespace mph::proto::detail {
+
+/// Global rank numbering over a contract's components.
+struct Layout {
+  std::vector<int> base;  ///< first global rank per component index
+  int world = 0;
+
+  [[nodiscard]] int gid(int comp, int rank) const noexcept {
+    return base[static_cast<std::size_t>(comp)] + rank;
+  }
+  /// (component index, local rank) of a global rank.
+  [[nodiscard]] std::pair<int, int> owner(int gid) const noexcept {
+    int comp = 0;
+    while (comp + 1 < static_cast<int>(base.size()) &&
+           base[static_cast<std::size_t>(comp + 1)] <= gid) {
+      ++comp;
+    }
+    return {comp, gid - base[static_cast<std::size_t>(comp)]};
+  }
+};
+
+[[nodiscard]] Layout make_layout(const Contract& contract);
+
+/// "component[local]" for a global rank — the `name[rank]` form mpicheck
+/// uses in wait-for cycle reports.
+[[nodiscard]] std::string rank_name(const Contract& contract,
+                                    const Layout& layout, int gid);
+
+/// One expected receive within a group: a specific source (or wildcard)
+/// with tag and payload spec.
+struct Slot {
+  int src = -1;  ///< global rank; -1 = `any` wildcard
+  int tag = -1;
+  TypeSpec type;
+  SourceLoc loc;
+};
+
+/// One step of a rank's projected order.
+struct ExpOp {
+  enum class Kind {
+    send,       ///< one message to `dest`
+    recvgroup,  ///< unordered multiset of receive slots (1 slot = plain recv)
+    collective, ///< one collective step in `scope`
+  };
+  Kind kind = Kind::send;
+  // send
+  int dest = -1;
+  int tag = -1;
+  TypeSpec type;
+  // collective
+  OpKind coll = OpKind::barrier;
+  std::string scope;
+  int root = -1;  ///< bcast root global rank; -1 otherwise
+  // recvgroup
+  std::vector<Slot> slots;
+  SourceLoc loc;
+};
+
+/// One `either/or` site.  Choice is component-level: every rank of
+/// `component` takes the same branch, so sites are enumerated per syntactic
+/// occurrence (a site inside a loop is still one site — the same branch
+/// every iteration).
+struct ChoiceSite {
+  int component = 0;           ///< component index
+  int branches = 0;
+  SourceLoc loc;
+};
+
+/// All choice sites in pre-order (component declaration order, then
+/// syntactic order within the proto).  expand_rank's `choice` vector is
+/// indexed by position in this list.
+[[nodiscard]] std::vector<ChoiceSite> choice_sites(const Contract& contract);
+
+/// Project the contract onto one rank of one component under a branch
+/// assignment.  Throws MphError when the unrolled op count exceeds
+/// `max_ops` (runaway loop nesting).
+[[nodiscard]] std::vector<ExpOp> expand_rank(const Contract& contract,
+                                             const Layout& layout, int comp,
+                                             int rank,
+                                             const std::vector<int>& choice,
+                                             std::uint64_t max_ops);
+
+}  // namespace mph::proto::detail

@@ -1,0 +1,289 @@
+#include "src/proto/infer.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mph::proto {
+
+namespace {
+
+/// World rank → (component name, local rank), from the trace tracks.
+struct PeerMap {
+  std::map<int, std::pair<std::string, int>> peers;
+
+  [[nodiscard]] const std::pair<std::string, int>* find(
+      int world) const noexcept {
+    const auto it = peers.find(world);
+    return it == peers.end() ? nullptr : &it->second;
+  }
+};
+
+Item op_item(Op op) {
+  Item item;
+  item.kind = Item::Kind::op;
+  item.op = std::move(op);
+  return item;
+}
+
+/// One observed op as a contract Item (exact peers, `bytes` payloads).
+/// Returns false for ops that have no contract equivalent.
+bool to_item(const ObservedOp& obs, const PeerMap& peers, Item& out) {
+  Op op;
+  op.type.bytes = obs.bytes;
+  switch (obs.kind) {
+    case ObservedOp::Kind::send:
+    case ObservedOp::Kind::recv: {
+      op.kind = obs.kind == ObservedOp::Kind::send ? OpKind::send
+                                                   : OpKind::recv;
+      const auto* peer = peers.find(obs.peer);
+      if (peer == nullptr) return false;
+      op.peer.kind = PeerSpec::Kind::exact;
+      op.peer.component = peer->first;
+      op.peer.low = op.peer.high = peer->second;
+      op.tag = obs.tag;
+      out = op_item(std::move(op));
+      return true;
+    }
+    case ObservedOp::Kind::collective: {
+      if (obs.coll == "barrier") {
+        op.kind = OpKind::barrier;
+        op.type = {};
+      } else if (obs.coll == "bcast") {
+        // The root is unknowable from a single rank's span; leave the
+        // collective out rather than guess (conform would then reject its
+        // own inference).  Same for the remaining collectives below.
+        return false;
+      } else if (obs.coll == "allreduce") {
+        op.kind = OpKind::allreduce;
+      } else if (obs.coll == "allgather") {
+        op.kind = OpKind::allgather;
+      } else {
+        return false;
+      }
+      op.scope = "world";
+      out = op_item(std::move(op));
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string item_text(const Item& item) {
+  Seq one;
+  one.items.push_back(item);
+  return seq_text(one, 0);
+}
+
+/// Collapse a run of receives covering a contiguous local-rank range per
+/// component (each rank exactly once, same tag, same size) into ranged
+/// recvs — one per component, wrapped in `gather` when there are several.
+void merge_ranged_recvs(std::vector<Item>& items) {
+  std::vector<Item> out;
+  std::size_t i = 0;
+  while (i < items.size()) {
+    const Item& head = items[i];
+    if (head.kind != Item::Kind::op || head.op.kind != OpKind::recv ||
+        head.op.peer.kind != PeerSpec::Kind::exact) {
+      out.push_back(items[i++]);
+      continue;
+    }
+    std::size_t j = i;
+    std::map<std::string, std::set<int>> sources;
+    bool unique = true;
+    while (j < items.size()) {
+      const Item& next = items[j];
+      if (next.kind != Item::Kind::op || next.op.kind != OpKind::recv ||
+          next.op.peer.kind != PeerSpec::Kind::exact ||
+          next.op.tag != head.op.tag ||
+          next.op.type.bytes != head.op.type.bytes) {
+        break;
+      }
+      if (!sources[next.op.peer.component].insert(next.op.peer.low).second) {
+        unique = false;
+        break;
+      }
+      ++j;
+    }
+    bool contiguous = unique && j - i >= 2;
+    if (contiguous) {
+      for (const auto& [comp, locals] : sources) {
+        if (static_cast<int>(locals.size()) !=
+            *locals.rbegin() - *locals.begin() + 1) {
+          contiguous = false;
+          break;
+        }
+      }
+    }
+    if (!contiguous) {
+      out.push_back(items[i++]);
+      continue;
+    }
+    std::vector<Item> merged;
+    for (const auto& [comp, locals] : sources) {
+      Op op;
+      op.kind = OpKind::recv;
+      op.tag = head.op.tag;
+      op.type = head.op.type;
+      op.peer.component = comp;
+      op.peer.low = *locals.begin();
+      op.peer.high = *locals.rbegin();
+      op.peer.kind = op.peer.low == op.peer.high ? PeerSpec::Kind::exact
+                                                 : PeerSpec::Kind::range;
+      merged.push_back(op_item(std::move(op)));
+    }
+    if (merged.size() == 1) {
+      out.push_back(std::move(merged.front()));
+    } else {
+      Item gather;
+      gather.kind = Item::Kind::gather;
+      Seq body;
+      body.items = std::move(merged);
+      gather.branches.push_back(std::move(body));
+      out.push_back(std::move(gather));
+    }
+    i = j;
+  }
+  items = std::move(out);
+}
+
+/// Collapse repeated blocks (period 1..4) into `loop N { ... }`.
+void collapse_loops(std::vector<Item>& items) {
+  std::vector<std::string> texts;
+  texts.reserve(items.size());
+  for (const Item& item : items) texts.push_back(item_text(item));
+  std::vector<Item> out;
+  std::size_t i = 0;
+  while (i < items.size()) {
+    std::size_t best_period = 0;
+    std::size_t best_repeats = 1;
+    for (std::size_t period = 1; period <= 4 && i + 2 * period <= items.size();
+         ++period) {
+      std::size_t repeats = 1;
+      while (i + (repeats + 1) * period <= items.size()) {
+        bool same = true;
+        for (std::size_t k = 0; k < period; ++k) {
+          if (texts[i + k] != texts[i + repeats * period + k]) {
+            same = false;
+            break;
+          }
+        }
+        if (!same) break;
+        ++repeats;
+      }
+      if (repeats >= 2 && repeats * period > best_repeats * best_period) {
+        best_period = period;
+        best_repeats = repeats;
+      }
+    }
+    if (best_period == 0) {
+      out.push_back(items[i++]);
+      continue;
+    }
+    Item loop;
+    loop.kind = Item::Kind::loop;
+    loop.count = static_cast<int>(best_repeats);
+    Seq body;
+    for (std::size_t k = 0; k < best_period; ++k) {
+      body.items.push_back(items[i + k]);
+    }
+    loop.branches.push_back(std::move(body));
+    out.push_back(std::move(loop));
+    i += best_repeats * best_period;
+  }
+  items = std::move(out);
+}
+
+}  // namespace
+
+std::string infer_contract_text(const ObservedTrace& trace,
+                                std::string_view name) {
+  Contract contract;
+  contract.name = std::string(name);
+  contract.origin = "<inferred>";
+  // Components in first-world-rank order, sized by observed rank count.
+  PeerMap peers;
+  std::map<std::string, int> count;
+  for (const ObservedRank& rank : trace.ranks) {  // sorted by world rank
+    if (rank.component.empty()) continue;
+    peers.peers[rank.world_rank] = {rank.component, rank.local};
+    if (count.find(rank.component) == count.end()) {
+      ComponentDecl decl;
+      decl.name = rank.component;
+      contract.components.push_back(std::move(decl));
+    }
+    ++count[rank.component];
+  }
+  for (ComponentDecl& decl : contract.components) {
+    decl.ranks = count[decl.name];
+  }
+  for (const ComponentDecl& decl : contract.components) {
+    // Normalize every rank's stream, then merge identical ranks; the
+    // leftovers become `on lo..hi { ... }` blocks.
+    std::vector<std::pair<int, std::vector<Item>>> streams;
+    for (const ObservedRank& rank : trace.ranks) {
+      if (rank.component != decl.name) continue;
+      std::vector<Item> items;
+      for (const ObservedOp& obs : rank.ops) {
+        Item item;
+        if (to_item(obs, peers, item)) items.push_back(std::move(item));
+      }
+      merge_ranged_recvs(items);
+      collapse_loops(items);
+      streams.emplace_back(rank.local, std::move(items));
+    }
+    std::sort(streams.begin(), streams.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    ProtoDecl proto;
+    proto.component = decl.name;
+    const auto text_of = [](const std::vector<Item>& items) {
+      Seq seq;
+      seq.items = items;
+      return seq_text(seq, 0);
+    };
+    bool all_same = true;
+    for (const auto& [local, items] : streams) {
+      if (text_of(items) != text_of(streams.front().second)) {
+        all_same = false;
+        break;
+      }
+    }
+    if (all_same && !streams.empty()) {
+      proto.body.items = streams.front().second;
+      if (!proto.body.items.empty()) {
+        contract.protos.push_back(std::move(proto));
+      }
+      continue;
+    }
+    std::size_t i = 0;
+    while (i < streams.size()) {
+      std::size_t j = i + 1;
+      while (j < streams.size() &&
+             streams[j].first == streams[j - 1].first + 1 &&
+             text_of(streams[j].second) == text_of(streams[i].second)) {
+        ++j;
+      }
+      if (!streams[i].second.empty()) {
+        Item on;
+        on.kind = Item::Kind::on;
+        on.on_low = streams[i].first;
+        on.on_high = streams[j - 1].first;
+        Seq body;
+        body.items = streams[i].second;
+        on.branches.push_back(std::move(body));
+        proto.body.items.push_back(std::move(on));
+      }
+      i = j;
+    }
+    if (!proto.body.items.empty()) {
+      contract.protos.push_back(std::move(proto));
+    }
+  }
+  return contract.to_text();
+}
+
+}  // namespace mph::proto

@@ -1,0 +1,37 @@
+// parser.hpp — text-format parser for communication contracts.
+//
+// Line-oriented tokenizer + recursive descent over the grammar documented
+// in contract.hpp.  Every diagnostic is a ContractParseError whose message
+// starts with "origin:line:column:", so editor tooling (and the golden
+// tests in tests/proto/) can jump straight to the offending token.
+//
+// The parser performs the structural validation that has a single source
+// position: duplicate component/proto declarations, protos for undeclared
+// components, peer references to unknown components or out-of-range ranks,
+// sends without a concrete destination, gather bodies containing
+// non-receive ops, zero/negative loop and rank bounds.  Cross-rank
+// semantic analysis (matching, type agreement, deadlock) lives in
+// checker.hpp.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "src/proto/contract.hpp"
+
+namespace mph::proto {
+
+/// Parse contract text.  `origin` names the source in diagnostics (a file
+/// path, or "<text>" for in-memory contracts).  Throws ContractParseError.
+[[nodiscard]] Contract parse_contract(std::string_view text,
+                                      std::string origin = "<text>");
+
+/// Read `path` and parse it, with `path` as the diagnostic origin.  Throws
+/// MphError when the file cannot be read, ContractParseError on bad text.
+[[nodiscard]] Contract load_contract(const std::string& path);
+
+/// Built-in element-type width for `type T` payloads (int, double, i32,
+/// f64, ...); 0 when `name` is not a known type (caller must say `size N`).
+[[nodiscard]] std::uint32_t builtin_type_size(std::string_view name) noexcept;
+
+}  // namespace mph::proto

@@ -30,8 +30,22 @@ class JsonParser {
 
  private:
   [[noreturn]] void fail(const std::string& what) const {
-    throw std::runtime_error("json: " + what + " at byte " +
-                             std::to_string(pos_));
+    // Report line:column, not a byte offset: the documents this parser is
+    // pointed at (trace exports, contract conformance inputs) are multi-line
+    // and a byte offset is unactionable in an editor.
+    std::size_t line = 1;
+    std::size_t column = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    throw std::runtime_error("json: " + what + " at line " +
+                             std::to_string(line) + ", column " +
+                             std::to_string(column));
   }
 
   void skip_ws() {

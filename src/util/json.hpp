@@ -22,8 +22,8 @@ class JsonValue {
  public:
   enum class Type { null, boolean, number, string, array, object };
 
-  /// Parse a complete JSON document.  Throws std::runtime_error (with a
-  /// byte offset) on malformed input or trailing garbage.
+  /// Parse a complete JSON document.  Throws std::runtime_error (naming the
+  /// line and column) on malformed input or trailing garbage.
   static JsonValue parse(std::string_view text);
 
   JsonValue() = default;

@@ -1,0 +1,102 @@
+// Contract pinning through the handshake: HandshakeOptions::contract rides
+// in the allgathered signature as "|contract=<8hex>", so two executables
+// built against different contract versions fail at registration with a
+// SetupError — before any payload traffic can go wrong at runtime.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/minimpi/launcher.hpp"
+#include "src/mph/handshake.hpp"
+#include "src/mph/layout.hpp"
+#include "src/mph/mph.hpp"
+#include "src/proto/contract.hpp"
+
+using namespace mph;
+using minimpi::Comm;
+
+namespace {
+
+const std::string kRegistry = "BEGIN\nalpha\nbeta\nEND\n";
+
+/// Run alpha+beta (1 rank each), each with its own HandshakeOptions.
+minimpi::JobReport run_pinned(const std::string& pin_alpha,
+                              const std::string& pin_beta) {
+  const auto body = [](const std::string& name, const std::string& pin) {
+    return [name, pin](const Comm& world, const minimpi::ExecEnv&) {
+      HandshakeOptions options;
+      options.contract = pin;
+      Mph handle = Mph::components_setup(
+          world, RegistrySource::from_text(kRegistry), {name}, options);
+      (void)handle.global_proc_id();
+    };
+  };
+  minimpi::JobOptions job;
+  job.recv_timeout = std::chrono::seconds(30);
+  return minimpi::run_mpmd({{"alpha", 1, body("alpha", pin_alpha), {}},
+                            {"beta", 1, body("beta", pin_beta), {}}},
+                           job);
+}
+
+}  // namespace
+
+TEST(ContractPin, PinnedSignatureCarriesTheHash) {
+  LocalDeclaration decl;
+  decl.names = {"alpha"};
+  HandshakeOptions options;
+  const std::string bare = pinned_signature(decl, options);
+  EXPECT_EQ(bare, declaration_signature(decl));
+  EXPECT_EQ(bare.find('|'), std::string::npos);
+  EXPECT_EQ(signature_contract_pin(bare), "");
+
+  options.contract = "deadbeef";
+  const std::string pinned = pinned_signature(decl, options);
+  EXPECT_EQ(pinned, bare + "|contract=deadbeef");
+  EXPECT_EQ(signature_contract_pin(pinned), "deadbeef");
+}
+
+TEST(ContractPin, ParseSignatureIgnoresThePin) {
+  LocalDeclaration decl;
+  decl.names = {"alpha", "beta"};
+  HandshakeOptions options;
+  options.contract = "0badc0de";
+  const auto bare = parse_signature(declaration_signature(decl));
+  const auto pinned = parse_signature(pinned_signature(decl, options));
+  EXPECT_EQ(bare.names, pinned.names);
+  EXPECT_EQ(bare.is_instance, pinned.is_instance);
+}
+
+TEST(ContractPin, MatchingPinsHandshakeFine) {
+  const std::string pin = proto::contract_hash_hex("contract v1\n");
+  const minimpi::JobReport report = run_pinned(pin, pin);
+  EXPECT_TRUE(report.ok) << report.first_error();
+}
+
+TEST(ContractPin, UnpinnedExecutablesCoexistWithPinnedOnes) {
+  // Gradual adoption: one side pins, the other predates contracts.
+  const minimpi::JobReport report =
+      run_pinned(proto::contract_hash_hex("contract v1\n"), "");
+  EXPECT_TRUE(report.ok) << report.first_error();
+}
+
+TEST(ContractPin, MismatchedPinsFailAtRegistration) {
+  const minimpi::JobReport report =
+      run_pinned(proto::contract_hash_hex("contract v1\n"),
+                 proto::contract_hash_hex("contract v2\n"));
+  ASSERT_FALSE(report.ok);
+  EXPECT_NE(report.first_error().find("contract version mismatch"),
+            std::string::npos)
+      << report.first_error();
+  EXPECT_NE(report.first_error().find("rebuild the executables"),
+            std::string::npos);
+}
+
+TEST(ContractPin, HashHexIsWhatTheCheckerToolWouldPin)  {
+  // The pin is the CRC32 of the contract *text*: whitespace-identical
+  // files agree, any edit disagrees.
+  const std::string a = "contract t\ncomponent a ranks 1\n";
+  EXPECT_EQ(proto::contract_hash_hex(a), proto::contract_hash_hex(a));
+  EXPECT_NE(proto::contract_hash_hex(a),
+            proto::contract_hash_hex(a + "# tweak\n"));
+}

@@ -1,0 +1,70 @@
+// JSON parser unit tests, including the line:column diagnostics contract
+// that `mph_proto conform` / `mph_inspect trace` error messages rely on.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "src/util/json.hpp"
+
+namespace u = mph::util;
+
+namespace {
+
+/// Parse and return the failure message (the input must be malformed).
+std::string parse_error(std::string_view text) {
+  try {
+    (void)u::JsonValue::parse(text);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "input parsed successfully: " << text;
+  return {};
+}
+
+}  // namespace
+
+TEST(Json, ParsesScalarsAndContainers) {
+  const u::JsonValue doc = u::JsonValue::parse(
+      R"({"a": 1.5, "b": [true, null, "x\n"], "c": {"d": -3}})");
+  EXPECT_DOUBLE_EQ(doc.at("a").as_number(), 1.5);
+  EXPECT_TRUE(doc.at("b").at(0).as_bool());
+  EXPECT_TRUE(doc.at("b").at(1).is_null());
+  EXPECT_EQ(doc.at("b").at(2).as_string(), "x\n");
+  EXPECT_EQ(doc.at("c").at("d").as_int(), -3);
+}
+
+TEST(Json, ErrorsReportLineAndColumnNotByteOffset) {
+  // Regression for the multiline case: the bad token sits on line 4, and
+  // the report must say so instead of printing a byte offset nobody can
+  // map back to a position in an editor.
+  const std::string text =
+      "{\n"
+      "  \"events\": [\n"
+      "    {\"name\": \"send\"},\n"
+      "    {\"name\": oops}\n"
+      "  ]\n"
+      "}\n";
+  const std::string what = parse_error(text);
+  EXPECT_NE(what.find("line 4"), std::string::npos) << what;
+  EXPECT_NE(what.find("column 14"), std::string::npos) << what;
+  EXPECT_EQ(what.find("byte"), std::string::npos) << what;
+}
+
+TEST(Json, ErrorOnFirstLineIsColumnAccurate) {
+  const std::string what = parse_error("[1, 2, }");
+  EXPECT_NE(what.find("line 1"), std::string::npos) << what;
+  EXPECT_NE(what.find("column 8"), std::string::npos) << what;
+}
+
+TEST(Json, TrailingGarbageNamesItsPosition) {
+  const std::string what = parse_error("{}\n{}");
+  EXPECT_NE(what.find("trailing characters"), std::string::npos) << what;
+  EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+}
+
+TEST(Json, UnterminatedStringPointsPastTheOpeningQuote) {
+  const std::string what = parse_error("{\"key\": \"value");
+  EXPECT_NE(what.find("unterminated string"), std::string::npos) << what;
+  EXPECT_NE(what.find("line 1"), std::string::npos) << what;
+}

@@ -18,7 +18,10 @@
 //   mph_inspect check <processors_map.in>     (also: --check)
 //       Static pre-launch lint: flags overlapping rank ranges (error for
 //       Multi_Instance siblings, warning for Multi_Component overlap),
-//       duplicate component names, and processors no component can reach.
+//       duplicate component names, processors no component can reach, and
+//       `contract=<file>` arguments naming a missing or unparseable
+//       mph_proto contract (error) or one that never declares the
+//       referencing component (warning).
 //
 //   mph_inspect trace <trace.json>
 //       Summarize an mph_trace export (TraceReport::to_chrome_json): the
@@ -61,6 +64,8 @@
 #include "src/mph/layout.hpp"
 #include "src/mph/monitor.hpp"
 #include "src/mph/registry.hpp"
+#include "src/proto/contract.hpp"
+#include "src/proto/parser.hpp"
 #include "src/util/json.hpp"
 #include "src/util/strings.hpp"
 
@@ -294,6 +299,35 @@ int cmd_check(const std::string& path) {
                       (is_error ? "" : " (legal for embedded components — "
                                        "verify this is intended)"));
         }
+      }
+    }
+
+    // Contract references: a `contract=<file>` argument names an mph_proto
+    // communication contract (relative paths resolve against the registry
+    // file's directory).  A missing or unparseable contract is an error —
+    // it would fail every pinned executable at registration time — and a
+    // contract that never declares the referencing component is a warning.
+    for (const mph::ComponentEntry& c : block.components) {
+      std::string contract_path;
+      if (!c.args.get("contract", contract_path)) continue;
+      namespace fs = std::filesystem;
+      fs::path resolved(contract_path);
+      if (resolved.is_relative()) {
+        resolved = fs::path(path).parent_path() / resolved;
+      }
+      try {
+        const mph::proto::Contract contract =
+            mph::proto::load_contract(resolved.string());
+        if (contract.find_component(c.name) == nullptr) {
+          finding(false, "component " + describe(c) + " pins contract '" +
+                             contract_path + "' (contract '" + contract.name +
+                             "') which never declares a component named '" +
+                             c.name + "'");
+        }
+      } catch (const std::exception& e) {
+        finding(true, "component " + describe(c) + " pins contract '" +
+                          contract_path +
+                          "' which cannot be loaded: " + e.what());
       }
     }
 
