@@ -133,6 +133,54 @@ END
   state.counters["intervals"] = cfg.intervals;
 }
 
+/// Flow-id stamping overhead on the coupled integration (mph_prof): the
+/// SCME wiring with the trace ring on vs off.  Every coupling message gets
+/// a flow id and a ring write when traced; off is one null branch per
+/// call.  Times the integration itself (max across ranks), not the
+/// end-of-job snapshot assembly — the gate is about the hot path.  The
+/// perf-smoke job holds trace:1 within 1.1x of trace:0.
+void BM_CcsmStep_Traced(benchmark::State& state) {
+  const bool traced = state.range(0) != 0;
+  // Near-production grids (T42-ish atmosphere), not the tiny bench_config()
+  // ones: the gate measures stamping overhead against a realistic
+  // compute-to-message ratio, not against a job that is pure messaging.
+  ClimateConfig cfg = bench_config();
+  cfg.atm_nlon = 96;
+  cfg.atm_nlat = 48;
+  cfg.ocn_nlon = 144;
+  cfg.ocn_nlat = 72;
+  cfg.steps_per_interval = 4;
+  cfg.intervals = 16;  // a long job: per-launch scheduling noise amortizes
+  const std::string registry =
+      "BEGIN\natmosphere\nocean\nland\nice\ncoupler\nEND\n";
+  minimpi::JobOptions options = bench_job_options();
+  options.trace.enabled = traced;
+  MaxSeconds step_time;
+  auto body = [&](const std::string& name, int nprocs) {
+    return minimpi::ExecSpec{
+        name, nprocs,
+        [&, name](const minimpi::Comm& world, const minimpi::ExecEnv&) {
+          Mph h = Mph::components_setup(
+              world, RegistrySource::from_text(registry), {name});
+          const util::Timer timer;
+          benchmark::DoNotOptimize(
+              run_coupled_component(h, cfg).mean_series.size());
+          step_time.update(timer.seconds());
+        },
+        {}};
+  };
+  for (auto _ : state) {
+    step_time.reset();
+    const auto report = minimpi::run_mpmd(
+        {body("atmosphere", 2), body("ocean", 2), body("land", 1),
+         body("ice", 1), body("coupler", 1)},
+        options);
+    require_ok(report, "ccsm-step-traced");
+    state.SetIterationTime(step_time.get());
+  }
+  state.counters["intervals"] = cfg.intervals;
+}
+
 }  // namespace
 
 BENCHMARK(BM_Coupled_SCME)->UseManualTime()
@@ -141,5 +189,12 @@ BENCHMARK(BM_Coupled_MCSE)->UseManualTime()
     ->Unit(benchmark::kMillisecond)->Iterations(5);
 BENCHMARK(BM_Coupled_MCME)->UseManualTime()
     ->Unit(benchmark::kMillisecond)->Iterations(5);
+BENCHMARK(BM_CcsmStep_Traced)
+    ->ArgNames({"trace"})
+    ->Arg(0)
+    ->Arg(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(5);
 
 MPH_BENCH_MAIN();

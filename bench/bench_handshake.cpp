@@ -131,6 +131,15 @@ BENCHMARK(BM_Handshake_SCME)
     ->UseManualTime()
     ->Unit(benchmark::kMicrosecond)
     ->Iterations(8);
+// Wide-job tail of the sweep (paper §6 at CCSM-ensemble scale): 64 and 128
+// single-rank components, fast path off/on.  One rank each keeps the thread
+// count equal to the component count; fewer iterations since each job spins
+// up that many threads.
+BENCHMARK(BM_Handshake_SCME)
+    ->ArgsProduct({{64, 128}, {1}, {0, 1}})
+    ->UseManualTime()
+    ->Unit(benchmark::kMicrosecond)
+    ->Iterations(3);
 BENCHMARK(BM_Handshake_MCSE)
     ->ArgsProduct({{2, 4, 8}, {2, 4}})
     ->UseManualTime()

@@ -65,10 +65,61 @@ void BM_PingPong(benchmark::State& state) {
   state.counters["via_mph"] = via_mph ? 1 : 0;
 }
 
+/// Flow-id stamping overhead (mph_prof): the same MPH ping-pong with the
+/// trace ring on vs off.  Tracing adds one relaxed fetch_add per send (the
+/// flow id) plus a ring write per event; off is one null branch.  The
+/// perf-smoke job gates trace:1 within 1.1x of trace:0.
+void BM_PingPong_Traced(benchmark::State& state) {
+  const bool traced = state.range(0) != 0;
+  constexpr std::size_t kDoubles = 4096 / sizeof(double);
+  const std::string registry = "BEGIN\nping\npong\nEND\n";
+
+  minimpi::JobOptions options = bench_job_options();
+  options.trace.enabled = traced;
+
+  MaxSeconds rt_time;
+  auto ping = [&](const minimpi::Comm& world, const minimpi::ExecEnv&) {
+    Mph h = Mph::components_setup(world, RegistrySource::from_text(registry),
+                                  {"ping"});
+    std::vector<double> buf(kDoubles, 1.0);
+    const util::Timer timer;
+    for (int i = 0; i < kRoundTripsPerJob; ++i) {
+      h.send(std::span<const double>(buf), "pong", 0, 7);
+      h.recv(std::span<double>(buf), "pong", 0, 8);
+    }
+    rt_time.update(timer.seconds() / kRoundTripsPerJob);
+  };
+  auto pong = [&](const minimpi::Comm& world, const minimpi::ExecEnv&) {
+    Mph h = Mph::components_setup(world, RegistrySource::from_text(registry),
+                                  {"pong"});
+    std::vector<double> buf(kDoubles);
+    for (int i = 0; i < kRoundTripsPerJob; ++i) {
+      h.recv(std::span<double>(buf), "ping", 0, 7);
+      h.send(std::span<const double>(buf), "ping", 0, 8);
+    }
+  };
+
+  for (auto _ : state) {
+    rt_time.reset();
+    const auto report = minimpi::run_mpmd(
+        {{"ping", 1, ping, {}}, {"pong", 1, pong, {}}}, options);
+    require_ok(report, "pingpong-traced");
+    state.SetIterationTime(rt_time.get());
+  }
+  state.counters["bytes"] = kDoubles * sizeof(double);
+}
+
 }  // namespace
 
 BENCHMARK(BM_PingPong)
     ->ArgsProduct({{8, 256, 4096, 65536, 1048576, 4194304}, {0, 1}})
+    ->UseManualTime()
+    ->Unit(benchmark::kMicrosecond)
+    ->Iterations(3);
+BENCHMARK(BM_PingPong_Traced)
+    ->ArgNames({"trace"})
+    ->Arg(0)
+    ->Arg(1)
     ->UseManualTime()
     ->Unit(benchmark::kMicrosecond)
     ->Iterations(3);

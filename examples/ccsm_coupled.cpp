@@ -25,6 +25,7 @@
 
 #include "src/climate/scenario.hpp"
 #include "src/minimpi/launcher.hpp"
+#include "src/minimpi/prof/profile.hpp"
 #include "src/mph/mph.hpp"
 
 namespace {
@@ -126,6 +127,25 @@ int main(int argc, char** argv) {
       std::printf("trace written to %s (Perfetto/chrome://tracing)\n",
                   trace_path.c_str());
     }
+
+    // Causal bottleneck summary: who owns the critical path, and how much
+    // of the wall the accounting covers.  `mph_prof report logs/
+    // ccsm_trace.json` prints the full breakdown + what-ifs.
+    const minimpi::prof::Profile profile =
+        minimpi::prof::Graph::build(*report.trace).profile();
+    const auto blame = profile.components();
+    std::printf("critical path: %.3f ms of %.3f ms wall (%.1f%%)\n",
+                static_cast<double>(profile.path_total_ns) / 1e6,
+                static_cast<double>(profile.wall_ns()) / 1e6,
+                profile.wall_ns() > 0
+                    ? 100.0 * static_cast<double>(profile.path_total_ns) /
+                          static_cast<double>(profile.wall_ns())
+                    : 0.0);
+    for (std::size_t i = 0; i < blame.size() && i < 3; ++i) {
+      std::printf("  blame #%zu: %-12s %.1f%%\n", i + 1,
+                  blame[i].component.c_str(), 100.0 * blame[i].share);
+    }
+    std::printf("full report: mph_prof report %s\n", trace_path.c_str());
   }
   if (report.metrics.has_value()) {
     std::printf(

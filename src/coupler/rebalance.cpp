@@ -101,6 +101,41 @@ std::vector<double> weights_from_metrics(
   return weights;
 }
 
+std::vector<double> weights_from_critical_path(
+    const minimpi::prof::Profile& profile, const Decomp& current,
+    std::span<const minimpi::rank_t> world_ranks) {
+  if (static_cast<int>(world_ranks.size()) != current.nranks()) {
+    fail("got " + std::to_string(world_ranks.size()) +
+         " world ranks for a decomposition over " +
+         std::to_string(current.nranks()) + " ranks");
+  }
+  const std::vector<minimpi::prof::ComponentBlame> blame =
+      profile.components();
+  std::vector<double> weights(world_ranks.size(), 0.0);
+  for (int r = 0; r < current.nranks(); ++r) {
+    const minimpi::rank_t world = world_ranks[static_cast<std::size_t>(r)];
+    for (const minimpi::prof::RankProfile& rp : profile.ranks) {
+      if (rp.world_rank != world) continue;
+      const std::string component =
+          minimpi::TraceReport::component_of(rp.track);
+      for (const minimpi::prof::ComponentBlame& cb : blame) {
+        if (cb.component != component) continue;
+        // Invert blame into capacity headroom: the component that owns
+        // the critical path needs relief proportional to its share.  The
+        // 0.05 floor keeps every rank schedulable (a fully blamed
+        // component still holds some work, so its measurements keep
+        // flowing next round).
+        weights[static_cast<std::size_t>(r)] =
+            std::max(0.05, 1.0 - cb.share);
+        break;
+      }
+      break;
+    }
+  }
+  fill_missing_with_mean(weights);
+  return weights;
+}
+
 std::optional<Decomp> Rebalancer::propose(const Decomp& current,
                                           std::span<const double> step_seconds) {
   const std::vector<double> observed =

@@ -25,6 +25,7 @@
 #include "src/coupler/decomp.hpp"
 #include "src/minimpi/comm.hpp"
 #include "src/minimpi/metrics.hpp"
+#include "src/minimpi/prof/profile.hpp"
 
 namespace mph::coupler {
 
@@ -55,6 +56,18 @@ struct RebalancePolicy {
 /// mean weight).
 [[nodiscard]] std::vector<double> weights_from_metrics(
     const minimpi::MetricsSnapshot& snapshot, const Decomp& current,
+    std::span<const minimpi::rank_t> world_ranks);
+
+/// Derive weights from causal blame instead of raw busy time: a rank of a
+/// component with critical-path share s gets weight max(0.05, 1 - s), so
+/// Decomp::weighted moves work away from the component that actually
+/// bounds the job and toward the components with slack.  Blame is
+/// aggregated per *component* (the critical path may stick to one rank of
+/// a multi-rank slow component; its siblings are just as overloaded).
+/// Ranks absent from the profile get the mean weight, mirroring
+/// weights_from_metrics.  Deterministic from the profile.
+[[nodiscard]] std::vector<double> weights_from_critical_path(
+    const minimpi::prof::Profile& profile, const Decomp& current,
     std::span<const minimpi::rank_t> world_ranks);
 
 /// The decision box.  Stateful only for the EWMA-smoothed weights; feeding

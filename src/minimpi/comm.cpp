@@ -280,8 +280,9 @@ void Comm::send_raw(std::span<const std::byte> bytes, rank_t dest, tag_t tag,
   env.payload.assign(bytes.begin(), bytes.end());
   st.job->count_message(env.payload.size());
   if (Tracer* tr = st.job->tracer()) {
+    env.flow = tr->next_flow(env.src);
     tr->instant(env.src, TraceOp::send, "send", dest_global, st.context, tag,
-                env.payload.size());
+                env.payload.size(), env.flow);
   }
   st.job->mailbox(dest_global).deliver(std::move(env));
   fault_point(KillPoint::after_send);

@@ -304,8 +304,9 @@ void Job::control_send(rank_t src_world, rank_t dest_world, tag_t control_tag,
   env.payload.assign(bytes.begin(), bytes.end());
   count_message(env.payload.size());
   if (tracer_ != nullptr) {
+    env.flow = tracer_->next_flow(src_world);
     tracer_->instant(src_world, TraceOp::send, "control_send", dest_world,
-                     kWorldContext, control_tag, env.payload.size());
+                     kWorldContext, control_tag, env.payload.size(), env.flow);
   }
   mailbox(dest_world).deliver(std::move(env));
 }

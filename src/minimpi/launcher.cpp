@@ -120,6 +120,11 @@ JobReport run_mpmd(const std::vector<ExecSpec>& specs, JobOptions options) {
           if (sched != nullptr) sched->rank_finished(rank);
         }
       } sched_scope{job->scheduler(), world_rank};
+      // Per-rank launch→join anchor on the shared job clock: mph_prof uses
+      // the rank_main span as the source/sink of the happens-before DAG.
+      // RAII so a failing rank still closes its anchor.
+      const TraceSpan main_span(job->tracer(), world_rank, TraceOp::phase,
+                                "rank_main", kPhaseRankMain);
       try {
         const Comm world = Comm::world(job, world_rank);
         world.fault_point(KillPoint::entry);

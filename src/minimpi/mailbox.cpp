@@ -209,7 +209,7 @@ void Mailbox::deliver(Envelope&& env) {
         // Posted-receive match on the receiver's timeline (recorded from
         // the sender's thread — the rings are multi-producer).
         tracer_->instant(owner_rank_, TraceOp::recv, "recv_match", env.src,
-                         env.context, env.tag, env.payload.size());
+                         env.context, env.tag, env.payload.size(), env.flow);
       }
       PostedRecv p = std::move(*it);
       posted_.erase(it);
@@ -230,6 +230,7 @@ void Mailbox::deliver(Envelope&& env) {
         p.ticket->status =
             Status{env.src, env.tag, env.payload.size()};
       }
+      p.ticket->flow = env.flow;
       p.ticket->done = true;
       completed = std::move(p.ticket);
     } else {
@@ -284,10 +285,11 @@ Status Mailbox::recv(context_t ctx, rank_t source, tag_t tag,
     std::memcpy(buffer.data(), it->payload.data(), it->payload.size());
   }
   const Status status{it->src, it->tag, it->payload.size()};
+  const std::uint64_t flow = it->flow;
   queue_.erase(it);
   if (tracer_ != nullptr) {
     tracer_->span_end(owner_rank_, TraceOp::recv, "recv", t0, status.source,
-                      ctx, status.tag, status.bytes);
+                      ctx, status.tag, status.bytes, flow);
   }
   if (metrics_ != nullptr) {
     metrics_->set_queue_depth(owner_rank_, queue_.size());
@@ -324,11 +326,12 @@ std::pair<Status, std::vector<std::byte>> Mailbox::recv_take(
     std::rethrow_exception(bad);
   }
   const Status status{it->src, it->tag, it->payload.size()};
+  const std::uint64_t flow = it->flow;
   std::vector<std::byte> payload = std::move(it->payload);
   queue_.erase(it);
   if (tracer_ != nullptr) {
     tracer_->span_end(owner_rank_, TraceOp::recv, "recv", t0, status.source,
-                      ctx, status.tag, status.bytes);
+                      ctx, status.tag, status.bytes, flow);
   }
   if (metrics_ != nullptr) {
     metrics_->set_queue_depth(owner_rank_, queue_.size());
@@ -385,11 +388,12 @@ std::shared_ptr<RecvTicket> Mailbox::post_recv(context_t ctx, rank_t source,
         }
         ticket->status = Status{it->src, it->tag, it->payload.size()};
       }
+      ticket->flow = it->flow;
       ticket->done = true;
       if (tracer_ != nullptr) {
         tracer_->instant(owner_rank_, TraceOp::recv, "recv_match",
                          ticket->status.source, ctx, ticket->status.tag,
-                         ticket->status.bytes);
+                         ticket->status.bytes, ticket->flow);
       }
       queue_.erase(it);
       if (metrics_ != nullptr) {
@@ -417,7 +421,7 @@ Status Mailbox::wait(const std::shared_ptr<RecvTicket>& ticket,
   if (tracer_ != nullptr) {
     tracer_->span_end(owner_rank_, TraceOp::recv, "wait", t0,
                       ticket->status.source, ticket->context,
-                      ticket->status.tag, ticket->status.bytes);
+                      ticket->status.tag, ticket->status.bytes, ticket->flow);
   }
   if (metrics_ != nullptr) {
     metrics_->on_match(owner_rank_, metrics_->now_ns() - t0_metrics);

@@ -47,6 +47,10 @@ struct Envelope {
   /// Sender's vector clock at send time (null unless a verifying scheduler
   /// is active); drives the wildcard-race classification.
   ClockStamp vc;
+  /// Trace flow id stamped at the send site (0 when tracing is off): the
+  /// matching receive event records the same id, which is what lets
+  /// mph_prof stitch cross-rank happens-before edges.
+  std::uint64_t flow = 0;
 };
 
 /// Completion state of a posted (nonblocking) receive.  Shared between the
@@ -63,6 +67,9 @@ struct RecvTicket {
   /// Leak audit: flips when the request is waited/tested-done/cancelled, so
   /// each request is counted consumed at most once.
   bool accounted = false;
+  /// Flow id of the envelope that completed this receive (0 until matched
+  /// or when tracing is off) — recorded on the wait span.
+  std::uint64_t flow = 0;
 };
 
 /// Deadline for blocking operations; Mailbox treats time_point::max() as

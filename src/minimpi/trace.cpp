@@ -86,6 +86,7 @@ void TraceRing::record(const TraceEvent& event) noexcept {
   slot.t_start.store(event.t_start_ns, std::memory_order_release);
   slot.t_end.store(event.t_end_ns, std::memory_order_release);
   slot.bytes.store(event.bytes, std::memory_order_release);
+  slot.flow.store(event.flow, std::memory_order_release);
   slot.name.store(event.name != nullptr ? event.name : "",
                   std::memory_order_release);
   slot.op_and_kind.store(static_cast<std::int32_t>(event.op) |
@@ -117,6 +118,7 @@ TraceRing::Snapshot TraceRing::snapshot() const {
     event.t_start_ns = slot.t_start.load(std::memory_order_acquire);
     event.t_end_ns = slot.t_end.load(std::memory_order_acquire);
     event.bytes = slot.bytes.load(std::memory_order_acquire);
+    event.flow = slot.flow.load(std::memory_order_acquire);
     event.name = slot.name.load(std::memory_order_acquire);
     const std::int32_t packed =
         slot.op_and_kind.load(std::memory_order_acquire);
@@ -146,8 +148,18 @@ Tracer::Tracer(int world_size, TraceOptions options)
   for (std::size_t i = 0; i < n; ++i) {
     rings_.push_back(std::make_unique<TraceRing>(options_.ring_capacity));
   }
+  flow_seq_ = std::make_unique<mph::atomic<std::uint64_t>[]>(n);
   track_names_.assign(n, std::string{});
   counters_.assign(n, {});
+}
+
+std::uint64_t Tracer::next_flow(rank_t src) noexcept {
+  if (src < 0 || static_cast<std::size_t>(src) >= rings_.size()) return 0;
+  const std::uint64_t seq =
+      flow_seq_[static_cast<std::size_t>(src)].fetch_add(
+          1, std::memory_order_relaxed) +
+      1;
+  return (static_cast<std::uint64_t>(src) + 1) << 40 | seq;
 }
 
 std::uint64_t Tracer::now_ns() const noexcept {
@@ -158,8 +170,8 @@ std::uint64_t Tracer::now_ns() const noexcept {
 }
 
 void Tracer::instant(rank_t ring, TraceOp op, const char* name, rank_t peer,
-                     context_t context, tag_t tag,
-                     std::uint64_t bytes) noexcept {
+                     context_t context, tag_t tag, std::uint64_t bytes,
+                     std::uint64_t flow) noexcept {
   if (ring < 0 || static_cast<std::size_t>(ring) >= rings_.size()) return;
   TraceEvent event;
   event.t_start_ns = now_ns();
@@ -171,12 +183,14 @@ void Tracer::instant(rank_t ring, TraceOp op, const char* name, rank_t peer,
   event.context = context;
   event.tag = tag;
   event.bytes = bytes;
+  event.flow = flow;
   rings_[static_cast<std::size_t>(ring)]->record(event);
 }
 
 void Tracer::span_end(rank_t ring, TraceOp op, const char* name,
                       std::uint64_t t_start_ns, rank_t peer, context_t context,
-                      tag_t tag, std::uint64_t bytes) noexcept {
+                      tag_t tag, std::uint64_t bytes,
+                      std::uint64_t flow) noexcept {
   if (ring < 0 || static_cast<std::size_t>(ring) >= rings_.size()) return;
   TraceEvent event;
   event.t_start_ns = t_start_ns;
@@ -188,6 +202,7 @@ void Tracer::span_end(rank_t ring, TraceOp op, const char* name,
   event.context = context;
   event.tag = tag;
   event.bytes = bytes;
+  event.flow = flow;
   rings_[static_cast<std::size_t>(ring)]->record(event);
 }
 
@@ -378,6 +393,7 @@ std::string TraceReport::to_chrome_json() const {
       arg("context", e.context);
       if (e.tag >= 0) arg("tag", static_cast<std::uint64_t>(e.tag));
       if (e.bytes > 0) arg("bytes", e.bytes);
+      if (e.flow > 0) arg("flow", e.flow);
       out += "}}";
     }
   }

@@ -95,6 +95,20 @@ enum class TraceOp : std::uint8_t {
 /// Viewer category string of an op ("p2p", "collective", ...).
 [[nodiscard]] const char* trace_op_category(TraceOp op) noexcept;
 
+/// Stable ids stamped into the `tag` field of MPH phase spans so trace
+/// consumers (mph_prof, mph_proto) can classify phases without string
+/// matching.  The launcher stamps rank_main; the MPH layer stamps the
+/// rest.  Additive-only: consumers must ignore ids they do not know.
+enum PhaseId : tag_t {
+  kPhaseRankMain = 1,       ///< one per rank: entry-point start → exit
+  kPhaseHandshake = 2,      ///< the whole MPH handshake
+  kPhaseSignatures = 3,     ///< signature_allgather stage
+  kPhaseLayout = 4,         ///< layout_resolve stage
+  kPhaseCommSetup = 5,      ///< comm_setup stage
+  kPhaseRegistry = 6,       ///< registry_resolve broadcast
+  kPhaseCommJoin = 7,       ///< MPH_comm_join
+};
+
 /// One drained event.  `name` points to static storage (string literals at
 /// the record sites) — events never own memory.
 struct TraceEvent {
@@ -107,6 +121,12 @@ struct TraceEvent {
   context_t context = kWorldContext;
   tag_t tag = any_tag;
   std::uint64_t bytes = 0;  ///< payload volume, when meaningful
+  /// Per-message flow id: a send instant and the receive event that
+  /// matched that exact envelope carry the same nonzero id (stamped by
+  /// Tracer::next_flow at the send site, carried by the Envelope).  0 for
+  /// events with no message identity.  This is what lets mph_prof stitch
+  /// cross-rank happens-before edges out of two per-rank timelines.
+  std::uint64_t flow = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -152,6 +172,7 @@ class TraceRing {
     mph::atomic<std::uint64_t> t_start{0};
     mph::atomic<std::uint64_t> t_end{0};
     mph::atomic<std::uint64_t> bytes{0};
+    mph::atomic<std::uint64_t> flow{0};
     mph::atomic<const char*> name{""};
     mph::atomic<std::int32_t> op_and_kind{0};  ///< op | (span ? 0x100 : 0)
     mph::atomic<std::int32_t> peer{any_source};
@@ -188,7 +209,8 @@ class Tracer {
   /// ignored).  `name` must point to static storage.
   void instant(rank_t ring, TraceOp op, const char* name,
                rank_t peer = any_source, context_t context = kWorldContext,
-               tag_t tag = any_tag, std::uint64_t bytes = 0) noexcept;
+               tag_t tag = any_tag, std::uint64_t bytes = 0,
+               std::uint64_t flow = 0) noexcept;
 
   /// Record a span that started at `t_start_ns` (from now_ns()) and ends
   /// now.  Spans are recorded whole at their end, so no begin/end pairing
@@ -196,7 +218,13 @@ class Tracer {
   void span_end(rank_t ring, TraceOp op, const char* name,
                 std::uint64_t t_start_ns, rank_t peer = any_source,
                 context_t context = kWorldContext, tag_t tag = any_tag,
-                std::uint64_t bytes = 0) noexcept;
+                std::uint64_t bytes = 0, std::uint64_t flow = 0) noexcept;
+
+  /// Next flow id for a message sent by world rank `src`: a nonzero id
+  /// unique within the job ((src + 1) << 40 | per-rank sequence), stamped
+  /// into the send event and carried by the envelope so the matching recv
+  /// records the same id.  Wait-free: one relaxed fetch_add.
+  [[nodiscard]] std::uint64_t next_flow(rank_t src) noexcept;
 
   /// Name a rank's timeline track ("component[instance]:local_rank" — MPH
   /// sets this during the handshake).  Thread safe; last writer wins.
@@ -219,6 +247,8 @@ class Tracer {
   TraceOptions options_;
   std::chrono::steady_clock::time_point epoch_;
   std::vector<std::unique_ptr<TraceRing>> rings_;
+  /// Per-rank flow-id sequences (relaxed — ordering comes from the events).
+  std::unique_ptr<mph::atomic<std::uint64_t>[]> flow_seq_;
 
   mutable std::mutex meta_mutex_;
   std::vector<std::string> track_names_;
@@ -229,10 +259,12 @@ class Tracer {
 /// non-null, nothing otherwise.  Safe to construct with tracer == nullptr.
 class TraceSpan {
  public:
-  TraceSpan(Tracer* tracer, rank_t ring, TraceOp op, const char* name) noexcept
+  TraceSpan(Tracer* tracer, rank_t ring, TraceOp op, const char* name,
+            tag_t tag = any_tag) noexcept
       : tracer_(tracer),
         ring_(ring),
         op_(op),
+        tag_(tag),
         name_(name),
         t0_(tracer != nullptr ? tracer->now_ns() : 0) {}
 
@@ -240,13 +272,17 @@ class TraceSpan {
   TraceSpan& operator=(const TraceSpan&) = delete;
 
   ~TraceSpan() {
-    if (tracer_ != nullptr) tracer_->span_end(ring_, op_, name_, t0_);
+    if (tracer_ != nullptr) {
+      tracer_->span_end(ring_, op_, name_, t0_, any_source, kWorldContext,
+                        tag_);
+    }
   }
 
  private:
   Tracer* tracer_;
   rank_t ring_;
   TraceOp op_;
+  tag_t tag_;
   const char* name_;
   std::uint64_t t0_;
 };

@@ -68,7 +68,8 @@ HandshakeResult handshake(const Comm& world, const Registry& registry,
   minimpi::Tracer* tracer = world.job().tracer();
   minimpi::MetricsRegistry* metrics = world.job().metrics();
   const minimpi::TraceSpan phase(tracer, world.global_of(world.rank()),
-                                 minimpi::TraceOp::phase, "handshake");
+                                 minimpi::TraceOp::phase, "handshake",
+                                 minimpi::kPhaseHandshake);
   // Record the handshake duration on every exit path (the fast path returns
   // early) so the monitor's per-rank handshake_ns gauge is always set.
   struct HandshakeClock {
@@ -90,7 +91,8 @@ HandshakeResult handshake(const Comm& world, const Registry& registry,
   {
     const minimpi::TraceSpan stage(tracer, world.global_of(world.rank()),
                                    minimpi::TraceOp::phase,
-                                   "signature_allgather");
+                                   "signature_allgather",
+                                   minimpi::kPhaseSignatures);
     signatures = minimpi::allgather_strings(world, my_signature);
   }
 
@@ -127,7 +129,8 @@ HandshakeResult handshake(const Comm& world, const Registry& registry,
   LayoutResolution resolution = resolve_layout(registry, runs);
   if (tracer != nullptr) {
     tracer->span_end(world.global_of(world.rank()), minimpi::TraceOp::phase,
-                     "layout_resolve", t_layout);
+                     "layout_resolve", t_layout, minimpi::any_source,
+                     minimpi::kWorldContext, minimpi::kPhaseLayout);
   }
 
   HandshakeResult result;
@@ -216,7 +219,8 @@ HandshakeResult handshake(const Comm& world, const Registry& registry,
 
   // --- Step 4 (§6.1/§6.2): create communicators. ---------------------------
   const minimpi::TraceSpan comm_setup(tracer, my_world,
-                                      minimpi::TraceOp::phase, "comm_setup");
+                                      minimpi::TraceOp::phase, "comm_setup",
+                                      minimpi::kPhaseCommSetup);
   if (options.single_split_fast_path && registry.all_single_component()) {
     // §6.1: one split of world with color = component id.
     const int my_component =

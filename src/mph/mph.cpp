@@ -45,7 +45,8 @@ Registry RegistrySource::resolve(const minimpi::Comm& world) const {
   // processor (global Processor ID = 0) and broadcast to all processors."
   const minimpi::TraceSpan span(world.job().tracer(),
                                 world.global_of(world.rank()),
-                                minimpi::TraceOp::phase, "registry_resolve");
+                                minimpi::TraceOp::phase, "registry_resolve",
+                                minimpi::kPhaseRegistry);
   std::string text;
   if (world.rank() == 0) {
     if (kind_ == Kind::path) {
@@ -161,7 +162,8 @@ minimpi::Comm Mph::comm_join(std::string_view first,
   }
   const minimpi::TraceSpan span(world().job().tracer(),
                                 world().global_of(me),
-                                minimpi::TraceOp::phase, "comm_join");
+                                minimpi::TraceOp::phase, "comm_join",
+                                minimpi::kPhaseCommJoin);
   return world().create_ordered_world(std::span<const minimpi::rank_t>(members));
 }
 

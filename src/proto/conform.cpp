@@ -91,6 +91,10 @@ ObservedTrace read_trace_ops(std::string_view json_text) {
     if (ph != "X") continue;
     const std::string& cat = event.at("cat").as_string();
     if (cat != "phase" && cat != "collective") continue;
+    if (cat == "phase" && event.at("name").as_string() == "rank_main") {
+      continue;  // spans the whole user function (the profiler's anchor),
+                 // not a setup phase — it must not hide protocol traffic
+    }
     const double start = event.at("ts").as_number();
     const JsonValue* dur = event.find("dur");
     const double end = start + (dur != nullptr ? dur->as_number() : 0.0);

@@ -102,6 +102,80 @@ TEST(WeightsFromMetrics, BusyTimeDrivesThroughput) {
   EXPECT_DOUBLE_EQ(w[2], 15.0);  // mean of the measured ranks
 }
 
+TEST(WeightsFromCriticalPath, BlameShareInvertsIntoExactWeights) {
+  // Synthetic profile: ocean owns 75% of the critical path, atmosphere
+  // 25%.  Weights are 1 - share (floored at 0.05), so Decomp::weighted
+  // splits 100 indices exactly 25 / 75 toward the unblamed component.
+  minimpi::prof::Profile profile;
+  profile.path_total_ns = 1000;
+  minimpi::prof::PathSegment ocean_seg;
+  ocean_seg.world_rank = 0;
+  ocean_seg.track = "ocean:0";
+  ocean_seg.kind = minimpi::prof::SegmentKind::compute;
+  ocean_seg.t_start_ns = 0;
+  ocean_seg.t_end_ns = 750;
+  minimpi::prof::PathSegment atm_seg;
+  atm_seg.world_rank = 1;
+  atm_seg.track = "atmosphere:0";
+  atm_seg.kind = minimpi::prof::SegmentKind::recv_wait;
+  atm_seg.t_start_ns = 750;
+  atm_seg.t_end_ns = 1000;
+  profile.path = {ocean_seg, atm_seg};
+  minimpi::prof::RankProfile r0;
+  r0.world_rank = 0;
+  r0.track = "ocean:0";
+  minimpi::prof::RankProfile r1;
+  r1.world_rank = 1;
+  r1.track = "atmosphere:0";
+  profile.ranks = {r0, r1};
+
+  const Decomp current = Decomp::block(100, 2);
+  const std::vector<minimpi::rank_t> world_ranks = {0, 1};
+  const std::vector<double> w =
+      weights_from_critical_path(profile, current, world_ranks);
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(w[0], 0.25);  // ocean blamed 75%
+  EXPECT_DOUBLE_EQ(w[1], 0.75);  // atmosphere blamed 25%
+  EXPECT_EQ(sizes_of(Decomp::weighted(100, w)),
+            (std::vector<std::int64_t>{25, 75}));
+  // Deterministic: same profile, same weights.
+  EXPECT_EQ(weights_from_critical_path(profile, current, world_ranks), w);
+}
+
+TEST(WeightsFromCriticalPath, FullBlameHitsTheFloorAndAbsentRanksGetMean) {
+  // One component owns the whole path: its weight floors at 0.05 rather
+  // than starving to zero; a rank missing from the profile gets the mean.
+  minimpi::prof::Profile profile;
+  profile.path_total_ns = 1000;
+  minimpi::prof::PathSegment seg;
+  seg.world_rank = 0;
+  seg.track = "solo:0";
+  seg.kind = minimpi::prof::SegmentKind::compute;
+  seg.t_start_ns = 0;
+  seg.t_end_ns = 1000;
+  profile.path = {seg};
+  minimpi::prof::RankProfile r0;
+  r0.world_rank = 0;
+  r0.track = "solo:0";
+  profile.ranks = {r0};
+
+  const Decomp current = Decomp::block(30, 2);
+  const std::vector<minimpi::rank_t> world_ranks = {0, 9};  // 9 unprofiled
+  const std::vector<double> w =
+      weights_from_critical_path(profile, current, world_ranks);
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(w[0], 0.05);
+  EXPECT_DOUBLE_EQ(w[1], 0.05);  // mean of the single measured weight
+}
+
+TEST(WeightsFromCriticalPath, SizeMismatchThrows) {
+  const minimpi::prof::Profile profile;
+  const Decomp d = Decomp::block(10, 2);
+  const std::vector<minimpi::rank_t> world_ranks = {0, 1, 2};
+  EXPECT_THROW((void)weights_from_critical_path(profile, d, world_ranks),
+               std::invalid_argument);
+}
+
 TEST(Rebalancer, BalancedTimesProposeNothing) {
   Rebalancer reb;
   const Decomp current = Decomp::block(40, 4);

@@ -1,0 +1,293 @@
+// mph_prof critical-path extraction on synthetic TraceReports: flow-edge
+// hops with exact segment boundaries, soundness of unresolved edges,
+// handshake/collective attribution windows, deterministic tie-breaks, and
+// the what-if schedule replay arithmetic.
+#include "src/minimpi/prof/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/minimpi/trace.hpp"
+#include "src/util/json.hpp"
+
+using namespace minimpi;
+using namespace minimpi::prof;
+
+namespace {
+
+TraceEvent span_event(TraceOp op, const char* name, std::uint64_t t0,
+                      std::uint64_t t1, tag_t tag = any_tag,
+                      std::uint64_t flow = 0) {
+  TraceEvent e;
+  e.op = op;
+  e.span = true;
+  e.name = name;
+  e.t_start_ns = t0;
+  e.t_end_ns = t1;
+  e.tag = tag;
+  e.flow = flow;
+  return e;
+}
+
+TraceEvent send_event(std::uint64_t t, std::uint64_t flow) {
+  TraceEvent e;
+  e.op = TraceOp::send;
+  e.span = false;
+  e.name = "send";
+  e.t_start_ns = t;
+  e.t_end_ns = t;
+  e.flow = flow;
+  return e;
+}
+
+RankTrace make_rank(rank_t world_rank, std::string track,
+                    std::vector<TraceEvent> events) {
+  RankTrace r;
+  r.world_rank = world_rank;
+  r.track = std::move(track);
+  r.events = std::move(events);
+  return r;
+}
+
+/// ocean:0 computes until t=600 then sends (flow 42); atmosphere:0 posts a
+/// receive at t=100 that matches at t=700 and computes until t=1400.  The
+/// critical path must hop ocean → atmosphere through the message.
+TraceReport two_rank_report() {
+  TraceReport report;
+  report.ranks.push_back(make_rank(
+      0, "ocean:0",
+      {send_event(600, 42),
+       span_event(TraceOp::phase, "rank_main", 0, 1000, kPhaseRankMain)}));
+  report.ranks.push_back(make_rank(
+      1, "atmosphere:0",
+      {span_event(TraceOp::recv, "recv", 100, 700, any_tag, 42),
+       span_event(TraceOp::phase, "rank_main", 0, 1400, kPhaseRankMain)}));
+  return report;
+}
+
+TEST(ProfGraph, TwoRankPathHopsThroughTheFlowEdge) {
+  const Profile p = Graph::build(two_rank_report()).profile();
+
+  EXPECT_EQ(p.job_start_ns, 0u);
+  EXPECT_EQ(p.job_end_ns, 1400u);
+  EXPECT_EQ(p.wall_ns(), 1400u);
+  EXPECT_EQ(p.unresolved_flows, 0u);
+
+  ASSERT_EQ(p.path.size(), 3u);
+  EXPECT_EQ(p.path[0].world_rank, 0);
+  EXPECT_EQ(p.path[0].kind, SegmentKind::compute);
+  EXPECT_EQ(p.path[0].t_start_ns, 0u);
+  EXPECT_EQ(p.path[0].t_end_ns, 600u);
+
+  EXPECT_EQ(p.path[1].world_rank, 1);
+  EXPECT_EQ(p.path[1].kind, SegmentKind::recv_wait);
+  EXPECT_EQ(p.path[1].t_start_ns, 600u);  // charged from the send instant
+  EXPECT_EQ(p.path[1].t_end_ns, 700u);
+  EXPECT_EQ(p.path[1].flow, 42u);
+  EXPECT_EQ(p.path[1].from_rank, 0);
+  EXPECT_EQ(p.path[1].from_t_ns, 600u);
+
+  EXPECT_EQ(p.path[2].world_rank, 1);
+  EXPECT_EQ(p.path[2].kind, SegmentKind::compute);
+  EXPECT_EQ(p.path[2].t_start_ns, 700u);
+  EXPECT_EQ(p.path[2].t_end_ns, 1400u);
+
+  // Contiguous launch → join, so the totals close exactly.
+  EXPECT_EQ(p.path_total_ns, p.wall_ns());
+  EXPECT_EQ(p.kind_ns[static_cast<std::size_t>(SegmentKind::compute)], 1300u);
+  EXPECT_EQ(p.kind_ns[static_cast<std::size_t>(SegmentKind::recv_wait)], 100u);
+
+  // Rank profiles: atmosphere binds the job, ocean has 400 ns slack.
+  ASSERT_EQ(p.ranks.size(), 2u);
+  EXPECT_EQ(p.ranks[0].slack_ns, 400u);
+  EXPECT_EQ(p.ranks[1].slack_ns, 0u);
+  EXPECT_EQ(p.ranks[0].path_compute_ns, 600u);
+  EXPECT_EQ(p.ranks[1].path_compute_ns, 700u);
+  EXPECT_EQ(p.ranks[1].path_wait_ns, 100u);
+
+  // Component blame: atmosphere 800/1400, ocean 600/1400, largest first.
+  const std::vector<ComponentBlame> blame = p.components();
+  ASSERT_EQ(blame.size(), 2u);
+  EXPECT_EQ(blame[0].component, "atmosphere");
+  EXPECT_EQ(blame[0].total_ns(), 800u);
+  EXPECT_DOUBLE_EQ(blame[0].share, 800.0 / 1400.0);
+  EXPECT_EQ(blame[1].component, "ocean");
+  EXPECT_EQ(blame[1].total_ns(), 600u);
+}
+
+TEST(ProfGraph, EarlySendDissolvesWaitIntoCompute) {
+  // The message was already in flight when the receive was posted: the
+  // wait span is matching overhead, not a dependency — the path never
+  // leaves the receiver.
+  TraceReport report = two_rank_report();
+  report.ranks[0].events[0] = send_event(50, 42);
+  const Profile p = Graph::build(report).profile();
+  ASSERT_EQ(p.path.size(), 1u);
+  EXPECT_EQ(p.path[0].world_rank, 1);
+  EXPECT_EQ(p.path[0].kind, SegmentKind::compute);
+  EXPECT_EQ(p.path[0].t_start_ns, 0u);
+  EXPECT_EQ(p.path[0].t_end_ns, 1400u);
+  EXPECT_EQ(p.unresolved_flows, 0u);
+}
+
+TEST(ProfGraph, UnresolvedFlowKeepsPartialPathAndWarns) {
+  // The sender's event was dropped: the wait stays on the path charged to
+  // the receiver from its own start, the edge is counted, the report warns
+  // with the exact drop numbers — and nothing crashes.
+  TraceReport report = two_rank_report();
+  report.ranks[1].events[0].flow = 999;  // no such sender
+  report.ranks[0].dropped = 5;
+  const Profile p = Graph::build(report).profile();
+
+  EXPECT_EQ(p.unresolved_flows, 1u);
+  EXPECT_EQ(p.dropped_events, 5u);
+  ASSERT_EQ(p.path.size(), 3u);
+  EXPECT_EQ(p.path[0].world_rank, 1);  // never hops off the receiver
+  EXPECT_EQ(p.path[1].kind, SegmentKind::recv_wait);
+  EXPECT_EQ(p.path[1].t_start_ns, 100u);  // its own wait start
+  EXPECT_EQ(p.path[1].from_rank, -1);
+  EXPECT_EQ(p.path_total_ns, p.wall_ns());  // still contiguous
+
+  const std::string report_text = render_report(p);
+  EXPECT_NE(report_text.find("warning: partial critical path — 1 flow edges "
+                             "unresolved (ring dropped 5 events)"),
+            std::string::npos)
+      << report_text;
+}
+
+TEST(ProfGraph, PhaseWindowReattributesComputeToHandshake) {
+  TraceReport report;
+  report.ranks.push_back(make_rank(
+      0, "solo:0",
+      {span_event(TraceOp::phase, "handshake", 100, 300, kPhaseHandshake),
+       span_event(TraceOp::phase, "rank_main", 0, 1000, kPhaseRankMain)}));
+  const Profile p = Graph::build(report).profile();
+  ASSERT_EQ(p.path.size(), 3u);
+  EXPECT_EQ(p.path[0].kind, SegmentKind::compute);
+  EXPECT_EQ(p.path[1].kind, SegmentKind::handshake);
+  EXPECT_EQ(p.path[1].t_start_ns, 100u);
+  EXPECT_EQ(p.path[1].t_end_ns, 300u);
+  EXPECT_EQ(p.path[2].kind, SegmentKind::compute);
+  EXPECT_EQ(p.kind_ns[static_cast<std::size_t>(SegmentKind::handshake)], 200u);
+  EXPECT_EQ(p.path_total_ns, 1000u);
+}
+
+TEST(ProfGraph, CollectiveWindowClassifiesWaits) {
+  // A recv span that starts inside a collective span is collective-wait.
+  TraceReport report;
+  report.ranks.push_back(make_rank(
+      0, "a:0",
+      {send_event(500, 7),
+       span_event(TraceOp::phase, "rank_main", 0, 900, kPhaseRankMain)}));
+  report.ranks.push_back(make_rank(
+      1, "b:0",
+      {span_event(TraceOp::collective, "barrier", 200, 800),
+       span_event(TraceOp::recv, "recv", 250, 600, any_tag, 7),
+       span_event(TraceOp::phase, "rank_main", 0, 1000, kPhaseRankMain)}));
+  const Profile p = Graph::build(report).profile();
+  EXPECT_EQ(p.kind_ns[static_cast<std::size_t>(SegmentKind::collective_wait)],
+            100u);  // 500..600, charged from the send
+  EXPECT_EQ(p.path_total_ns, 1000u);
+}
+
+TEST(ProfGraph, LastJoinTiesBreakTowardTheLowestRank) {
+  TraceReport report;
+  report.ranks.push_back(make_rank(
+      3, "c:1",
+      {span_event(TraceOp::phase, "rank_main", 0, 1000, kPhaseRankMain)}));
+  report.ranks.push_back(make_rank(
+      1, "c:0",
+      {span_event(TraceOp::phase, "rank_main", 0, 1000, kPhaseRankMain)}));
+  const Profile p = Graph::build(report).profile();
+  ASSERT_EQ(p.path.size(), 1u);
+  EXPECT_EQ(p.path.front().world_rank, 1);
+  // Same input, same answer.
+  const Profile again = Graph::build(report).profile();
+  EXPECT_EQ(again.path.front().world_rank, 1);
+}
+
+TEST(ProfGraph, MissingAnchorFallsBackToEventExtent) {
+  TraceReport report;
+  report.ranks.push_back(make_rank(
+      0, "x:0", {send_event(300, 11), send_event(700, 12)}));
+  const Profile p = Graph::build(report).profile();
+  EXPECT_EQ(p.job_start_ns, 300u);
+  EXPECT_EQ(p.job_end_ns, 700u);
+  EXPECT_EQ(p.path_total_ns, 400u);
+}
+
+TEST(ProfWhatIf, BaselineReplayReproducesTracedFinish) {
+  const Graph g = Graph::build(two_rank_report());
+  const std::vector<double> ones = {1.0, 1.0};
+  EXPECT_EQ(g.finish_with_scale(ones), 1400u);
+}
+
+TEST(ProfWhatIf, SpeedingTheBoundComponentMovesTheJoin) {
+  const Graph g = Graph::build(two_rank_report());
+  const Profile p = g.profile();
+
+  // Atmosphere 50% faster: its pre-wait gap is hidden behind the message
+  // (still arrives at 700), and its 700 ns tail halves — end 1050.
+  const WhatIf atm = what_if_component(g, p, "atmosphere", 0.5);
+  EXPECT_EQ(atm.baseline_end_ns, 1400u);
+  EXPECT_EQ(atm.new_end_ns, 1050u);
+  EXPECT_EQ(atm.saved_ns(), 350u);
+
+  // Ocean (world rank 0) 50% faster: the send moves 600 → 300, the
+  // arrival 700 → 400, atmosphere's tail is unchanged — end 1100.
+  const WhatIf ocean = what_if_rank(g, p, 0, 0.5);
+  EXPECT_EQ(ocean.new_end_ns, 1100u);
+  EXPECT_EQ(ocean.saved_ns(), 300u);
+
+  // Speeding up a rank never delays the job.
+  const WhatIf other = what_if_rank(g, p, 1, 0.2);
+  EXPECT_LE(other.new_end_ns, other.baseline_end_ns);
+}
+
+TEST(ProfReport, RenderContainsEverySection) {
+  const Graph g = Graph::build(two_rank_report());
+  const Profile p = g.profile();
+  const WhatIf w = what_if_component(g, p, "atmosphere", 0.2);
+  const std::string text = render_report(p, std::span<const WhatIf>(&w, 1));
+  for (const char* needle :
+       {"mph_prof critical path", "job wall", "critical path",
+        "blame by kind:", "blame by component (critical-path share):",
+        "top critical-path segments:", "slack per rank",
+        "<- binds the job", "what-if:", "atmosphere 20.0% faster"}) {
+    EXPECT_NE(text.find(needle), std::string::npos)
+        << "missing \"" << needle << "\" in:\n" << text;
+  }
+  // No drops, no warning.
+  EXPECT_EQ(text.find("warning:"), std::string::npos) << text;
+
+  const std::string top = render_top_segments(p, 2);
+  EXPECT_NE(top.find(" 1. "), std::string::npos) << top;
+  EXPECT_NE(top.find(" 2. "), std::string::npos) << top;
+  EXPECT_EQ(top.find(" 3. "), std::string::npos) << top;
+}
+
+TEST(ProfReport, AnnotatedChromeJsonCarriesOverlayAndParses) {
+  const TraceReport report = two_rank_report();
+  const Profile p = Graph::build(report).profile();
+  const std::string annotated = annotate_chrome_json(report, p);
+  EXPECT_NE(annotated.find("\"cat\":\"critical\""), std::string::npos);
+  EXPECT_NE(annotated.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(annotated.find("critical_flow"), std::string::npos);
+  // Still a valid JSON document with the rollup intact.
+  const mph::util::JsonValue doc = mph::util::JsonValue::parse(annotated);
+  EXPECT_NE(doc.find("mph"), nullptr);
+  std::size_t overlay_spans = 0;
+  for (const mph::util::JsonValue& e : doc.at("traceEvents").items()) {
+    const mph::util::JsonValue* cat = e.find("cat");
+    if (cat != nullptr && cat->as_string() == "critical" &&
+        e.at("ph").as_string() == "X") {
+      ++overlay_spans;
+    }
+  }
+  EXPECT_EQ(overlay_spans, p.path.size());
+}
+
+}  // namespace

@@ -181,6 +181,55 @@ TEST(TraceReport, OutputLineCountersAndQueueHighWater) {
   EXPECT_GE(report.trace->ranks[1].queue_high_water, 3u);
 }
 
+TEST(TraceReport, SendAndMatchingRecvShareOneNonzeroFlowId) {
+  const minimpi::JobReport report = run_mph_job(
+      kRegistry,
+      {TestExec{{"ocean"}, "", 2,
+                [](Mph& h, const Comm&) {
+                  if (h.local_proc_id() == 0) {
+                    h.world().send(41, 2, 9);
+                  }
+                }},
+       TestExec{{"atmosphere"}, "", 1,
+                [](Mph& h, const Comm&) {
+                  int v = 0;
+                  h.world().recv(v, 0, 9);
+                }}},
+      {}, traced_options());
+  ASSERT_TRUE(report.ok) << report.abort_reason;
+  ASSERT_TRUE(report.trace.has_value());
+
+  // The send instant on ocean:0's ring and the recv span on atmosphere's
+  // ring carry the same nonzero flow id — the edge mph_prof stitches.
+  std::uint64_t send_flow = 0;
+  for (const minimpi::TraceEvent& e : report.trace->ranks[0].events) {
+    if (e.op == minimpi::TraceOp::send && !e.span && e.tag == 9) {
+      send_flow = e.flow;
+    }
+  }
+  ASSERT_GT(send_flow, 0u) << "send instants must stamp a flow id";
+  bool recv_matched = false;
+  for (const minimpi::TraceEvent& e : report.trace->ranks[2].events) {
+    if (e.flow == send_flow && e.op == minimpi::TraceOp::recv && e.span) {
+      recv_matched = true;
+    }
+  }
+  EXPECT_TRUE(recv_matched)
+      << "the matching recv span must carry flow " << send_flow;
+
+  // Flow ids are per-sender unique: no two send instants share one.
+  std::vector<std::uint64_t> flows;
+  for (const minimpi::RankTrace& r : report.trace->ranks) {
+    for (const minimpi::TraceEvent& e : r.events) {
+      if (e.op == minimpi::TraceOp::send && !e.span && e.flow != 0) {
+        flows.push_back(e.flow);
+      }
+    }
+  }
+  std::sort(flows.begin(), flows.end());
+  EXPECT_EQ(std::adjacent_find(flows.begin(), flows.end()), flows.end());
+}
+
 TEST(TraceReport, ChromeJsonIsParsableAndCarriesTracks) {
   const minimpi::JobReport report = run_mph_job(
       kRegistry,

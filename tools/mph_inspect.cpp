@@ -23,10 +23,13 @@
 //       mph_proto contract (error) or one that never declares the
 //       referencing component (warning).
 //
-//   mph_inspect trace <trace.json>
+//   mph_inspect trace <trace.json> [--critical]
 //       Summarize an mph_trace export (TraceReport::to_chrome_json): the
 //       component-pair traffic matrix, per-context message counts,
 //       wildcard-receive count, and the ranks with the most blocked time.
+//       --critical appends the five longest critical-path segments (the
+//       mph_prof causal analysis; run `mph_prof report` for the full
+//       blame breakdown).
 //
 //   mph_inspect top <mph_monitor.sock | mph_metrics.jsonl> [--once]
 //               [--interval=ms]
@@ -59,6 +62,8 @@
 #include <thread>
 #include <vector>
 
+#include "src/minimpi/prof/profile.hpp"
+#include "src/minimpi/prof/trace_load.hpp"
 #include "src/mph/builder.hpp"
 #include "src/mph/errors.hpp"
 #include "src/mph/layout.hpp"
@@ -79,7 +84,7 @@ int usage() {
                "       mph_inspect generate-ensemble <prefix> <instances> "
                "<ranks_each>\n"
                "       mph_inspect check <file>\n"
-               "       mph_inspect trace <trace.json>\n"
+               "       mph_inspect trace <trace.json> [--critical]\n"
                "       mph_inspect top <mph_monitor.sock | mph_metrics.jsonl>"
                " [--once] [--interval=ms]\n"
                "       mph_inspect lint [<dir>]\n");
@@ -363,7 +368,7 @@ std::string format_ms(double ns) {
   return buf;
 }
 
-int cmd_trace(const std::string& path) {
+int cmd_trace(const std::string& path, bool critical) {
   std::ifstream in(path);
   if (!in) {
     throw mph::MphError("cannot open trace file '" + path + "'");
@@ -437,9 +442,12 @@ int cmd_trace(const std::string& path) {
                            r.at("queueHighWater").as_int()});
     total_dropped += rows.back().dropped;
   }
+  // Deterministic order even when two ranks blocked for exactly the same
+  // time (common in lock-step couplings): break ties by rank.
   std::stable_sort(rows.begin(), rows.end(),
                    [](const RankRow& a, const RankRow& b) {
-                     return a.total() > b.total();
+                     if (a.total() != b.total()) return a.total() > b.total();
+                     return a.rank < b.rank;
                    });
   constexpr std::size_t kTopRanks = 10;
   std::printf("\ntop blocked ranks (of %zu; ms blocked):\n", rows.size());
@@ -457,6 +465,23 @@ int cmd_trace(const std::string& path) {
         "\nwarning: %lld event(s) dropped from full rings — raise "
         "MINIMPI_TRACE=capacity=N for complete timelines\n",
         total_dropped);
+  }
+
+  if (critical) {
+    // Causal view: the five longest critical-path segments, via the
+    // mph_prof library (re-parse with its loader to get the event-level
+    // timelines the summary above never touches).
+    const minimpi::prof::LoadedTrace loaded =
+        minimpi::prof::load_chrome_trace(buffer.str());
+    const minimpi::prof::Profile profile =
+        minimpi::prof::Graph::build(loaded.report).profile();
+    std::printf("\n%s",
+                minimpi::prof::render_top_segments(profile, 5).c_str());
+    std::printf(
+        "(critical path %s ms of %s ms wall — `mph_prof report` has the "
+        "full blame breakdown)\n",
+        format_ms(static_cast<double>(profile.path_total_ns)).c_str(),
+        format_ms(static_cast<double>(profile.wall_ns())).c_str());
   }
   return 0;
 }
@@ -527,8 +552,16 @@ int main(int argc, char** argv) {
     if (args.size() == 2 && (args[0] == "check" || args[0] == "--check")) {
       return cmd_check(args[1]);
     }
-    if (args.size() == 2 && args[0] == "trace") {
-      return cmd_trace(args[1]);
+    if ((args.size() == 2 || args.size() == 3) && args[0] == "trace") {
+      bool critical = false;
+      std::string source;
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "--critical") critical = true;
+        else if (source.empty()) source = args[i];
+        else return usage();
+      }
+      if (!source.empty()) return cmd_trace(source, critical);
+      return usage();
     }
     if (args.size() >= 2 && args[0] == "top") {
       bool once = false;
