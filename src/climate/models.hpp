@@ -82,6 +82,7 @@ inline constexpr int t_atm_to_land = 113;  ///< atmosphere T (atm grid)
 inline constexpr int sst_to_ice = 114;     ///< SST (ocn grid)
 inline constexpr int stat_up = 121;        ///< instance -> statistics
 inline constexpr int stat_down = 122;      ///< statistics -> instance
+inline constexpr int steer_field = 131;    ///< steering work repartition
 }  // namespace tags
 
 /// Atmosphere: temperature relaxed toward a latitude-dependent radiative

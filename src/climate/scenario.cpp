@@ -7,7 +7,11 @@
 #include <set>
 #include <thread>
 
+#include <cmath>
+
+#include "src/coupler/rebalance.hpp"
 #include "src/minimpi/collectives.hpp"
+#include "src/minimpi/job.hpp"
 #include "src/mph/errors.hpp"
 #include "src/util/strings.hpp"
 
@@ -81,11 +85,120 @@ void save_model(const recover::CheckpointStore& store, mph::Mph& h,
   store.save(h.comp_name(), ckpt);
 }
 
+// ---------------------------------------------------------------------------
+// Steering helpers (the mph_watch closed loop, DESIGN.md §17).  Everything
+// sits behind the `steering != nullptr` branch; a run without a
+// SteeringSpec never reaches any of it.
+// ---------------------------------------------------------------------------
+
+/// The shared auxiliary work field and its rebalancing protocol.  The field
+/// is a Decomp of `work_units` indices over the WHOLE world (cutting across
+/// component boundaries — exactly what the Router cannot move and
+/// repartition() exists for), each rank burning CPU proportional to its
+/// share every interval.  At each interval boundary the world root polls
+/// the job's Watcher; when an imbalance alert fired, throughput weights
+/// derived from the live metrics snapshot are broadcast and every rank
+/// deterministically folds them through its own Rebalancer, so all ranks
+/// reach the identical proposal without further negotiation.
+class Steering {
+ public:
+  Steering(mph::Mph& h, const SteeringSpec* spec) : h_(h), spec_(spec) {
+    if (spec_ == nullptr) return;
+    const minimpi::Comm& world = h_.world();
+    decomp_ = coupler::Decomp::block(spec_->work_units, world.size());
+    const int me = world.rank();
+    local_.resize(static_cast<std::size_t>(decomp_.local_size(me)));
+    for (std::size_t i = 0; i < local_.size(); ++i) {
+      // Value = f(global index), so tests can verify the field survives
+      // any sequence of repartitions bit-for-bit.
+      const std::int64_t g =
+          decomp_.to_global(me, static_cast<std::int64_t>(i));
+      local_[i] = 1.0 + 0.5 * static_cast<double>(g);
+    }
+    world_ranks_.resize(static_cast<std::size_t>(world.size()));
+    for (int r = 0; r < world.size(); ++r) {
+      world_ranks_[static_cast<std::size_t>(r)] =
+          static_cast<minimpi::rank_t>(r);
+    }
+    rebalancer_ = coupler::Rebalancer(spec_->policy);
+    slow_ = h_.comp_name() == spec_->slow_component;
+  }
+
+  /// Burn this interval's share of the auxiliary work (pure compute, no
+  /// communication).  The seeded slow component pays slow_factor times the
+  /// per-unit cost — the imbalance the watch rules must catch live.
+  void interval_work() const {
+    if (spec_ == nullptr) return;
+    const int reps = static_cast<int>(
+        static_cast<double>(spec_->work_reps) *
+        (slow_ ? spec_->slow_factor : 1.0));
+    volatile double sink = 0.0;
+    for (const double v : local_) {
+      double acc = v;
+      for (int rep = 0; rep < reps; ++rep) {
+        acc += std::sqrt(acc + static_cast<double>(rep));
+      }
+      sink = sink + acc;
+    }
+  }
+
+  /// Interval boundary, collective over the world.  The root feeds the
+  /// Watcher a fresh snapshot itself (detection must not depend on the
+  /// monitor thread's publish timing) and consumes a pending imbalance
+  /// alert; the fire decision and the weights travel by broadcast, so the
+  /// rebalance is a lock-step collective like the exchange schedule.
+  void boundary(int interval, ComponentResult& result) {
+    if (spec_ == nullptr) return;
+    const minimpi::Comm& world = h_.world();
+    std::uint8_t fire = 0;
+    std::vector<double> weights(static_cast<std::size_t>(world.size()), 1.0);
+    if (world.rank() == 0) {
+      if (minimpi::watch::Watcher* watcher = world.job().watcher()) {
+        const minimpi::MetricsSnapshot snap = world.job().metrics_snapshot();
+        watcher->observe(snap);
+        if (watcher->consume_imbalance_alert()) {
+          fire = 1;
+          weights = coupler::weights_from_metrics(
+              snap, decomp_, std::span<const minimpi::rank_t>(world_ranks_));
+        }
+      }
+    }
+    minimpi::bcast_value(world, fire, 0);
+    if (fire == 0) return;
+    minimpi::bcast(world, std::span<double>(weights), 0);
+    const std::optional<coupler::Decomp> proposal =
+        rebalancer_.propose_from_weights(
+            decomp_, std::span<const double>(weights));
+    if (!proposal.has_value()) return;
+    local_ = coupler::repartition(world, decomp_, *proposal,
+                                  std::span<const double>(local_),
+                                  tags::steer_field);
+    decomp_ = *proposal;
+    result.rebalanced_intervals.push_back(interval);
+  }
+
+  void finish(ComponentResult& result) const {
+    if (spec_ == nullptr) return;
+    result.steer_local_units = static_cast<std::int64_t>(local_.size());
+  }
+
+ private:
+  mph::Mph& h_;
+  const SteeringSpec* spec_;
+  coupler::Decomp decomp_;
+  std::vector<double> local_;
+  std::vector<minimpi::rank_t> world_ranks_;
+  coupler::Rebalancer rebalancer_;
+  bool slow_ = false;
+};
+
 ComponentResult run_atmosphere(mph::Mph& h, const ClimateConfig& cfg,
                                const std::string& coupler_name,
-                               const RecoverySpec* recovery, int start) {
+                               const RecoverySpec* recovery,
+                               const SteeringSpec* steering, int start) {
   Atmosphere model(cfg, h.comp_comm());
   const RootExchange xch{h, coupler_name};
+  Steering steer(h, steering);
   ComponentResult result{"atmosphere", {}, {}};
   if (recovery != nullptr && start > 0) {
     restore_model(*recovery->store, h.comp_name(),
@@ -95,6 +208,7 @@ ComponentResult run_atmosphere(mph::Mph& h, const ClimateConfig& cfg,
     if (recovery != nullptr) {
       h.world().fault_checkpoint(static_cast<std::uint64_t>(interval));
     }
+    steer.interval_work();
     for (int s = 0; s < cfg.steps_per_interval; ++s) model.step();
     // The coupler sees the time mean over the interval, not a sample.
     xch.send_export(model.export_temperature_mean(), tags::t_atm_to_cpl);
@@ -105,15 +219,19 @@ ComponentResult run_atmosphere(mph::Mph& h, const ClimateConfig& cfg,
     if (recovery != nullptr) {
       save_model(*recovery->store, h, model, interval, result);
     }
+    steer.boundary(interval, result);
   }
+  steer.finish(result);
   return result;
 }
 
 ComponentResult run_ocean(mph::Mph& h, const ClimateConfig& cfg,
                           const std::string& coupler_name,
-                          const RecoverySpec* recovery, int start) {
+                          const RecoverySpec* recovery,
+                          const SteeringSpec* steering, int start) {
   Ocean model(cfg, h.comp_comm());
   const RootExchange xch{h, coupler_name};
+  Steering steer(h, steering);
   ComponentResult result{"ocean", {}, {}};
   if (recovery != nullptr && start > 0) {
     restore_model(*recovery->store, h.comp_name(),
@@ -123,6 +241,7 @@ ComponentResult run_ocean(mph::Mph& h, const ClimateConfig& cfg,
     if (recovery != nullptr) {
       h.world().fault_checkpoint(static_cast<std::uint64_t>(interval));
     }
+    steer.interval_work();
     for (int s = 0; s < cfg.steps_per_interval; ++s) model.step();
     xch.send_export(model.export_sst_mean(), tags::sst_to_cpl);
     const std::vector<double> flux = xch.recv_import(
@@ -132,15 +251,19 @@ ComponentResult run_ocean(mph::Mph& h, const ClimateConfig& cfg,
     if (recovery != nullptr) {
       save_model(*recovery->store, h, model, interval, result);
     }
+    steer.boundary(interval, result);
   }
+  steer.finish(result);
   return result;
 }
 
 ComponentResult run_land(mph::Mph& h, const ClimateConfig& cfg,
                          const std::string& coupler_name,
-                         const RecoverySpec* recovery, int start) {
+                         const RecoverySpec* recovery,
+                         const SteeringSpec* steering, int start) {
   Land model(cfg, h.comp_comm());
   const RootExchange xch{h, coupler_name};
+  Steering steer(h, steering);
   const auto atm_size = static_cast<std::size_t>(
       static_cast<std::int64_t>(cfg.atm_nlon) * cfg.atm_nlat);
   ComponentResult result{"land", {}, {}};
@@ -152,6 +275,7 @@ ComponentResult run_land(mph::Mph& h, const ClimateConfig& cfg,
     if (recovery != nullptr) {
       h.world().fault_checkpoint(static_cast<std::uint64_t>(interval));
     }
+    steer.interval_work();
     for (int s = 0; s < cfg.steps_per_interval; ++s) model.step();
     xch.send_export(model.export_evaporation(), tags::evap_to_cpl);
     const std::vector<double> t_atm =
@@ -161,15 +285,19 @@ ComponentResult run_land(mph::Mph& h, const ClimateConfig& cfg,
     if (recovery != nullptr) {
       save_model(*recovery->store, h, model, interval, result);
     }
+    steer.boundary(interval, result);
   }
+  steer.finish(result);
   return result;
 }
 
 ComponentResult run_ice(mph::Mph& h, const ClimateConfig& cfg,
                         const std::string& coupler_name,
-                        const RecoverySpec* recovery, int start) {
+                        const RecoverySpec* recovery,
+                        const SteeringSpec* steering, int start) {
   SeaIce model(cfg, h.comp_comm());
   const RootExchange xch{h, coupler_name};
+  Steering steer(h, steering);
   const auto ocn_size = static_cast<std::size_t>(
       static_cast<std::int64_t>(cfg.ocn_nlon) * cfg.ocn_nlat);
   ComponentResult result{"ice", {}, {}};
@@ -181,6 +309,7 @@ ComponentResult run_ice(mph::Mph& h, const ClimateConfig& cfg,
     if (recovery != nullptr) {
       h.world().fault_checkpoint(static_cast<std::uint64_t>(interval));
     }
+    steer.interval_work();
     for (int s = 0; s < cfg.steps_per_interval; ++s) model.step();
     xch.send_export(model.export_fraction(), tags::ice_to_cpl);
     const std::vector<double> sst = xch.recv_import(ocn_size, tags::sst_to_ice);
@@ -189,14 +318,19 @@ ComponentResult run_ice(mph::Mph& h, const ClimateConfig& cfg,
     if (recovery != nullptr) {
       save_model(*recovery->store, h, model, interval, result);
     }
+    steer.boundary(interval, result);
   }
+  steer.finish(result);
   return result;
 }
 
 ComponentResult run_coupler(mph::Mph& h, const ClimateConfig& cfg,
                             const FluxCoupler::Peers& peers,
-                            const RecoverySpec* recovery, int start) {
+                            const RecoverySpec* recovery,
+                            const SteeringSpec* steering, int start) {
   FluxCoupler coupler(cfg, h, peers);
+  Steering steer(h, steering);
+  ComponentResult scratch{"coupler", {}, {}};
   if (recovery != nullptr && start > 0 && h.local_proc_id() == 0) {
     // The coupler's whole state is its diagnostics, and it lives on the
     // component root only (non-root coupler ranks idle by design).
@@ -219,6 +353,7 @@ ComponentResult run_coupler(mph::Mph& h, const ClimateConfig& cfg,
     if (recovery != nullptr) {
       h.world().fault_checkpoint(static_cast<std::uint64_t>(interval));
     }
+    steer.interval_work();
     coupler.couple_once();
     if (recovery != nullptr && h.local_proc_id() == 0) {
       const CouplerDiagnostics& diag = coupler.diagnostics();
@@ -229,9 +364,13 @@ ComponentResult run_coupler(mph::Mph& h, const ClimateConfig& cfg,
       ckpt.put_doubles("mean_icefrac", diag.mean_icefrac);
       recovery->store->save(h.comp_name(), ckpt);
     }
+    steer.boundary(interval, scratch);
   }
+  steer.finish(scratch);
   ComponentResult result{"coupler", {}, coupler.diagnostics()};
   result.mean_series = result.coupler.mean_sst;
+  result.rebalanced_intervals = std::move(scratch.rebalanced_intervals);
+  result.steer_local_units = scratch.steer_local_units;
   return result;
 }
 
@@ -241,7 +380,8 @@ ComponentResult run_coupled_component(mph::Mph& handle,
                                       const ClimateConfig& cfg,
                                       const FluxCoupler::Peers& peers,
                                       const std::string& coupler_name,
-                                      const RecoverySpec* recovery) {
+                                      const RecoverySpec* recovery,
+                                      const SteeringSpec* steering) {
   if (recovery != nullptr && recovery->store == nullptr) recovery = nullptr;
   int start = 0;
   if (recovery != nullptr) {
@@ -262,19 +402,19 @@ ComponentResult run_coupled_component(mph::Mph& handle,
   }
   const std::string& role = handle.comp_name();
   if (role == peers.atmosphere) {
-    return run_atmosphere(handle, cfg, coupler_name, recovery, start);
+    return run_atmosphere(handle, cfg, coupler_name, recovery, steering, start);
   }
   if (role == peers.ocean) {
-    return run_ocean(handle, cfg, coupler_name, recovery, start);
+    return run_ocean(handle, cfg, coupler_name, recovery, steering, start);
   }
   if (role == peers.land) {
-    return run_land(handle, cfg, coupler_name, recovery, start);
+    return run_land(handle, cfg, coupler_name, recovery, steering, start);
   }
   if (role == peers.ice) {
-    return run_ice(handle, cfg, coupler_name, recovery, start);
+    return run_ice(handle, cfg, coupler_name, recovery, steering, start);
   }
   if (role == coupler_name) {
-    return run_coupler(handle, cfg, peers, recovery, start);
+    return run_coupler(handle, cfg, peers, recovery, steering, start);
   }
   throw MphError("run_coupled_component: component '" + role +
                  "' has no role in the coupled system");

@@ -5,10 +5,12 @@
 // tests, examples, and the E6/E9 benchmarks all call these.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "src/climate/fluxcoupler.hpp"
+#include "src/coupler/rebalance.hpp"
 #include "src/climate/models.hpp"
 #include "src/climate/statistics.hpp"
 #include "src/mph/mph.hpp"
@@ -28,6 +30,31 @@ struct RecoverySpec {
   recover::CheckpointStore* store = nullptr;
 };
 
+/// Opt-in live steering for the coupled driver (the mph_watch closed
+/// loop, ROADMAP item 3 follow-on).  When null the drivers run the legacy
+/// protocol — one pointer test, zero extra traffic.  When set, every rank
+/// of the coupled application carries a slice of a shared auxiliary work
+/// field (a Decomp over the WHOLE world, cutting across components) and
+/// executes it each interval; at each interval boundary the world root
+/// polls the job's Watcher, and when an imbalance alert fired it derives
+/// fresh throughput weights from the live metrics snapshot
+/// (weights_from_metrics), broadcasts them, and every rank deterministically
+/// folds them through a Rebalancer and repartitions the work field — the
+/// job rebalances itself without restarting.  The physics fields are never
+/// touched, so final statistics stay bit-identical to an unsteered run.
+struct SteeringSpec {
+  /// Global size of the auxiliary work field.
+  std::int64_t work_units = 2048;
+  /// Inner loop repetitions per unit per interval — the work cost knob.
+  int work_reps = 60;
+  /// Seeded imbalance for tests/demos: ranks of this component pay
+  /// `slow_factor` times the per-unit cost (1.0 = no seeded skew).
+  std::string slow_component;
+  double slow_factor = 1.0;
+  /// Rebalance trigger/smoothing (see RebalancePolicy).
+  coupler::RebalancePolicy policy;
+};
+
 /// What one component measured during a coupled run.
 struct ComponentResult {
   std::string component;
@@ -36,6 +63,11 @@ struct ComponentResult {
   std::vector<double> mean_series;
   /// Coupler only: the cross-component diagnostics.
   CouplerDiagnostics coupler;
+  /// Steering only: intervals at whose boundary the auxiliary work field
+  /// was repartitioned (identical on every rank — the decision is
+  /// collective), and this rank's final share of it.
+  std::vector<int> rebalanced_intervals;
+  std::int64_t steer_local_units = 0;
 };
 
 /// Run one component of the coupled climate system to completion.
@@ -46,7 +78,8 @@ ComponentResult run_coupled_component(
     mph::Mph& handle, const ClimateConfig& cfg,
     const FluxCoupler::Peers& peers = FluxCoupler::Peers(),
     const std::string& coupler_name = "coupler",
-    const RecoverySpec* recovery = nullptr);
+    const RecoverySpec* recovery = nullptr,
+    const SteeringSpec* steering = nullptr);
 
 /// Result of an ensemble participant.
 struct EnsembleResult {

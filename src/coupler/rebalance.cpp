@@ -165,6 +165,46 @@ std::optional<Decomp> Rebalancer::propose(const Decomp& current,
   return proposal;
 }
 
+std::optional<Decomp> Rebalancer::propose_from_weights(
+    const Decomp& current, std::span<const double> observed_weights) {
+  if (static_cast<int>(observed_weights.size()) != current.nranks()) {
+    fail("got " + std::to_string(observed_weights.size()) +
+         " weights for a decomposition over " +
+         std::to_string(current.nranks()) + " ranks");
+  }
+  std::vector<double> observed(observed_weights.begin(),
+                               observed_weights.end());
+  fill_missing_with_mean(observed);
+  if (weights_.size() != observed.size()) {
+    weights_ = observed;  // first round: adopt the observation outright
+  } else {
+    const double a = std::clamp(policy_.smoothing, 0.0, 1.0);
+    for (std::size_t i = 0; i < weights_.size(); ++i) {
+      weights_[i] = a * observed[i] + (1.0 - a) * weights_[i];
+    }
+  }
+
+  // Predicted per-rank time under the current layout: work over smoothed
+  // throughput — the same quantity propose() measures directly.
+  double max_t = 0.0;
+  double sum_t = 0.0;
+  for (int r = 0; r < current.nranks(); ++r) {
+    const double w = weights_[static_cast<std::size_t>(r)];
+    const double t =
+        w > 0.0 ? static_cast<double>(current.local_size(r)) / w : 0.0;
+    max_t = std::max(max_t, t);
+    sum_t += t;
+  }
+  const double mean_t = sum_t / static_cast<double>(current.nranks());
+  last_imbalance_ = mean_t > 0.0 ? max_t / mean_t : 0.0;
+  if (last_imbalance_ < policy_.trigger_imbalance) return std::nullopt;
+
+  Decomp proposal = Decomp::weighted(current.global_size(),
+                                     std::span<const double>(weights_));
+  if (proposal == current) return std::nullopt;
+  return proposal;
+}
+
 std::vector<double> repartition(const minimpi::Comm& comm, const Decomp& from,
                                 const Decomp& to, std::span<const double> local,
                                 minimpi::tag_t tag) {

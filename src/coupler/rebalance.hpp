@@ -85,6 +85,15 @@ class Rebalancer {
   [[nodiscard]] std::optional<Decomp> propose(
       const Decomp& current, std::span<const double> step_seconds);
 
+  /// The mph_watch bridge: fold pre-derived throughput weights (e.g.
+  /// weights_from_metrics of the snapshot an imbalance alert fired on)
+  /// into the EWMA and propose when the *predicted* per-rank times under
+  /// `current` — local work divided by smoothed weight — cross the
+  /// trigger.  Same determinism contract as propose(): ranks feeding
+  /// identical weight vectors reach identical proposals.
+  [[nodiscard]] std::optional<Decomp> propose_from_weights(
+      const Decomp& current, std::span<const double> observed_weights);
+
   /// Smoothed per-rank weights accumulated so far (empty before the first
   /// propose()).
   [[nodiscard]] const std::vector<double>& weights() const noexcept {

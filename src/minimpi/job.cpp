@@ -44,9 +44,27 @@ Job::Job(int world_size, JobOptions options)
     if (faults_ != nullptr) faults_->set_tracer(tracer_.get());
   }
   options_.monitor = options_.monitor.merged_with_env();
-  if (options_.monitor.enabled) {
+  options_.watch = options_.watch.merged_with_env();
+  if (options_.watch.enabled &&
+      options_.watch.dir == watch::WatchOptions{}.dir &&
+      options_.monitor.dir != MonitorOptions{}.dir) {
+    // One configured output directory serves both layers: a job that set
+    // only monitor.dir expects the health log next to the metrics.
+    options_.watch.dir = options_.monitor.dir;
+  }
+  if (options_.monitor.enabled || options_.watch.enabled) {
+    // Watching implies collecting: the rules are functions of snapshots.
     metrics_ = std::make_unique<MetricsRegistry>(world_size);
     if (faults_ != nullptr) faults_->set_metrics(metrics_.get());
+  }
+  if (options_.watch.enabled) {
+    watcher_ = std::make_unique<watch::Watcher>(options_.watch);
+    if (tracer_ != nullptr) {
+      // Flight recorder: a firing rule drains the trace window and ships
+      // critical-path blame with the alert.  Safe while ranks still run
+      // (trace_report tolerates concurrent recording).
+      watcher_->set_flight_recorder([this] { return trace_report(); });
+    }
   }
   if (verify_) {
     rank_next_context_ = std::make_unique<mph::atomic<context_t>[]>(
@@ -75,9 +93,17 @@ Job::Job(int world_size, JobOptions options)
   // Started last: the monitor thread snapshots through metrics_snapshot(),
   // which reads the mailboxes and liveness state constructed above.  With
   // a zero interval the registry collects but nothing is published.
-  if (metrics_ != nullptr && options_.monitor.interval.count() > 0) {
+  if (options_.monitor.enabled && options_.monitor.interval.count() > 0) {
+    Monitor::ObserveFn observe;
+    if (watcher_ != nullptr) {
+      observe = [this](const MetricsSnapshot& snap) {
+        watcher_->observe(snap);
+        return watcher_->alert_gauges();
+      };
+    }
     monitor_ = std::make_unique<Monitor>(
-        options_.monitor, [this] { return metrics_snapshot(); });
+        options_.monitor, [this] { return metrics_snapshot(); },
+        std::move(observe));
   }
 }
 
@@ -334,6 +360,10 @@ MetricsSnapshot Job::metrics_snapshot() const {
   if (metrics_ == nullptr) return snap;
   snap.seq = metrics_->next_seq();
   snap.t_ns = metrics_->now_ns();
+  snap.wall_ms = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
   snap.comm = stats();
   snap.ranks.reserve(static_cast<std::size_t>(world_size_));
   for (rank_t r = 0; r < world_size_; ++r) {

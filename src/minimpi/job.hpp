@@ -31,6 +31,7 @@
 #include "src/minimpi/racer/atomic.hpp"
 #include "src/minimpi/trace.hpp"
 #include "src/minimpi/types.hpp"
+#include "src/minimpi/watch/watch.hpp"
 
 namespace minimpi {
 
@@ -70,6 +71,13 @@ struct JobOptions {
   /// MINIMPI_MONITOR environment variable at job construction; when off,
   /// Job::metrics() is null and every metric point costs one null check.
   MonitorOptions monitor;
+
+  /// mph_watch health rules over the live snapshots (off by default).
+  /// Unioned with the MINIMPI_WATCH environment variable at job
+  /// construction; enabling watch also enables metrics collection.  When
+  /// off, Job::watcher() is null — the watcher never touches rank hot
+  /// paths either way (it runs on the monitor-thread reader side).
+  watch::WatchOptions watch;
 
   /// Seed of the job's deterministic random stream (fault-injection delay
   /// jitter and any library randomness).  0 = draw a fresh seed from the
@@ -138,6 +146,13 @@ class Job {
   /// single-null-check discipline as tracer().
   [[nodiscard]] MetricsRegistry* metrics() const noexcept {
     return metrics_.get();
+  }
+
+  /// The job's health watcher, or null when watching is off.  Evaluated
+  /// by the monitor thread at every publish; steering code and tests may
+  /// also feed it snapshots directly (observe() is thread safe).
+  [[nodiscard]] watch::Watcher* watcher() const noexcept {
+    return watcher_.get();
   }
 
   /// The job's scheduler, or null (pass-through).
@@ -351,6 +366,11 @@ class Job {
   // Shared blackboard (see put_shared/get_shared).
   mutable std::mutex shared_mutex_;
   std::map<std::string, std::string> shared_;
+
+  // The watcher is fed by the monitor thread (and by steering code), so it
+  // is declared after everything a snapshot reads and before the monitor
+  // that drives it.
+  std::unique_ptr<watch::Watcher> watcher_;
 
   // Declared LAST: the monitor thread calls metrics_snapshot(), which
   // reads the mailboxes and liveness flags above, so it must be destroyed

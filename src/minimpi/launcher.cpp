@@ -269,6 +269,11 @@ JobReport run_mpmd(const std::vector<ExecSpec>& specs, JobOptions options) {
   if (job->metrics() != nullptr) {
     job->stop_monitor();
     report.metrics = job->metrics_snapshot();
+    if (watch::Watcher* watcher = job->watcher()) {
+      // One last judgement on the exact snapshot, then the full event log.
+      watcher->observe(*report.metrics);
+      report.health = watcher->events();
+    }
   }
   if (job->aborted()) report.abort_reason = job->abort_reason();
   report.abort = job->abort_info();

@@ -97,6 +97,12 @@ struct JobReport {
   /// (JobOptions::monitor / MINIMPI_MONITOR).  Taken after every rank
   /// joined, so unlike the live snapshots it is exact, not torn.
   std::optional<MetricsSnapshot> metrics;
+  /// mph_watch health events, present when watching was enabled
+  /// (JobOptions::watch / MINIMPI_WATCH): every rule firing and clearing
+  /// over the job's lifetime, including one evaluation of the exact final
+  /// snapshot (so monotone rules like fault_burn report even when the
+  /// publish interval never elapsed).
+  std::vector<watch::HealthEvent> health;
   /// Member replacements performed (empty unless JobOptions::respawn fired).
   /// A healed domain's deaths still appear in `contained`; the respawn
   /// events here say which of them were replaced and when.

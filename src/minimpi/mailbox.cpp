@@ -83,7 +83,7 @@ void Mailbox::wait_locked(std::unique_lock<std::mutex>& lock, Deadline deadline,
         tag = t;
         t0 = tracer->now_ns();
       }
-      if (metrics != nullptr) t0_metrics = metrics->now_ns();
+      if (metrics != nullptr) t0_metrics = metrics->note_block_start(owner);
       registered = true;
     }
     ~BlockedScope() {
@@ -94,9 +94,7 @@ void Mailbox::wait_locked(std::unique_lock<std::mutex>& lock, Deadline deadline,
         tracer->span_end(owner, TraceOp::blocked, label, t0, waits_on, ctx,
                          tag);
       }
-      if (metrics != nullptr) {
-        metrics->add_blocked_ns(owner, metrics->now_ns() - t0_metrics);
-      }
+      if (metrics != nullptr) metrics->note_block_end(owner, t0_metrics);
     }
   } scope{checker_, sched_, tracer_, metrics_, owner_rank_};
 

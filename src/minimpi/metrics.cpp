@@ -138,6 +138,28 @@ void MetricsRegistry::add_blocked_ns(rank_t rank, std::uint64_t ns) noexcept {
       ns, std::memory_order_relaxed);
 }
 
+std::uint64_t MetricsRegistry::note_block_start(rank_t rank) noexcept {
+  const std::uint64_t now = now_ns();
+  if (valid(rank)) {
+    slots_[static_cast<std::size_t>(rank)].blocked_since.store(
+        now, std::memory_order_relaxed);
+  }
+  return now;
+}
+
+void MetricsRegistry::note_block_end(rank_t rank,
+                                     std::uint64_t start_ns) noexcept {
+  if (!valid(rank)) return;
+  RankSlots& s = slots_[static_cast<std::size_t>(rank)];
+  // Clear the open-wait stamp before flushing so a racing reader
+  // momentarily under-counts rather than double-counts the wait.
+  s.blocked_since.store(0, std::memory_order_relaxed);
+  const std::uint64_t now = now_ns();
+  if (now > start_ns) {
+    s.blocked_ns.fetch_add(now - start_ns, std::memory_order_relaxed);
+  }
+}
+
 void MetricsRegistry::set_queue_depth(rank_t rank,
                                       std::uint64_t depth) noexcept {
   if (!valid(rank)) return;
@@ -189,6 +211,13 @@ RankMetrics MetricsRegistry::read_rank(rank_t rank) const {
   out.collectives = s.collectives.load(std::memory_order_relaxed);
   out.faults = s.faults.load(std::memory_order_relaxed);
   out.blocked_ns = s.blocked_ns.load(std::memory_order_relaxed);
+  // Fold in the wait that is open right now (if any): a stalled rank's
+  // blocking must be visible to live snapshots as it accrues.
+  const std::uint64_t since = s.blocked_since.load(std::memory_order_relaxed);
+  if (since != 0) {
+    const std::uint64_t now = now_ns();
+    if (now > since) out.blocked_ns += now - since;
+  }
   out.queue_depth = s.queue_depth.load(std::memory_order_relaxed);
   out.queue_high_water = s.queue_high_water.load(std::memory_order_relaxed);
   out.handshake_ns = s.handshake_ns.load(std::memory_order_relaxed);
@@ -287,7 +316,8 @@ std::string MetricsSnapshot::to_jsonl() const {
   out += "{\"kind\": \"";
   out += kKind;
   out += "\", \"seq\": " + std::to_string(seq) +
-         ", \"tNs\": " + std::to_string(t_ns);
+         ", \"tNs\": " + std::to_string(t_ns) +
+         ", \"wallMs\": " + std::to_string(wall_ms);
   out += ", \"job\": {\"messages\": " + std::to_string(comm.messages) +
          ", \"payloadBytes\": " + std::to_string(comm.payload_bytes) +
          ", \"contextsAllocated\": " +
@@ -442,8 +472,11 @@ std::string MetricsSnapshot::to_prometheus() const {
 // Monitor
 // ---------------------------------------------------------------------------
 
-Monitor::Monitor(MonitorOptions options, SnapshotFn snapshot)
-    : options_(std::move(options)), snapshot_(std::move(snapshot)) {
+Monitor::Monitor(MonitorOptions options, SnapshotFn snapshot,
+                 ObserveFn observe)
+    : options_(std::move(options)),
+      snapshot_(std::move(snapshot)),
+      observe_(std::move(observe)) {
   std::error_code ec;
   std::filesystem::create_directories(options_.dir, ec);
   // Truncate a previous run's JSONL so one file holds one job's history.
@@ -514,6 +547,9 @@ void Monitor::run() {
 }
 
 void Monitor::publish(const MetricsSnapshot& snap) {
+  // The watch hook first: its alert gauges belong in this publish's
+  // exposition, and a rule firing here is stamped with this snapshot.
+  const std::string alerts = observe_ ? observe_(snap) : std::string();
   const std::string line = snap.to_jsonl();
   {
     std::ofstream jsonl(options_.jsonl_path(), std::ios::app);
@@ -525,6 +561,7 @@ void Monitor::publish(const MetricsSnapshot& snap) {
     std::ofstream prom(tmp, std::ios::trunc);
     if (prom) {
       prom << snap.to_prometheus();
+      prom << alerts;
       prom.close();
       std::error_code ec;
       std::filesystem::rename(tmp, options_.exposition_path(), ec);

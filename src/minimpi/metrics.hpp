@@ -214,6 +214,11 @@ struct MetricsSnapshot {
 
   std::uint64_t seq = 0;   ///< snapshot sequence number (1-based)
   std::uint64_t t_ns = 0;  ///< nanoseconds since the registry epoch
+  /// Wall-clock epoch milliseconds at snapshot time.  Together with `seq`
+  /// this makes every JSONL line self-describing: a reader derives rates
+  /// from the stamps on the lines, never from its own arrival times, and
+  /// detects a re-served line (same seq) instead of computing a zero rate.
+  std::uint64_t wall_ms = 0;
   CommStats comm;          ///< job-wide counters (Job::stats())
   std::vector<RankMetrics> ranks;
 
@@ -255,6 +260,14 @@ class MetricsRegistry {
   void on_collective(rank_t rank) noexcept;
   void on_fault(rank_t rank) noexcept;
   void add_blocked_ns(rank_t rank, std::uint64_t ns) noexcept;
+  /// Bracket a blocked mailbox wait.  While a wait is open, read_rank
+  /// folds the in-progress time into blocked_ns, so a live snapshot shows
+  /// a *stuck* rank's blocking as it accrues — mph_watch's stall rule
+  /// depends on this; the flushed counter alone only moves when a wait
+  /// completes, which a stalled rank's never does.  Returns the start
+  /// stamp to pass to note_block_end.
+  [[nodiscard]] std::uint64_t note_block_start(rank_t rank) noexcept;
+  void note_block_end(rank_t rank, std::uint64_t start_ns) noexcept;
   /// Current unmatched backlog of the rank's mailbox; also maintains the
   /// high-water gauge.
   void set_queue_depth(rank_t rank, std::uint64_t depth) noexcept;
@@ -297,6 +310,7 @@ class MetricsRegistry {
     mph::atomic<std::uint64_t> collectives{0};
     mph::atomic<std::uint64_t> faults{0};
     mph::atomic<std::uint64_t> blocked_ns{0};
+    mph::atomic<std::uint64_t> blocked_since{0};  ///< 0 = no wait open
     mph::atomic<std::uint64_t> queue_depth{0};
     mph::atomic<std::uint64_t> queue_high_water{0};
     mph::atomic<std::uint64_t> handshake_ns{0};
@@ -335,8 +349,13 @@ class MetricsRegistry {
 class Monitor {
  public:
   using SnapshotFn = std::function<MetricsSnapshot()>;
+  /// Optional per-publish observer (mph_watch): sees every snapshot the
+  /// thread takes and returns extra Prometheus text (alert gauges)
+  /// appended to the exposition file.  Runs on the monitor thread only.
+  using ObserveFn = std::function<std::string(const MetricsSnapshot&)>;
 
-  Monitor(MonitorOptions options, SnapshotFn snapshot);
+  Monitor(MonitorOptions options, SnapshotFn snapshot,
+          ObserveFn observe = nullptr);
   ~Monitor();
 
   Monitor(const Monitor&) = delete;
@@ -357,6 +376,7 @@ class Monitor {
 
   MonitorOptions options_;
   SnapshotFn snapshot_;
+  ObserveFn observe_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;

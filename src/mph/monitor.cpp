@@ -102,6 +102,7 @@ MetricsSnapshot parse_snapshot(const std::string& json_line) {
   MetricsSnapshot snap;
   snap.seq = get_u64(doc, "seq");
   snap.t_ns = get_u64(doc, "tNs");
+  snap.wall_ms = get_u64(doc, "wallMs");
   if (const JsonValue* job = doc.find("job")) {
     snap.comm.messages = get_u64(*job, "messages");
     snap.comm.payload_bytes = get_u64(*job, "payloadBytes");
@@ -149,6 +150,112 @@ std::optional<std::string> last_jsonl_line(const std::string& path) {
   return last;
 }
 
+std::optional<MetricsSnapshot> last_valid_snapshot(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::optional<MetricsSnapshot> newest;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    try {
+      newest = parse_snapshot(line);
+    } catch (const std::exception&) {
+      // A torn line from rotation or a half-written tail: skip and keep
+      // the newest complete frame seen so far.
+    }
+  }
+  return newest;
+}
+
+minimpi::watch::HealthEvent parse_health_event(const std::string& json_line) {
+  const JsonValue doc = JsonValue::parse(json_line);
+  const JsonValue* kind = doc.find("kind");
+  if (kind == nullptr ||
+      kind->as_string() != minimpi::watch::HealthEvent::kKind) {
+    throw std::runtime_error(
+        "not an mph_health event: expected a JSON object with "
+        "\"kind\": \"mph_health\" (one line of the watcher's "
+        "mph_health.jsonl)");
+  }
+  minimpi::watch::HealthEvent ev;
+  ev.seq = get_u64(doc, "seq");
+  ev.t_ns = get_u64(doc, "tNs");
+  ev.wall_ms = get_u64(doc, "wallMs");
+  if (const JsonValue* v = doc.find("rule")) ev.rule = v->as_string();
+  if (const JsonValue* v = doc.find("severity")) {
+    const std::string name = v->as_string();
+    ev.severity = name == "critical" ? minimpi::watch::Severity::critical
+                  : name == "info"   ? minimpi::watch::Severity::info
+                                     : minimpi::watch::Severity::warning;
+  }
+  if (const JsonValue* v = doc.find("cleared")) ev.cleared = v->as_bool();
+  if (const JsonValue* v = doc.find("subject")) ev.subject = v->as_string();
+  if (const JsonValue* v = doc.find("value")) ev.value = v->as_number();
+  if (const JsonValue* v = doc.find("threshold")) {
+    ev.threshold = v->as_number();
+  }
+  if (const JsonValue* v = doc.find("message")) ev.message = v->as_string();
+  if (const JsonValue* v = doc.find("blame")) ev.blame = v->as_string();
+  if (const JsonValue* v = doc.find("flightFile")) {
+    ev.flight_file = v->as_string();
+  }
+  return ev;
+}
+
+bool looks_like_health(const std::string& text) {
+  std::string first = text.substr(0, text.find('\n'));
+  try {
+    const JsonValue doc = JsonValue::parse(first);
+    const JsonValue* kind = doc.find("kind");
+    return kind != nullptr &&
+           kind->as_string() == minimpi::watch::HealthEvent::kKind;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+std::vector<minimpi::watch::HealthEvent> read_health_tail(
+    const std::string& path, std::size_t max_events) {
+  std::vector<minimpi::watch::HealthEvent> events;
+  std::ifstream in(path);
+  if (!in) return events;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    try {
+      events.push_back(parse_health_event(line));
+    } catch (const std::exception&) {
+      // Same tolerance as last_valid_snapshot: skip torn lines.
+    }
+  }
+  if (events.size() > max_events) {
+    events.erase(events.begin(),
+                 events.end() - static_cast<std::ptrdiff_t>(max_events));
+  }
+  return events;
+}
+
+std::vector<minimpi::watch::HealthEvent> active_alerts(
+    const std::vector<minimpi::watch::HealthEvent>& events) {
+  // Replay: the newest edge per rule/subject wins.
+  std::vector<minimpi::watch::HealthEvent> active;
+  for (const minimpi::watch::HealthEvent& ev : events) {
+    const auto it = std::find_if(
+        active.begin(), active.end(),
+        [&](const minimpi::watch::HealthEvent& a) {
+          return a.rule == ev.rule && a.subject == ev.subject;
+        });
+    if (ev.cleared) {
+      if (it != active.end()) active.erase(it);
+    } else if (it != active.end()) {
+      *it = ev;
+    } else {
+      active.push_back(ev);
+    }
+  }
+  return active;
+}
+
 std::optional<std::string> read_socket_line(const std::string& socket_path) {
 #if MPH_MON_HAS_UNIX_SOCKET
   sockaddr_un addr{};
@@ -185,6 +292,7 @@ TopView build_top_view(const MetricsSnapshot* prev,
                        const MetricsSnapshot& cur) {
   TopView view;
   view.seq = cur.seq;
+  view.wall_ms = cur.wall_ms;
   view.uptime_s = static_cast<double>(cur.t_ns) / 1e9;
   view.total_messages = cur.comm.messages;
   view.total_bytes = cur.comm.payload_bytes;
@@ -262,6 +370,75 @@ std::string render_top(const TopView& view) {
            pad(human(row.bytes_per_s), 10) +
            pad(std::to_string(row.queue_depth), 7) +
            pad(std::to_string(row.queue_high_water), 7) + pad(pct, 9) + "\n";
+  }
+  return out;
+}
+
+WatchView build_watch_view(std::vector<WatchJob> jobs,
+                           std::size_t max_recent) {
+  WatchView view;
+  view.jobs = std::move(jobs);
+  for (std::size_t j = 0; j < view.jobs.size(); ++j) {
+    view.active += active_alerts(view.jobs[j].events).size();
+    for (const minimpi::watch::HealthEvent& ev : view.jobs[j].events) {
+      view.recent.emplace_back(j, ev);
+    }
+  }
+  // Stable sort on the wall-clock stamp merges the jobs' streams into one
+  // timeline while keeping each job's own order for equal stamps.
+  std::stable_sort(view.recent.begin(), view.recent.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second.wall_ms < b.second.wall_ms;
+                   });
+  if (view.recent.size() > max_recent) {
+    view.recent.erase(
+        view.recent.begin(),
+        view.recent.end() - static_cast<std::ptrdiff_t>(max_recent));
+  }
+  return view;
+}
+
+std::string render_watch(const WatchView& view) {
+  std::string out = "mph_watch  " + std::to_string(view.jobs.size()) +
+                    " job(s), " + std::to_string(view.active) +
+                    " active alert(s)\n";
+  for (std::size_t j = 0; j < view.jobs.size(); ++j) {
+    const WatchJob& job = view.jobs[j];
+    out += "[" + std::to_string(j) + "] " + job.source + "  ";
+    if (job.snapshot.has_value()) {
+      const MetricsSnapshot& snap = *job.snapshot;
+      int alive = 0;
+      for (const RankMetrics& r : snap.ranks) {
+        if (r.alive) ++alive;
+      }
+      char line[160];
+      std::snprintf(line, sizeof line,
+                    "#%llu up %.1fs  ranks %d/%d alive  %s msgs",
+                    static_cast<unsigned long long>(snap.seq),
+                    static_cast<double>(snap.t_ns) / 1e9, alive,
+                    static_cast<int>(snap.ranks.size()),
+                    human(static_cast<double>(snap.comm.messages)).c_str());
+      out += line;
+      out += job.online ? "" : "  (offline)";
+    } else {
+      out += "(no snapshot)";
+    }
+    out += "\n";
+    for (const minimpi::watch::HealthEvent& ev : active_alerts(job.events)) {
+      out += "    ALERT " + std::string(minimpi::watch::severity_name(ev.severity)) + " " +
+             ev.rule + "/" + ev.subject + ": " + ev.message;
+      if (!ev.blame.empty()) out += "  [blame: " + ev.blame + "]";
+      out += "\n";
+    }
+  }
+  if (!view.recent.empty()) {
+    out += "recent events:\n";
+    for (const auto& [j, ev] : view.recent) {
+      out += "  [" + std::to_string(j) + "] " +
+             std::string(minimpi::watch::severity_name(ev.severity)) +
+             (ev.cleared ? " cleared " : " fired   ") + ev.rule + "/" +
+             ev.subject + ": " + ev.message + "\n";
+    }
   }
   return out;
 }

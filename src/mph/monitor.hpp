@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/minimpi/metrics.hpp"
+#include "src/minimpi/watch/watch.hpp"
 
 namespace mph::mon {
 
@@ -36,6 +37,35 @@ namespace mph::mon {
 /// exist or has no complete line yet.
 [[nodiscard]] std::optional<std::string> last_jsonl_line(
     const std::string& path);
+
+/// Rotation/truncation-tolerant variant: the newest line of `path` that
+/// parses as an mph_metrics snapshot.  A live viewer can race the producer
+/// (half-written tail) or reattach across a log rotation (torn first
+/// line); both show up as malformed lines, which are skipped rather than
+/// reported — the viewer resyncs on the next complete frame.  nullopt when
+/// no line parses.
+[[nodiscard]] std::optional<minimpi::MetricsSnapshot> last_valid_snapshot(
+    const std::string& path);
+
+/// Decode one mph_health JSONL line (HealthEvent::to_jsonl output) back
+/// into an event.  Throws std::runtime_error on malformed JSON or a
+/// document whose "kind" is not "mph_health".
+[[nodiscard]] minimpi::watch::HealthEvent parse_health_event(
+    const std::string& json_line);
+
+/// True when `text` looks like an mph_health document or JSONL stream.
+[[nodiscard]] bool looks_like_health(const std::string& text);
+
+/// The trailing `max_events` health events of a JSONL file, oldest first
+/// (malformed lines skipped — same tolerance contract as
+/// last_valid_snapshot).  Empty when the file is missing or holds none.
+[[nodiscard]] std::vector<minimpi::watch::HealthEvent> read_health_tail(
+    const std::string& path, std::size_t max_events = 64);
+
+/// Replay a health stream to the alerts still active at its end: the
+/// newest fired, not-yet-cleared event per rule/subject, in firing order.
+[[nodiscard]] std::vector<minimpi::watch::HealthEvent> active_alerts(
+    const std::vector<minimpi::watch::HealthEvent>& events);
 
 /// Connect to a monitor's AF_UNIX socket and read one snapshot line.
 /// nullopt when the socket is gone (job finished) or unsupported on this
@@ -62,6 +92,7 @@ struct TopRow {
 /// snapshot they stay zero (first frame of a session).
 struct TopView {
   std::uint64_t seq = 0;
+  std::uint64_t wall_ms = 0;  ///< publisher's wall clock (0 on old streams)
   double uptime_s = 0.0;
   std::uint64_t total_messages = 0;
   std::uint64_t total_bytes = 0;
@@ -81,5 +112,38 @@ struct TopView {
 /// Render the view as a fixed-width ASCII table (trailing newline
 /// included) — what `mph_inspect top` prints every refresh.
 [[nodiscard]] std::string render_top(const TopView& view);
+
+// ---------------------------------------------------------------------------
+// mph_inspect watch — the cross-job aggregator (farm pre-work): merge the
+// metrics and health streams of several jobs into one console.
+// ---------------------------------------------------------------------------
+
+/// One watched job, as assembled by the CLI each refresh.
+struct WatchJob {
+  std::string source;  ///< the socket or JSONL path as given
+  bool online = false;  ///< a snapshot was fetched this refresh
+  std::optional<minimpi::MetricsSnapshot> snapshot;
+  /// Health tail of the job's mph_health.jsonl (oldest first); empty when
+  /// the job has no watch enabled or the file is not reachable.
+  std::vector<minimpi::watch::HealthEvent> events;
+};
+
+/// The merged model of one refresh.
+struct WatchView {
+  std::vector<WatchJob> jobs;
+  std::size_t active = 0;  ///< alerts active across all jobs
+  /// Newest events across all jobs (ascending wall_ms, then per-job
+  /// order), each tagged with the index of the job it came from.
+  std::vector<std::pair<std::size_t, minimpi::watch::HealthEvent>> recent;
+};
+
+/// Merge the per-job inputs: computes the active-alert total and the
+/// cross-job recent-event ribbon (at most `max_recent` entries).
+[[nodiscard]] WatchView build_watch_view(std::vector<WatchJob> jobs,
+                                         std::size_t max_recent = 8);
+
+/// Render the merged view (one summary line + active alerts per job, then
+/// the recent-event ribbon) — what `mph_inspect watch` prints.
+[[nodiscard]] std::string render_watch(const WatchView& view);
 
 }  // namespace mph::mon

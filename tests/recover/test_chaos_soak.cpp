@@ -1,14 +1,19 @@
 // Randomized heal soak: for each seed, kill a randomly chosen ensemble
 // member rank at a randomly chosen recovery kill point, let the supervisor
 // respawn it, and require the final statistics to match the fault-free
-// run bit for bit.  Seed count scales with MPH_CHAOS_SOAK_SEEDS (nightly
-// CI cranks it up); failing seeds are appended to the file named by
-// MPH_CHAOS_SOAK_ARTIFACT so a red run is reproducible locally with
-// MPH_CHAOS_SOAK_SEEDS=1 after editing the seed below.
+// run bit for bit.  mph_watch rides along with a one-fault budget: every
+// injected kill must surface as a fault_burn HealthEvent naming the
+// victim's instance, and the fault-free reference must burn nothing — so
+// the soak exercises the observability path as hard as the heal path.
+// Seed count scales with MPH_CHAOS_SOAK_SEEDS (nightly CI cranks it up);
+// failing seeds are appended to the file named by MPH_CHAOS_SOAK_ARTIFACT
+// so a red run is reproducible locally with MPH_CHAOS_SOAK_SEEDS=1 after
+// editing the seed below.
 #include <gtest/gtest.h>
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
@@ -21,6 +26,7 @@
 #include "src/climate/scenario.hpp"
 #include "src/minimpi/fault.hpp"
 #include "src/minimpi/launcher.hpp"
+#include "src/minimpi/watch/watch.hpp"
 #include "src/mph/recover.hpp"
 #include "src/util/rng.hpp"
 #include "tests/mph/mph_test_util.hpp"
@@ -92,6 +98,20 @@ JobReport run_soak(const std::string& store_dir, minimpi::rank_t victim,
   if (kill_step >= 0) {
     job.faults.kill_at_step(victim, static_cast<std::uint64_t>(kill_step));
   }
+  // Watch every run with a one-fault budget.  A short live interval keeps
+  // the watcher's ring primed, so the launcher's final observe is a judged
+  // frame and the cumulative fault_burn rule cannot miss the kill no
+  // matter when it landed.
+  job.monitor.enabled = true;
+  job.monitor.interval = std::chrono::milliseconds(10);
+  job.monitor.dir = store_dir + "_logs";
+  job.monitor.socket = false;
+  job.watch.enabled = true;
+  job.watch.fault_budget = 1;
+  job.watch.fire_after = 1;
+  job.watch.clear_after = 1;
+  job.watch.flight_record = false;  // no tracer in the soak jobs
+  job.watch.dir = job.monitor.dir;
 
   const auto cfg = soak_config();
   const std::string store_copy = store_dir;
@@ -127,6 +147,27 @@ JobReport run_soak(const std::string& store_dir, minimpi::rank_t victim,
   return minimpi::run_mpmd(specs, std::move(job));
 }
 
+/// The instance the registry assigns `rank` to (two ranks per member).
+std::string member_of(minimpi::rank_t rank) {
+  return "Ocean" + std::to_string(rank / 2 + 1);
+}
+
+bool burn_reported(const JobReport& report, const std::string& subject) {
+  return std::any_of(report.health.begin(), report.health.end(),
+                     [&](const minimpi::watch::HealthEvent& ev) {
+                       return ev.rule == "fault_burn" && !ev.cleared &&
+                              ev.subject == subject;
+                     });
+}
+
+std::string describe_health(const JobReport& report) {
+  std::string out = "health:";
+  for (const minimpi::watch::HealthEvent& ev : report.health) {
+    out += " " + ev.rule + "/" + ev.subject + (ev.cleared ? "(clear)" : "");
+  }
+  return out;
+}
+
 void record_failing_seed(std::uint64_t seed, minimpi::rank_t victim,
                          std::int64_t kill_step, const std::string& why) {
   const char* artifact = std::getenv("MPH_CHAOS_SOAK_ARTIFACT");
@@ -143,6 +184,11 @@ TEST(ChaosSoak, RandomKillsAlwaysHealToFaultFreeStatistics) {
   const JobReport ref = run_soak(fresh_dir("reference"), 0, -1, reference);
   ASSERT_TRUE(ref.ok) << ref.abort_reason;
   ASSERT_EQ(reference.size(), static_cast<std::size_t>(kIntervals));
+  // No injected faults, no burn: the fault-free run must not trip the
+  // one-fault watch budget.
+  for (const auto& ev : ref.health) {
+    EXPECT_NE(ev.rule, "fault_burn") << describe_health(ref);
+  }
 
   for (int i = 0; i < seeds; ++i) {
     const auto seed = static_cast<std::uint64_t>(1000 + i);
@@ -161,18 +207,27 @@ TEST(ChaosSoak, RandomKillsAlwaysHealToFaultFreeStatistics) {
     const JobReport report =
         run_soak(fresh_dir("seed" + std::to_string(seed)), victim, kill_step,
                  healed);
+    const std::string victim_member = member_of(victim);
     bool ok = report.ok && report.recovery.healed() &&
-              healed.size() == reference.size();
+              healed.size() == reference.size() &&
+              burn_reported(report, victim_member);
     if (!ok) {
       record_failing_seed(seed, victim, kill_step,
                           !report.ok ? "job aborted: " + report.abort_reason
                           : !report.recovery.healed()
                               ? "no respawn recorded"
-                              : "snapshot count mismatch");
+                          : healed.size() != reference.size()
+                              ? "snapshot count mismatch"
+                              : "no fault_burn health event for " +
+                                    victim_member);
     }
     ASSERT_TRUE(report.ok) << report.abort_reason << " / "
                            << report.first_error();
     EXPECT_TRUE(report.recovery.healed());
+    // The injected kill must surface through mph_watch: a fault_burn
+    // HealthEvent naming the victim's instance.
+    EXPECT_TRUE(burn_reported(report, victim_member))
+        << describe_health(report);
     ASSERT_EQ(healed.size(), reference.size());
     for (std::size_t k = 0; k < reference.size(); ++k) {
       const bool match = healed[k].mean == reference[k].mean &&

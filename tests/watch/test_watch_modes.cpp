@@ -1,0 +1,257 @@
+// test_watch_modes.cpp — the wired mph_watch path under fault injection,
+// across every execution mode the paper names (SCSE, SCME, MCSE, MCME,
+// MIME).  A FaultPlan delay holds one component's message in flight while
+// an observer rank feeds live snapshots to the job's Watcher: the stalled
+// component (blocked, zero deliveries) must raise a stall HealthEvent
+// through JobOptions::watch -> Job::watcher -> JobReport::health, whatever
+// the wiring.  The delayed sender also burns the fault budget, which the
+// launcher's final observe reports even when no window caught it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/minimpi/fault.hpp"
+#include "src/minimpi/job.hpp"
+#include "src/minimpi/watch/watch.hpp"
+#include "tests/mph/mph_test_util.hpp"
+
+using namespace mph;
+using namespace mph::testing;
+using minimpi::Comm;
+
+namespace {
+
+constexpr int kDelayTag = 777;
+constexpr std::chrono::milliseconds kDelay{1200};
+
+/// Watch on, collect-only monitoring, hair-trigger hysteresis.  The stall
+/// threshold is low enough that one blocked rank carries a component of up
+/// to three ranks past it.
+minimpi::JobOptions watched_options(const std::string& name) {
+  minimpi::JobOptions options = test_job_options();
+  options.monitor.enabled = true;
+  options.monitor.interval = std::chrono::milliseconds(0);
+  options.watch.enabled = true;
+  options.watch.fire_after = 1;
+  options.watch.clear_after = 1;
+  options.watch.stall_blocked_pct = 25.0;
+  options.watch.flight_record = false;  // no tracer in these jobs
+  options.watch.dir = ::testing::TempDir() + "mph_watch_modes_" + name;
+
+  // Hold the one marked envelope in flight for kDelay.
+  minimpi::EnvelopeMatch slow;
+  slow.tag = kDelayTag;
+  options.faults.delay(slow, kDelay);
+  return options;
+}
+
+/// The observer rank: feeds the job's Watcher a baseline plus a train of
+/// short windows while the delayed envelope is still in flight.  During
+/// those windows the consumer sits blocked (the in-progress wait is folded
+/// into its blocked_ns) and its component delivers nothing — the stall
+/// signature.
+void observe_windows(const Comm& world) {
+  minimpi::Job& job = world.job();
+  minimpi::watch::Watcher* watcher = job.watcher();
+  ASSERT_NE(watcher, nullptr) << "watch enabled but Job::watcher() is null";
+  watcher->observe(job.metrics_snapshot());  // baseline frame
+  for (int i = 0; i < 8; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    watcher->observe(job.metrics_snapshot());
+  }
+}
+
+void produce(const Comm& comm, int dest_local) {
+  comm.send(42, dest_local, kDelayTag);  // sleeps kDelay in the injector
+}
+
+void consume(const Comm& comm, int src_local) {
+  int v = 0;
+  comm.recv(v, src_local, kDelayTag);
+  EXPECT_EQ(v, 42);
+}
+
+bool fired(const std::vector<minimpi::watch::HealthEvent>& events,
+           const std::string& rule, const std::string& subject) {
+  return std::any_of(events.begin(), events.end(),
+                     [&](const minimpi::watch::HealthEvent& ev) {
+                       return ev.rule == rule && !ev.cleared &&
+                              (subject.empty() || ev.subject == subject);
+                     });
+}
+
+std::string describe(const std::vector<minimpi::watch::HealthEvent>& events) {
+  std::string out = "events:";
+  for (const minimpi::watch::HealthEvent& ev : events) {
+    out += " " + ev.rule + "/" + ev.subject + (ev.cleared ? "(clear)" : "");
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(WatchModes, ScseStallAndFaultBurnFire) {
+  // One component, one executable: rank 0 observes, rank 1's send to rank
+  // 2 is delayed.  With a one-fault budget the final snapshot alone must
+  // report the burn even if every live window had missed it.
+  minimpi::JobOptions options = watched_options("scse");
+  options.watch.fault_budget = 1;
+  const minimpi::JobReport report = run_mph_job(
+      "BEGIN\nocean\nEND\n",
+      {TestExec{{"ocean"}, "", 3,
+                [](Mph& h, const Comm& world) {
+                  const Comm& comm = h.comp_comm();
+                  if (comm.rank() == 0) {
+                    observe_windows(world);
+                  } else if (comm.rank() == 1) {
+                    produce(comm, 2);
+                  } else {
+                    consume(comm, 1);
+                  }
+                }}},
+      {}, options);
+  ASSERT_TRUE(report.ok) << report.abort_reason;
+  EXPECT_TRUE(fired(report.health, "stall", "ocean"))
+      << describe(report.health);
+  EXPECT_TRUE(fired(report.health, "fault_burn", "ocean"))
+      << describe(report.health);
+}
+
+TEST(WatchModes, ScmeStallFires) {
+  // Single-component executables: a one-rank "probe" watches while the
+  // two-rank "ocean" exchanges the delayed message.
+  const minimpi::JobReport report = run_mph_job(
+      "BEGIN\nprobe\nocean\nEND\n",
+      {TestExec{{"probe"}, "", 1,
+                [](Mph&, const Comm& world) { observe_windows(world); }},
+       TestExec{{"ocean"}, "", 2,
+                [](Mph& h, const Comm&) {
+                  const Comm& comm = h.comp_comm();
+                  if (comm.rank() == 0) {
+                    produce(comm, 1);
+                  } else {
+                    consume(comm, 0);
+                  }
+                }}},
+      {}, watched_options("scme"));
+  ASSERT_TRUE(report.ok) << report.abort_reason;
+  EXPECT_TRUE(fired(report.health, "stall", "ocean"))
+      << describe(report.health);
+}
+
+TEST(WatchModes, McseStallFires) {
+  // Multi-component single executable: the master program dispatches on
+  // component membership (paper §4.2).
+  const std::string registry = R"(BEGIN
+Multi_Component_Begin
+probe 0 0
+ocean 1 2
+Multi_Component_End
+END
+)";
+  const minimpi::JobReport report = run_mph_job(
+      registry,
+      {TestExec{{"probe", "ocean"}, "", 3,
+                [](Mph& h, const Comm& world) {
+                  if (h.comp_name() == "probe") {
+                    observe_windows(world);
+                  } else if (h.comp_comm().rank() == 0) {
+                    produce(h.comp_comm(), 1);
+                  } else {
+                    consume(h.comp_comm(), 0);
+                  }
+                }}},
+      {}, watched_options("mcse"));
+  ASSERT_TRUE(report.ok) << report.abort_reason;
+  EXPECT_TRUE(fired(report.health, "stall", "ocean"))
+      << describe(report.health);
+}
+
+TEST(WatchModes, McmeStallFires) {
+  // Multi-component executables: observer and bystander share one binary,
+  // the delayed component lives in another.
+  const std::string registry = R"(BEGIN
+Multi_Component_Begin
+probe 0 0
+land 1 1
+Multi_Component_End
+ocean
+END
+)";
+  const minimpi::JobReport report = run_mph_job(
+      registry,
+      {TestExec{{"probe", "land"}, "", 2,
+                [](Mph& h, const Comm& world) {
+                  if (h.comp_name() == "probe") observe_windows(world);
+                }},
+       TestExec{{"ocean"}, "", 2,
+                [](Mph& h, const Comm&) {
+                  const Comm& comm = h.comp_comm();
+                  if (comm.rank() == 0) {
+                    produce(comm, 1);
+                  } else {
+                    consume(comm, 0);
+                  }
+                }}},
+      {}, watched_options("mcme"));
+  ASSERT_TRUE(report.ok) << report.abort_reason;
+  EXPECT_TRUE(fired(report.health, "stall", "ocean"))
+      << describe(report.health);
+}
+
+TEST(WatchModes, MimeStallFiresOnTheSlowInstance) {
+  // Multi-instance: only Ocean2 exchanges the delayed message, so the
+  // stall must name that instance, not its healthy sibling.
+  const std::string registry = R"(BEGIN
+Multi_Instance_Begin
+Ocean1 0 1
+Ocean2 2 3
+Multi_Instance_End
+END
+)";
+  const minimpi::JobReport report = run_mph_job(
+      registry,
+      {TestExec{{}, "Ocean", 4,
+                [](Mph& h, const Comm& world) {
+                  if (world.rank() == 0) {
+                    observe_windows(world);
+                  } else if (h.comp_name() == "Ocean2") {
+                    const Comm& comm = h.comp_comm();
+                    if (comm.rank() == 0) {
+                      produce(comm, 1);
+                    } else {
+                      consume(comm, 0);
+                    }
+                  }
+                }}},
+      {}, watched_options("mime"));
+  ASSERT_TRUE(report.ok) << report.abort_reason;
+  EXPECT_TRUE(fired(report.health, "stall", "Ocean2"))
+      << describe(report.health);
+  EXPECT_FALSE(fired(report.health, "stall", "Ocean1"))
+      << describe(report.health);
+}
+
+TEST(WatchModes, WatchOffReportsNoHealth) {
+  // The off path: no watcher, no health, no watch cost — the contract the
+  // whole layer rides on.
+  const minimpi::JobReport report = run_mph_job(
+      "BEGIN\nocean\nEND\n",
+      {TestExec{{"ocean"}, "", 2,
+                [](Mph& h, const Comm& world) {
+                  EXPECT_EQ(world.job().watcher(), nullptr);
+                  const Comm& comm = h.comp_comm();
+                  if (comm.rank() == 0) {
+                    comm.send(1, 1, 5);
+                  } else {
+                    int v = 0;
+                    comm.recv(v, 0, 5);
+                  }
+                }}});
+  ASSERT_TRUE(report.ok) << report.abort_reason;
+  EXPECT_TRUE(report.health.empty());
+}

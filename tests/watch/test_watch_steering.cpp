@@ -1,0 +1,171 @@
+// test_watch_steering.cpp — the mph_watch closed loop, end to end: a
+// seeded 4x-slower ocean drags the coupled climate system out of balance,
+// the imbalance rule fires on the live snapshots, the steering glue in
+// run_coupled_component folds weights_from_metrics through the Rebalancer
+// and repartitions the auxiliary work field — and the physics never
+// notices: the coupler diagnostics stay bit-identical to an unsteered
+// run.  The firing alert also ships a flight record with critical-path
+// blame (tracing is on), which is the anomaly-triggered dump path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/climate/scenario.hpp"
+#include "src/coupler/decomp.hpp"
+#include "src/minimpi/job.hpp"
+#include "src/minimpi/watch/watch.hpp"
+#include "tests/mph/mph_test_util.hpp"
+
+using namespace mph;
+using namespace mph::climate;
+using namespace mph::testing;
+using minimpi::Comm;
+
+namespace {
+
+constexpr int kWorldRanks = 7;  // atm 2, ocean 2, land 1, ice 1, coupler 1
+
+ClimateConfig steering_config() {
+  ClimateConfig cfg;
+  cfg.atm_nlon = 8;
+  cfg.atm_nlat = 6;
+  cfg.ocn_nlon = 12;
+  cfg.ocn_nlat = 8;
+  cfg.steps_per_interval = 2;
+  cfg.intervals = 8;
+  return cfg;
+}
+
+SteeringSpec steering_spec() {
+  SteeringSpec steer;
+  steer.work_units = 1024;
+  steer.work_reps = 200;
+  steer.slow_component = "ocean";
+  steer.slow_factor = 4.0;
+  steer.policy.trigger_imbalance = 1.1;
+  steer.policy.smoothing = 1.0;  // adopt the observed weights outright
+  return steer;
+}
+
+struct SteeredOutcome {
+  minimpi::JobReport report;
+  CouplerDiagnostics diag;
+  std::map<int, std::string> component_of;        ///< world rank -> name
+  std::map<int, std::int64_t> units_of;           ///< world rank -> units
+  std::map<int, std::vector<int>> rebalanced_of;  ///< world rank -> intervals
+};
+
+/// The SCME wiring of the coupled system with steering attached; `steer`
+/// null runs the plain legacy protocol (the bit-identical baseline).
+SteeredOutcome run_coupled(const ClimateConfig& cfg, const SteeringSpec* steer,
+                           minimpi::JobOptions options) {
+  SteeredOutcome out;
+  std::mutex mutex;
+  auto body = [&](Mph& h, const Comm&) {
+    const ComponentResult r =
+        run_coupled_component(h, cfg, {}, "coupler", nullptr, steer);
+    const std::lock_guard<std::mutex> lock(mutex);
+    const int w = h.global_proc_id();
+    out.component_of[w] = r.component;
+    out.units_of[w] = r.steer_local_units;
+    out.rebalanced_of[w] = r.rebalanced_intervals;
+    if (r.component == "coupler" && h.local_proc_id() == 0) {
+      out.diag = r.coupler;
+    }
+  };
+  out.report = run_mph_job(
+      "BEGIN\natmosphere\nocean\nland\nice\ncoupler\nEND\n",
+      {TestExec{{"atmosphere"}, "", 2, body}, TestExec{{"ocean"}, "", 2, body},
+       TestExec{{"land"}, "", 1, body}, TestExec{{"ice"}, "", 1, body},
+       TestExec{{"coupler"}, "", 1, body}},
+      {}, std::move(options));
+  return out;
+}
+
+minimpi::JobOptions watched_options() {
+  minimpi::JobOptions options = test_job_options();
+  options.monitor.enabled = true;
+  options.monitor.interval = std::chrono::milliseconds(0);
+  options.watch.enabled = true;
+  options.watch.fire_after = 1;
+  options.watch.clear_after = 1;
+  options.watch.imbalance_ratio = 1.3;
+  options.watch.dir = ::testing::TempDir() + "mph_watch_steering";
+  options.trace.enabled = true;  // wires the flight recorder
+  return options;
+}
+
+}  // namespace
+
+TEST(WatchSteering, ClosedLoopRebalancesWithoutPerturbingPhysics) {
+  const ClimateConfig cfg = steering_config();
+
+  // Baseline: the identical physics with no watch and no steering.
+  const SteeredOutcome plain = run_coupled(cfg, nullptr, test_job_options());
+  ASSERT_TRUE(plain.report.ok) << plain.report.abort_reason;
+  ASSERT_EQ(plain.diag.mean_sst.size(), 8U);
+  EXPECT_TRUE(plain.report.health.empty());
+  for (const auto& [rank, units] : plain.units_of) {
+    EXPECT_EQ(units, 0) << "no steering, no work field";
+  }
+
+  // The steered run: seeded 4x-slower ocean, watch + tracing on.
+  const SteeringSpec steer = steering_spec();
+  const SteeredOutcome live = run_coupled(cfg, &steer, watched_options());
+  ASSERT_TRUE(live.report.ok) << live.report.abort_reason;
+
+  // 1. The imbalance rule fired and named the seeded component.
+  const auto imbalance = std::find_if(
+      live.report.health.begin(), live.report.health.end(),
+      [](const minimpi::watch::HealthEvent& ev) {
+        return ev.rule == "imbalance" && !ev.cleared;
+      });
+  ASSERT_NE(imbalance, live.report.health.end())
+      << "no imbalance event in " << live.report.health.size() << " events";
+  EXPECT_EQ(imbalance->subject, "ocean");
+
+  // 2. The alert shipped a flight record with critical-path blame.
+  EXPECT_FALSE(imbalance->flight_file.empty());
+  EXPECT_TRUE(std::filesystem::exists(imbalance->flight_file))
+      << imbalance->flight_file;
+  EXPECT_FALSE(imbalance->blame.empty());
+
+  // 3. Every rank rebalanced, identically, within bounded intervals.
+  ASSERT_EQ(live.rebalanced_of.size(), static_cast<std::size_t>(kWorldRanks));
+  const std::vector<int>& intervals = live.rebalanced_of.begin()->second;
+  ASSERT_FALSE(intervals.empty());
+  EXPECT_LE(intervals.front(), 5) << "rebalance came too late";
+  for (const auto& [rank, mine] : live.rebalanced_of) {
+    EXPECT_EQ(mine, intervals) << "rank " << rank
+                               << " disagrees on the rebalance schedule";
+  }
+
+  // 4. The work field is conserved, and work actually moved off the slow
+  // component: ocean ends with fewer units than its initial block share.
+  std::int64_t total = 0;
+  std::int64_t ocean_units = 0;
+  std::int64_t ocean_initial = 0;
+  const coupler::Decomp initial =
+      coupler::Decomp::block(steer.work_units, kWorldRanks);
+  for (const auto& [rank, units] : live.units_of) {
+    total += units;
+    if (live.component_of.at(rank) == "ocean") {
+      ocean_units += units;
+      ocean_initial += initial.local_size(rank);
+    }
+  }
+  EXPECT_EQ(total, steer.work_units);
+  EXPECT_LT(ocean_units, ocean_initial)
+      << "steering fired but no work left the slow component";
+
+  // 5. The load: the physics is untouched — bit-identical diagnostics.
+  EXPECT_EQ(live.diag.mean_sst, plain.diag.mean_sst);
+  EXPECT_EQ(live.diag.mean_t_atm, plain.diag.mean_t_atm);
+  EXPECT_EQ(live.diag.mean_icefrac, plain.diag.mean_icefrac);
+}

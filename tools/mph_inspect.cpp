@@ -38,6 +38,14 @@
 //       blocked-time share, refreshed from the monitor's AF_UNIX socket or
 //       its JSONL snapshot stream.  --once prints a single frame.
 //
+//   mph_inspect watch <sock | metrics.jsonl | health.jsonl>... [--once]
+//               [--interval=ms]
+//       Aggregate the metrics and mph_watch health streams of SEVERAL jobs
+//       into one console: a summary line and the active alerts per job,
+//       then the jobs' recent health events merged on their wall-clock
+//       stamps.  Each source is a monitor socket, a metrics JSONL, or a
+//       health JSONL; the missing half is read from the sibling file.
+//
 //   mph_inspect lint [<dir>]
 //       Atomics lint for the lock-free layer (default dir: src/minimpi).
 //       Flags raw `std::atomic` uses outside the mph_racer shim — the
@@ -87,6 +95,8 @@ int usage() {
                "       mph_inspect trace <trace.json> [--critical]\n"
                "       mph_inspect top <mph_monitor.sock | mph_metrics.jsonl>"
                " [--once] [--interval=ms]\n"
+               "       mph_inspect watch <sock | metrics.jsonl | "
+               "health.jsonl>... [--once] [--interval=ms]\n"
                "       mph_inspect lint [<dir>]\n");
   return 2;
 }
@@ -486,19 +496,29 @@ int cmd_trace(const std::string& path, bool critical) {
   return 0;
 }
 
-/// Fetch the newest snapshot line from `source` — the monitor's AF_UNIX
-/// socket while the job runs, its JSONL file after (or instead).
-std::optional<std::string> fetch_snapshot_line(const std::string& source) {
-  if (auto line = mph::mon::read_socket_line(source)) return line;
-  return mph::mon::last_jsonl_line(source);
+/// Fetch the newest snapshot from `source` — the monitor's AF_UNIX socket
+/// while the job runs, its JSONL file after (or instead).  File reads are
+/// rotation/truncation tolerant (last_valid_snapshot), and a socket frame
+/// torn mid-write counts as a miss to resync on, not an error.
+std::optional<minimpi::MetricsSnapshot> fetch_snapshot(
+    const std::string& source) {
+  if (auto line = mph::mon::read_socket_line(source)) {
+    try {
+      return mph::mon::parse_snapshot(*line);
+    } catch (const std::exception&) {
+      // Torn frame; fall through to the file, or miss and retry.
+    }
+  }
+  return mph::mon::last_valid_snapshot(source);
 }
 
 int cmd_top(const std::string& source, bool once, int interval_ms) {
   std::optional<minimpi::MetricsSnapshot> prev;
   int misses = 0;
   for (;;) {
-    const std::optional<std::string> line = fetch_snapshot_line(source);
-    if (!line.has_value()) {
+    const std::optional<minimpi::MetricsSnapshot> snap =
+        fetch_snapshot(source);
+    if (!snap.has_value()) {
       if (once || ++misses > 5) {
         throw mph::MphError(
             "no metrics snapshot available from '" + source +
@@ -508,13 +528,79 @@ int cmd_top(const std::string& source, bool once, int interval_ms) {
       }
     } else {
       misses = 0;
-      const minimpi::MetricsSnapshot snap = mph::mon::parse_snapshot(*line);
-      const mph::mon::TopView view =
-          mph::mon::build_top_view(prev.has_value() ? &*prev : nullptr, snap);
-      if (!once) std::printf("\033[2J\033[H");  // clear + home, like top(1)
-      std::fputs(mph::mon::render_top(view).c_str(), stdout);
+      // The seq stamp tells a fresh frame from a re-served line (a file
+      // that stopped advancing): only a distinct frame updates the rate
+      // window, so rates never collapse to zero against themselves.
+      if (!prev.has_value() || snap->seq != prev->seq || once) {
+        const mph::mon::TopView view = mph::mon::build_top_view(
+            prev.has_value() && prev->seq != snap->seq ? &*prev : nullptr,
+            *snap);
+        if (!once) std::printf("\033[2J\033[H");  // clear + home, like top(1)
+        std::fputs(mph::mon::render_top(view).c_str(), stdout);
+        std::fflush(stdout);
+        prev = snap;
+      }
+      if (once) return 0;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}
+
+/// Assemble one job of the `watch` aggregator from a source argument: a
+/// monitor socket, an mph_metrics.jsonl, or an mph_health.jsonl.  The
+/// missing half is picked up from the sibling file in the same directory
+/// (the watcher writes its health log next to the monitor's stream).
+mph::mon::WatchJob fetch_watch_job(const std::string& source) {
+  namespace fs = std::filesystem;
+  mph::mon::WatchJob job;
+  job.source = source;
+  const fs::path dir = fs::path(source).parent_path();
+  std::string health_path = (dir / "mph_health.jsonl").string();
+
+  std::ifstream probe(source);
+  std::string first;
+  if (probe) {
+    while (std::getline(probe, first) && first.empty()) continue;
+  }
+  if (!first.empty() && mph::mon::looks_like_health(first)) {
+    health_path = source;
+    job.snapshot = mph::mon::last_valid_snapshot(
+        (dir / "mph_metrics.jsonl").string());
+    job.online = job.snapshot.has_value();
+  } else {
+    job.snapshot = fetch_snapshot(source);
+    job.online = job.snapshot.has_value();
+  }
+  job.events = mph::mon::read_health_tail(health_path);
+  return job;
+}
+
+int cmd_watch(const std::vector<std::string>& sources, bool once,
+              int interval_ms) {
+  int misses = 0;
+  for (;;) {
+    std::vector<mph::mon::WatchJob> jobs;
+    bool any = false;
+    for (const std::string& source : sources) {
+      jobs.push_back(fetch_watch_job(source));
+      any = any || jobs.back().snapshot.has_value() ||
+            !jobs.back().events.empty();
+    }
+    if (!any) {
+      if (once || ++misses > 5) {
+        throw mph::MphError(
+            "no metrics or health data available from the given sources — "
+            "point `watch` at monitored jobs' mph_monitor.sock, "
+            "mph_metrics.jsonl, or mph_health.jsonl (enable with "
+            "JobOptions::watch or MINIMPI_WATCH=1)");
+      }
+    } else {
+      misses = 0;
+      const mph::mon::WatchView view =
+          mph::mon::build_watch_view(std::move(jobs));
+      if (!once) std::printf("\033[2J\033[H");
+      std::fputs(mph::mon::render_watch(view).c_str(), stdout);
       std::fflush(stdout);
-      prev = snap;
       if (once) return 0;
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
@@ -583,6 +669,27 @@ int main(int argc, char** argv) {
         }
       }
       if (!bad && !source.empty()) return cmd_top(source, once, interval_ms);
+    }
+    if (args.size() >= 2 && args[0] == "watch") {
+      bool once = false;
+      int interval_ms = 1000;
+      std::vector<std::string> sources;
+      bool bad = false;
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "--once") {
+          once = true;
+        } else if (mph::util::starts_with(args[i], "--interval=")) {
+          const auto ms = mph::util::parse_int(
+              std::string_view(args[i]).substr(sizeof("--interval=") - 1));
+          if (!ms.has_value() || *ms <= 0) bad = true;
+          else interval_ms = static_cast<int>(*ms);
+        } else {
+          sources.push_back(args[i]);
+        }
+      }
+      if (!bad && !sources.empty()) {
+        return cmd_watch(sources, once, interval_ms);
+      }
     }
     if ((args.size() == 1 || args.size() == 2) && args[0] == "lint") {
       return cmd_lint(args.size() == 2 ? args[1] : "src/minimpi");
